@@ -1,0 +1,50 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.h"
+
+namespace poetbin::bench {
+
+double bench_scale() {
+  const char* env = std::getenv("POETBIN_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return std::clamp(value, 0.05, 4.0);
+}
+
+PipelineConfig config_mnist() { return preset_m1(bench_scale()); }
+PipelineConfig config_cifar10() { return preset_c1(bench_scale()); }
+PipelineConfig config_svhn() { return preset_s1(bench_scale()); }
+
+std::vector<DatasetRun> run_all_pipelines(bool verbose) {
+  std::vector<DatasetRun> runs;
+  runs.push_back({"MNIST", "digits", config_mnist(), {}});
+  runs.push_back({"SVHN", "house_numbers", config_svhn(), {}});
+  runs.push_back({"CIFAR-10", "textures", config_cifar10(), {}});
+  for (auto& run : runs) {
+    std::printf("[bench] training pipeline for %s (%s), n_train=%zu...\n",
+                run.paper_name.c_str(), run.family.c_str(), run.config.n_train);
+    std::fflush(stdout);
+    run.config.verbose = verbose;
+    run.result = run_pipeline(run.config);
+  }
+  return runs;
+}
+
+std::string pct(double accuracy) { return TablePrinter::fmt(100.0 * accuracy, 2); }
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Scale: POETBIN_BENCH_SCALE=%.2f (synthetic stand-in datasets;\n",
+              bench_scale());
+  std::printf("absolute accuracies differ from the paper, shapes should hold)\n");
+  std::printf("================================================================\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace poetbin::bench

@@ -1,0 +1,39 @@
+// Shared plumbing for the table-reproduction benches.
+//
+// Every bench binary runs argument-free. POETBIN_BENCH_SCALE (a float,
+// default 1.0) scales dataset sizes so CI can run quick sanity sweeps
+// (e.g. POETBIN_BENCH_SCALE=0.25) while the default reproduces the numbers
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace poetbin::bench {
+
+// POETBIN_BENCH_SCALE env var, clamped to [0.05, 4].
+double bench_scale();
+
+// The three paper configurations at bench scale (M1/C1/S1 of Table 1).
+PipelineConfig config_mnist();
+PipelineConfig config_cifar10();
+PipelineConfig config_svhn();
+
+struct DatasetRun {
+  std::string paper_name;  // MNIST / CIFAR-10 / SVHN
+  std::string family;      // digits / textures / house_numbers
+  PipelineConfig config;
+  PipelineResult result;
+};
+
+// Runs all three pipelines (expensive; each bench that needs trained models
+// calls this once).
+std::vector<DatasetRun> run_all_pipelines(bool verbose = false);
+
+// Accuracy as "98.15"-style percent string.
+std::string pct(double accuracy);
+
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace poetbin::bench

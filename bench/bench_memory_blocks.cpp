@@ -1,0 +1,82 @@
+// SS2.1.1 memory-block analysis: the exponential cost of a monolithic
+// input-output table vs the polynomial cost of the RINC decomposition
+// ("a 30-input LUT already requires one gigabit of data"), plus BRAM
+// packing for the paper's three module configurations.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/memory_model.h"
+#include "hw/power_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace poetbin;
+  using namespace poetbin::bench;
+
+  print_header("Memory-block implementation (SS2.1.1)",
+               "PoET-BiN SS2.1.1: monolithic table blow-up vs RINC tables");
+
+  std::printf("Monolithic table for an N-input binary neuron:\n");
+  TablePrinter mono({"inputs", "table bits", "note"});
+  for (const std::size_t n : {6u, 8u, 12u, 20u, 30u, 40u}) {
+    std::string note;
+    if (n == 30) note = "the paper's 1-gigabit example";
+    if (n == 40) note = "paper: 'completely unrealistic'";
+    mono.add_row({std::to_string(n), std::to_string(monolithic_table_bits(n)),
+                  note});
+  }
+  mono.print(std::cout);
+
+  std::printf("\nRINC decomposition at equal effective input capacity:\n");
+  TablePrinter rinc({"config", "input capacity", "table bits",
+                     "vs monolithic", "BRAMs (18kb)"});
+  struct Row {
+    const char* name;
+    std::size_t p, levels, dts;
+  };
+  const Row rows[] = {
+      {"RINC-1 P=6 (full)", 6, 1, 0},
+      {"RINC-2 P=6 (full)", 6, 2, 0},
+      {"RINC-2 P=8, 32 DTs (MNIST)", 8, 2, 32},
+      {"RINC-2 P=8, 40 DTs (CIFAR-10)", 8, 2, 40},
+      {"RINC-2 P=6, 36 DTs (SVHN)", 6, 2, 36},
+  };
+  for (const auto& row : rows) {
+    const std::uint64_t capacity = rinc_input_capacity(row.p, row.levels);
+    const std::uint64_t bits = rinc_table_bits(row.p, row.levels, row.dts);
+    const std::uint64_t mono_bits = monolithic_table_bits(
+        capacity >= 64 ? 64 : static_cast<std::size_t>(capacity));
+    rinc.add_row({row.name, std::to_string(capacity), std::to_string(bits),
+                  mono_bits == std::numeric_limits<std::uint64_t>::max()
+                      ? ">1.8e19x smaller"
+                      : TablePrinter::sci(static_cast<double>(mono_bits) /
+                                              static_cast<double>(bits),
+                                          1) + "x smaller",
+                  std::to_string(block_rams_required(bits))});
+  }
+  rinc.print(std::cout);
+
+  std::printf("\nWhole-classifier table storage (all modules + output layer):\n");
+  TablePrinter total({"dataset", "modules", "table bits", "BRAMs"});
+  struct Spec {
+    PoetBinHwSpec hw;
+  };
+  for (const auto& spec :
+       {hw_spec_mnist(), hw_spec_cifar10(), hw_spec_svhn()}) {
+    const std::uint64_t module_bits =
+        rinc_table_bits(spec.lut_inputs, spec.levels, spec.n_dts) *
+        spec.n_modules;
+    const std::uint64_t output_bits =
+        spec.n_classes * static_cast<std::uint64_t>(spec.qbits) *
+        (std::uint64_t{1} << spec.lut_inputs);
+    const std::uint64_t bits = module_bits + output_bits;
+    total.add_row({spec.name, std::to_string(spec.n_modules),
+                   std::to_string(bits),
+                   std::to_string(block_rams_required(bits))});
+  }
+  total.print(std::cout);
+  std::printf("\n(The LUT fabric implementation of Tables 3/7 needs no BRAM "
+              "at all; this table is the SS2.1.1 memory-block alternative.)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Table 2: classification accuracy of A1/A2/A3/A4 plus the BinaryNet,
+// POLYBiNN and NDF baselines, all sharing the teacher's binary features
+// (the paper's same-feature-extractor protocol).
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/binarynet.h"
+#include "baselines/ndf.h"
+#include "baselines/polybinn.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace poetbin;
+using namespace poetbin::bench;
+
+struct PaperRow {
+  const char* dataset;
+  double a1, a2, a3, a4, binarynet, polybinn, ndf;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"MNIST", 99.20, 99.06, 98.93, 98.15, 98.97, 97.52, 99.42},
+    {"SVHN", 97.36, 96.98, 96.22, 95.13, 95.06, 94.97, 95.20},
+    {"CIFAR-10", 91.02, 89.88, 89.10, 92.64, 89.76, 91.58, 90.46},
+};
+
+const PaperRow& paper_row(const std::string& dataset) {
+  for (const auto& row : kPaper) {
+    if (dataset == row.dataset) return row;
+  }
+  return kPaper[0];
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 2 — overall classification accuracy & comparison",
+               "PoET-BiN Table 2 (A1 vanilla, A2 binary features, A3 teacher,"
+               " A4 PoET-BiN; BinaryNet / POLYBiNN / NDF baselines)");
+
+  auto runs = run_all_pipelines();
+
+  TablePrinter table({"dataset", "stage", "paper(%)", "ours(%)"});
+  TablePrinter summary(
+      {"dataset", "A1", "A2", "A3", "A4(PoET-BiN)", "BinaryNet", "POLYBiNN",
+       "NDF", "fidelity"});
+
+  for (auto& run : runs) {
+    const PaperRow& paper = paper_row(run.paper_name);
+    const PipelineResult& r = run.result;
+
+    std::printf("[bench] %s: training baselines on the shared binary features\n",
+                run.paper_name.c_str());
+    std::fflush(stdout);
+
+    BinaryNetConfig bn_config;
+    bn_config.hidden_dims = {run.config.net.hidden_dim};
+    bn_config.epochs = 25;
+    const BinaryNetClassifier binarynet =
+        BinaryNetClassifier::train(r.train_bits, bn_config);
+    const double bn_acc = binarynet.accuracy(r.test_bits);
+
+    PolyBinnConfig pb_config;
+    pb_config.trees_per_class = 8;
+    pb_config.max_depth = 8;
+    const PolyBinn polybinn = PolyBinn::train(r.train_bits, pb_config);
+    const double pb_acc = polybinn.accuracy(r.test_bits);
+
+    NdfConfig ndf_config;
+    ndf_config.n_trees = 8;
+    ndf_config.depth = 4;
+    ndf_config.epochs = 10;
+    const NeuralDecisionForest ndf =
+        NeuralDecisionForest::train(r.train_bits, ndf_config);
+    const double ndf_acc = ndf.accuracy(r.test_bits);
+
+    table.add_row({run.paper_name, "A1 vanilla", TablePrinter::fmt(paper.a1, 2),
+                   pct(r.a1)});
+    table.add_row({run.paper_name, "A2 binary feat",
+                   TablePrinter::fmt(paper.a2, 2), pct(r.a2)});
+    table.add_row({run.paper_name, "A3 teacher", TablePrinter::fmt(paper.a3, 2),
+                   pct(r.a3)});
+    table.add_row({run.paper_name, "A4 PoET-BiN",
+                   TablePrinter::fmt(paper.a4, 2), pct(r.a4)});
+    table.add_row({run.paper_name, "BinaryNet",
+                   TablePrinter::fmt(paper.binarynet, 2), pct(bn_acc)});
+    table.add_row({run.paper_name, "POLYBiNN",
+                   TablePrinter::fmt(paper.polybinn, 2), pct(pb_acc)});
+    table.add_row({run.paper_name, "NDF", TablePrinter::fmt(paper.ndf, 2),
+                   pct(ndf_acc)});
+
+    summary.add_row({run.paper_name, pct(r.a1), pct(r.a2), pct(r.a3), pct(r.a4),
+                     pct(bn_acc), pct(pb_acc), pct(ndf_acc),
+                     pct(r.fidelity_test)});
+  }
+
+  std::printf("\nPer-stage comparison (paper numbers are on the real datasets,"
+              " ours on the synthetic stand-ins):\n");
+  table.print(std::cout);
+  std::printf("\nSummary (ours):\n");
+  summary.print(std::cout);
+
+  std::printf(
+      "\nShape checks:\n"
+      "  - A1 >= A2 >= A3 expected (binarisation restricts capacity)\n"
+      "  - A4 close to A3 (distillation cost; paper: -0.8%% MNIST, -1%% SVHN,"
+      " +1.5%% CIFAR-10)\n"
+      "  - PoET-BiN (A4) competitive with BinaryNet/POLYBiNN, NDF strongest\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 3: PoET-BiN classifier power (dynamic / static / total) for the
+// paper's three FPGA configurations, from the calibrated activity model.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/power_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace poetbin;
+  using namespace poetbin::bench;
+
+  print_header("Table 3 — PoET-BiN power results",
+               "PoET-BiN Table 3 (Spartan-6 measurements; our per-LUT "
+               "activity model is calibrated on the MNIST point)");
+
+  struct PaperPower {
+    PoetBinHwSpec spec;
+    double dynamic, static_, total;
+  };
+  const PaperPower rows[] = {
+      {hw_spec_mnist(), 0.468, 0.045, 0.513},
+      {hw_spec_cifar10(), 0.300, 0.041, 0.341},
+      {hw_spec_svhn(), 0.374, 0.043, 0.417},
+  };
+
+  TablePrinter table({"dataset", "clock(MHz)", "6-LUTs", "paper dyn(W)",
+                      "model dyn(W)", "paper total(W)", "model total(W)"});
+  for (const auto& row : rows) {
+    table.add_row({row.spec.name, TablePrinter::fmt(row.spec.clock_mhz, 1),
+                   std::to_string(poetbin_total_6luts(row.spec)),
+                   TablePrinter::fmt(row.dynamic, 3),
+                   TablePrinter::fmt(poetbin_dynamic_power_watts(row.spec), 3),
+                   TablePrinter::fmt(row.total, 3),
+                   TablePrinter::fmt(poetbin_total_power_watts(row.spec), 3)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nNotes: MNIST reproduced by calibration; CIFAR-10/SVHN predicted by\n"
+      "the single-parameter model (within ~2.5x, same order — the paper's\n"
+      "SVHN dynamic power is high for its LUT count because of its faster\n"
+      "clock and denser routing; see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 4: per-operation FPGA power at 62.5 MHz. The constants ARE the
+// paper's measurements (they parameterise our whole energy model); this
+// bench prints them alongside a CPU-side sanity microbenchmark showing the
+// relative cost ordering of the same arithmetic on this machine.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/power_model.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace poetbin;
+
+// Rough CPU ns/op for the arithmetic families (sanity ordering only).
+template <typename T>
+double time_mult_ns() {
+  Rng rng(1);
+  volatile T acc = static_cast<T>(1);
+  std::vector<T> values(4096);
+  for (auto& v : values) {
+    v = static_cast<T>(rng.uniform(1.0, 2.0));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  constexpr int kIters = 2000;
+  for (int it = 0; it < kIters; ++it) {
+    T local = acc;
+    for (const T v : values) local = static_cast<T>(local * v + 1);
+    acc = local;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         (kIters * 4096.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace poetbin::bench;
+  print_header("Table 4 — individual operation power",
+               "PoET-BiN Table 4 (Spartan-6 @ 62.5 MHz; these constants feed "
+               "the Table 6 energy model)");
+
+  struct Row {
+    const char* name;
+    FpgaOpPower power;
+  };
+  const Row rows[] = {
+      {"multiplication (16 bits)", op_power_mult16()},
+      {"addition (16 bits)", op_power_add16()},
+      {"multiplication (32 bits)", op_power_mult32()},
+      {"addition (32 bits)", op_power_add32()},
+      {"multiplication (float)", op_power_mult_float()},
+      {"addition (float)", op_power_add_float()},
+  };
+
+  TablePrinter table({"operation", "clock(W)", "logic(W)", "signal(W)",
+                      "io(W)", "static(W)", "total(W)", "compute(W)"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, TablePrinter::fmt(row.power.clock, 3),
+                   TablePrinter::fmt(row.power.logic, 3),
+                   TablePrinter::fmt(row.power.signal, 3),
+                   TablePrinter::fmt(row.power.io, 3),
+                   TablePrinter::fmt(row.power.static_power, 3),
+                   TablePrinter::fmt(row.power.total(), 3),
+                   TablePrinter::fmt(row.power.compute(), 3)});
+  }
+  table.print(std::cout);
+  std::printf("\n(compute = logic + signal, the only columns entering the "
+              "energy estimates, as the paper argues in SS4.2)\n");
+
+  std::printf("\nCPU sanity microbench (relative cost ordering on this host):\n");
+  TablePrinter cpu({"operation", "ns/op"});
+  cpu.add_row({"int16 multiply-add", TablePrinter::fmt(time_mult_ns<short>(), 3)});
+  cpu.add_row({"int32 multiply-add", TablePrinter::fmt(time_mult_ns<int>(), 3)});
+  cpu.add_row({"float multiply-add", TablePrinter::fmt(time_mult_ns<float>(), 3)});
+  cpu.add_row({"double multiply-add", TablePrinter::fmt(time_mult_ns<double>(), 3)});
+  cpu.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 5: multiplication/addition counts of the fully connected classifier
+// portions replaced by PoET-BiN. These are exact closed forms; the bench
+// must match the paper digit-for-digit.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/power_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace poetbin;
+  using namespace poetbin::bench;
+
+  print_header("Table 5 — total mathematical operations",
+               "PoET-BiN Table 5 (one MAC per weight of the FC classifier)");
+
+  struct Row {
+    ClassifierArch arch;
+    std::size_t paper_ops;
+  };
+  const Row rows[] = {
+      {arch_m1(), 267264u},
+      {arch_c1(), 18915328u},
+      {arch_s1(), 5263360u},
+  };
+
+  TablePrinter table({"dataset", "classifier dims", "paper adds", "our adds",
+                      "paper mults", "our mults", "match"});
+  bool all_match = true;
+  for (const auto& row : rows) {
+    const OpCounts counts = count_classifier_ops(row.arch);
+    std::string dims;
+    for (std::size_t i = 0; i < row.arch.dims.size(); ++i) {
+      dims += std::to_string(row.arch.dims[i]);
+      if (i + 1 < row.arch.dims.size()) dims += "-";
+    }
+    const bool match =
+        counts.adds == row.paper_ops && counts.mults == row.paper_ops;
+    all_match = all_match && match;
+    table.add_row({row.arch.name, dims, std::to_string(row.paper_ops),
+                   std::to_string(counts.adds), std::to_string(row.paper_ops),
+                   std::to_string(counts.mults), match ? "EXACT" : "MISMATCH"});
+  }
+  table.print(std::cout);
+  std::printf("\n%s\n", all_match
+                            ? "All three architectures match Table 5 exactly."
+                            : "MISMATCH against Table 5 — investigate!");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+#include "baselines/binarynet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace poetbin {
+
+Matrix BinaryNetClassifier::to_pm1(const BinaryDataset& data) {
+  Matrix out(data.size(), data.n_features());
+  for (std::size_t c = 0; c < data.n_features(); ++c) {
+    const BitVector& column = data.features.column(c);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      out(r, c) = column.get(r) ? 1.0f : -1.0f;
+    }
+  }
+  return out;
+}
+
+BinaryNetClassifier BinaryNetClassifier::train(const BinaryDataset& train_data,
+                                               const BinaryNetConfig& config) {
+  BinaryNetClassifier model;
+  Rng rng(config.seed);
+
+  model.dims_.push_back(train_data.n_features());
+  for (const auto h : config.hidden_dims) model.dims_.push_back(h);
+  model.dims_.push_back(train_data.n_classes);
+
+  for (std::size_t l = 0; l + 1 < model.dims_.size(); ++l) {
+    auto& dense =
+        model.net_.add<BinaryDense>(model.dims_[l], model.dims_[l + 1], rng);
+    model.binary_layers_.push_back(&dense);
+    model.net_.add<BatchNorm>(model.dims_[l + 1]);
+    if (l + 2 < model.dims_.size()) model.net_.add<SignActivation>();
+  }
+
+  const Matrix inputs = to_pm1(train_data);
+  const std::vector<int>& labels = train_data.labels;
+  const std::size_t n = inputs.rows();
+
+  Adam optimizer(config.learning_rate);
+  optimizer.attach(model.net_.params());
+  Rng shuffle_rng(config.seed ^ 0xabcdULL);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order.data(), order.size());
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      Matrix batch(end - start, inputs.cols());
+      std::vector<int> batch_labels(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        const float* src = inputs.row(order[i]);
+        std::copy(src, src + inputs.cols(), batch.row(i - start));
+        batch_labels[i - start] = labels[order[i]];
+      }
+      optimizer.zero_grad();
+      Matrix logits = model.net_.forward(batch, /*train=*/true);
+      const LossResult loss = squared_hinge_loss(logits, batch_labels);
+      model.net_.backward(loss.grad);
+      optimizer.step();
+      // BinaryNet recipe: clip latent weights after every update.
+      for (auto* layer : model.binary_layers_) layer->clip_latent_weights();
+      loss_sum += loss.value;
+      ++batches;
+    }
+    if (config.verbose) {
+      std::printf("  binarynet epoch %zu loss=%.4f\n", epoch + 1,
+                  loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1)));
+    }
+    optimizer.decay_learning_rate(config.lr_decay);
+  }
+  return model;
+}
+
+std::vector<int> BinaryNetClassifier::predict(const BinaryDataset& data) const {
+  return net_.predict(to_pm1(data));
+}
+
+double BinaryNetClassifier::accuracy(const BinaryDataset& data) const {
+  return poetbin::accuracy(predict(data), data.labels);
+}
+
+std::size_t BinaryNetClassifier::n_neurons() const {
+  std::size_t neurons = 0;
+  for (std::size_t l = 1; l < dims_.size(); ++l) neurons += dims_[l];
+  return neurons;
+}
+
+}  // namespace poetbin

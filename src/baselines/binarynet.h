@@ -1,0 +1,51 @@
+// BinaryNet baseline (Courbariaux et al. 2016) — classifier portion only.
+//
+// Mirrors the paper's comparison protocol: the same binary features feed a
+// small MLP whose weights and activations are constrained to ±1 (trained
+// with straight-through estimators, latent weights clipped to [-1, 1]).
+// Inference on hardware would be XNOR + popcount + threshold per neuron —
+// the packed path in nn/binary_layers.h evaluates exactly that and is
+// checked bit-exact against the float forward pass in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/binary_layers.h"
+#include "nn/sequential.h"
+
+namespace poetbin {
+
+struct BinaryNetConfig {
+  std::vector<std::size_t> hidden_dims = {256};
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  double learning_rate = 5e-3;
+  double lr_decay = 0.95;
+  std::uint64_t seed = 21;
+  bool verbose = false;
+};
+
+class BinaryNetClassifier {
+ public:
+  static BinaryNetClassifier train(const BinaryDataset& train_data,
+                                   const BinaryNetConfig& config);
+
+  std::vector<int> predict(const BinaryDataset& data) const;
+  double accuracy(const BinaryDataset& data) const;
+
+  // Binary neurons in the classifier (for the power model comparison).
+  std::size_t n_neurons() const;
+
+ private:
+  // Mutable because forward passes cache activations inside layers; the
+  // caches are training-only state irrelevant to logical constness.
+  mutable Sequential net_;
+  std::vector<BinaryDense*> binary_layers_;
+  std::vector<std::size_t> dims_;
+
+  static Matrix to_pm1(const BinaryDataset& data);
+};
+
+}  // namespace poetbin

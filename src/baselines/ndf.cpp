@@ -1,0 +1,314 @@
+#include "baselines/ndf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+namespace {
+
+float sigmoidf(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+// Minimal Adam state over a flat float buffer.
+struct AdamBuffer {
+  std::vector<float> m;
+  std::vector<float> v;
+
+  void init(std::size_t n) {
+    m.assign(n, 0.0f);
+    v.assign(n, 0.0f);
+  }
+
+  void step(float* values, const float* grads, std::size_t n, double lr,
+            long t) {
+    const double bias1 = 1.0 - std::pow(0.9, static_cast<double>(t));
+    const double bias2 = 1.0 - std::pow(0.999, static_cast<double>(t));
+    const float alpha = static_cast<float>(lr * std::sqrt(bias2) / bias1);
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = 0.9f * m[i] + 0.1f * grads[i];
+      v[i] = 0.999f * v[i] + 0.001f * grads[i] * grads[i];
+      values[i] -= alpha * m[i] / (std::sqrt(v[i]) + 1e-8f);
+    }
+  }
+};
+
+Matrix to_pm1_matrix(const BinaryDataset& data) {
+  Matrix out(data.size(), data.n_features());
+  for (std::size_t c = 0; c < data.n_features(); ++c) {
+    const BitVector& column = data.features.column(c);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      out(r, c) = column.get(r) ? 1.0f : -1.0f;
+    }
+  }
+  return out;
+}
+
+// Per-tree forward state needed by the backward pass for one example.
+struct TreeForward {
+  std::vector<double> reach;    // node reach probabilities q
+  std::vector<double> d;        // routing sigmoid per internal node
+  std::vector<double> subtree;  // S_i = expected pi_y below node i
+  std::vector<double> pi_y;     // leaf probability of the true class
+  std::vector<std::vector<double>> pi;  // full leaf distributions
+};
+
+}  // namespace
+
+std::vector<double> NeuralDecisionForest::class_probabilities(
+    const float* x) const {
+  std::vector<double> probs(n_classes_, 0.0);
+  const std::size_t internal = n_internal();
+  const std::size_t leaves = n_leaves();
+  std::vector<double> reach(internal + leaves, 0.0);
+
+  for (const Tree& tree : trees_) {
+    std::fill(reach.begin(), reach.end(), 0.0);
+    reach[0] = 1.0;
+    for (std::size_t i = 0; i < internal; ++i) {
+      const float* w = tree.weights.row(i);
+      float z = tree.bias[i];
+      for (std::size_t f = 0; f < n_features_; ++f) z += w[f] * x[f];
+      const double d = sigmoidf(z);
+      reach[2 * i + 1] += reach[i] * (1.0 - d);
+      reach[2 * i + 2] += reach[i] * d;
+    }
+    for (std::size_t l = 0; l < leaves; ++l) {
+      const float* logits = tree.leaf_logits.row(l);
+      float max_logit = logits[0];
+      for (std::size_t c = 1; c < n_classes_; ++c) {
+        max_logit = std::max(max_logit, logits[c]);
+      }
+      double denom = 0.0;
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        denom += std::exp(static_cast<double>(logits[c] - max_logit));
+      }
+      const double mu = reach[internal + l];
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        probs[c] +=
+            mu * std::exp(static_cast<double>(logits[c] - max_logit)) / denom;
+      }
+    }
+  }
+  const double inv_trees = 1.0 / static_cast<double>(trees_.size());
+  for (auto& p : probs) p *= inv_trees;
+  return probs;
+}
+
+NeuralDecisionForest NeuralDecisionForest::train(const BinaryDataset& train_data,
+                                                 const NdfConfig& config) {
+  NeuralDecisionForest model;
+  model.depth_ = config.depth;
+  model.n_features_ = train_data.n_features();
+  model.n_classes_ = train_data.n_classes;
+  POETBIN_CHECK(config.n_trees >= 1 && config.depth >= 1);
+
+  Rng rng(config.seed);
+  const std::size_t internal = model.n_internal();
+  const std::size_t leaves = model.n_leaves();
+  const std::size_t n_features = model.n_features_;
+  const std::size_t n_classes = model.n_classes_;
+
+  for (std::size_t t = 0; t < config.n_trees; ++t) {
+    Tree tree;
+    tree.weights = Matrix::randn(internal, n_features, rng,
+                                 1.0 / std::sqrt(n_features));
+    tree.bias.assign(internal, 0.0f);
+    tree.leaf_logits = Matrix::randn(leaves, n_classes, rng, 0.01);
+    model.trees_.push_back(std::move(tree));
+  }
+
+  const Matrix inputs = to_pm1_matrix(train_data);
+  const std::vector<int>& labels = train_data.labels;
+  const std::size_t n = inputs.rows();
+
+  std::vector<AdamBuffer> adam_route(config.n_trees);
+  std::vector<AdamBuffer> adam_leaf(config.n_trees);
+  for (std::size_t t = 0; t < config.n_trees; ++t) {
+    adam_route[t].init(internal * (n_features + 1));
+    adam_leaf[t].init(leaves * n_classes);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng shuffle_rng(config.seed ^ 0x5a5aULL);
+  long step = 0;
+
+  std::vector<TreeForward> forward(config.n_trees);
+  for (auto& tf : forward) {
+    tf.reach.resize(internal + leaves);
+    tf.d.resize(internal);
+    tf.subtree.resize(internal + leaves);
+    tf.pi_y.resize(leaves);
+    tf.pi.assign(leaves, std::vector<double>(n_classes));
+  }
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order.data(), order.size());
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+      std::vector<std::vector<float>> grad_route(config.n_trees);
+      std::vector<std::vector<float>> grad_leaf(config.n_trees);
+      for (std::size_t t = 0; t < config.n_trees; ++t) {
+        grad_route[t].assign(internal * (n_features + 1), 0.0f);
+        grad_leaf[t].assign(leaves * n_classes, 0.0f);
+      }
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t idx = order[bi];
+        const float* x = inputs.row(idx);
+        const auto y = static_cast<std::size_t>(labels[idx]);
+
+        // Forward all trees first: the NLL of the forest average couples
+        // them through a single -1/(sum_t P_t(y)) factor.
+        double total_py = 0.0;
+        for (std::size_t t = 0; t < config.n_trees; ++t) {
+          const Tree& tree = model.trees_[t];
+          TreeForward& tf = forward[t];
+          std::fill(tf.reach.begin(), tf.reach.end(), 0.0);
+          tf.reach[0] = 1.0;
+          for (std::size_t i = 0; i < internal; ++i) {
+            const float* w = tree.weights.row(i);
+            float z = tree.bias[i];
+            for (std::size_t f = 0; f < n_features; ++f) z += w[f] * x[f];
+            tf.d[i] = sigmoidf(z);
+            tf.reach[2 * i + 1] += tf.reach[i] * (1.0 - tf.d[i]);
+            tf.reach[2 * i + 2] += tf.reach[i] * tf.d[i];
+          }
+          double py = 0.0;
+          for (std::size_t l = 0; l < leaves; ++l) {
+            const float* logits = tree.leaf_logits.row(l);
+            float max_logit = logits[0];
+            for (std::size_t c = 1; c < n_classes; ++c) {
+              max_logit = std::max(max_logit, logits[c]);
+            }
+            double denom = 0.0;
+            for (std::size_t c = 0; c < n_classes; ++c) {
+              tf.pi[l][c] = std::exp(static_cast<double>(logits[c] - max_logit));
+              denom += tf.pi[l][c];
+            }
+            for (std::size_t c = 0; c < n_classes; ++c) tf.pi[l][c] /= denom;
+            tf.pi_y[l] = tf.pi[l][y];
+            py += tf.reach[internal + l] * tf.pi_y[l];
+          }
+          total_py += py;
+
+          // S_i: expected true-class probability below node i.
+          for (std::size_t l = 0; l < leaves; ++l) {
+            tf.subtree[internal + l] = tf.pi_y[l];
+          }
+          for (std::size_t i = internal; i-- > 0;) {
+            tf.subtree[i] = (1.0 - tf.d[i]) * tf.subtree[2 * i + 1] +
+                            tf.d[i] * tf.subtree[2 * i + 2];
+          }
+        }
+
+        loss_sum += -std::log(
+            std::max(total_py / static_cast<double>(config.n_trees), 1e-12));
+        ++loss_count;
+
+        // Backward: L = -log(mean_t P_t) so dL/dP_t = -1 / sum_t P_t.
+        const double dl_dp = -1.0 / std::max(total_py, 1e-12);
+        for (std::size_t t = 0; t < config.n_trees; ++t) {
+          const TreeForward& tf = forward[t];
+          float* gr = grad_route[t].data();
+          float* gl = grad_leaf[t].data();
+          for (std::size_t i = 0; i < internal; ++i) {
+            // dP/dz_i = q_i (S_right - S_left) d (1 - d)
+            const double dz = dl_dp * tf.reach[i] *
+                              (tf.subtree[2 * i + 2] - tf.subtree[2 * i + 1]) *
+                              tf.d[i] * (1.0 - tf.d[i]) * inv_batch;
+            if (dz == 0.0) continue;
+            const auto dzf = static_cast<float>(dz);
+            float* row = gr + i * (n_features + 1);
+            for (std::size_t f = 0; f < n_features; ++f) row[f] += dzf * x[f];
+            row[n_features] += dzf;
+          }
+          for (std::size_t l = 0; l < leaves; ++l) {
+            const double mu = tf.reach[internal + l];
+            if (mu == 0.0) continue;
+            // dP/dtheta_lc = mu_l pi_y (delta_cy - pi_c) (softmax backward).
+            const double base = dl_dp * mu * tf.pi_y[l] * inv_batch;
+            for (std::size_t c = 0; c < n_classes; ++c) {
+              const double delta = (c == y) ? 1.0 : 0.0;
+              gl[l * n_classes + c] +=
+                  static_cast<float>(base * (delta - tf.pi[l][c]));
+            }
+          }
+        }
+      }
+
+      ++step;
+      for (std::size_t t = 0; t < config.n_trees; ++t) {
+        Tree& tree = model.trees_[t];
+        // Routing params live as [w row | bias] per internal node; marshal
+        // into one flat buffer for the Adam step.
+        std::vector<float> route_values(internal * (n_features + 1));
+        for (std::size_t i = 0; i < internal; ++i) {
+          float* row = route_values.data() + i * (n_features + 1);
+          std::copy(tree.weights.row(i), tree.weights.row(i) + n_features, row);
+          row[n_features] = tree.bias[i];
+        }
+        adam_route[t].step(route_values.data(), grad_route[t].data(),
+                           route_values.size(), config.learning_rate, step);
+        for (std::size_t i = 0; i < internal; ++i) {
+          const float* row = route_values.data() + i * (n_features + 1);
+          std::copy(row, row + n_features, tree.weights.row(i));
+          tree.bias[i] = row[n_features];
+        }
+        adam_leaf[t].step(tree.leaf_logits.data(), grad_leaf[t].data(),
+                          tree.leaf_logits.size(), config.learning_rate, step);
+      }
+    }
+
+    if (config.verbose) {
+      std::printf(
+          "  ndf epoch %zu nll=%.4f\n", epoch + 1,
+          loss_sum / static_cast<double>(std::max<std::size_t>(loss_count, 1)));
+    }
+  }
+  return model;
+}
+
+std::vector<int> NeuralDecisionForest::predict(const BinaryDataset& data) const {
+  const Matrix inputs = to_pm1_matrix(data);
+  std::vector<int> predictions(data.size(), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto probs = class_probabilities(inputs.row(i));
+    predictions[i] = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return predictions;
+}
+
+double NeuralDecisionForest::accuracy(const BinaryDataset& data) const {
+  const auto predictions = predict(data);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == data.labels[i]) ++correct;
+  }
+  return data.size() == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double NeuralDecisionForest::nll(const BinaryDataset& data) const {
+  const Matrix inputs = to_pm1_matrix(data);
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto probs = class_probabilities(inputs.row(i));
+    total -= std::log(
+        std::max(probs[static_cast<std::size_t>(data.labels[i])], 1e-12));
+  }
+  return data.size() == 0 ? 0.0 : total / static_cast<double>(data.size());
+}
+
+}  // namespace poetbin

@@ -1,0 +1,65 @@
+// Neural Decision Forest baseline (Kontschieder et al. 2015), simplified.
+//
+// A forest of soft, differentiable decision trees over the binary features:
+// each internal node routes with a sigmoid of a learned linear function,
+// each leaf holds a softmax-parameterized class distribution, and the whole
+// model is trained end-to-end with Adam on the negative log-likelihood.
+// As the paper notes, the stochastic routing makes this accurate but
+// hardware-unfriendly — which is exactly the contrast Table 2 draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace poetbin {
+
+struct NdfConfig {
+  std::size_t n_trees = 8;
+  std::size_t depth = 4;  // 2^depth leaves per tree
+  std::size_t epochs = 12;
+  std::size_t batch_size = 64;
+  double learning_rate = 5e-3;
+  std::uint64_t seed = 41;
+  bool verbose = false;
+};
+
+class NeuralDecisionForest {
+ public:
+  static NeuralDecisionForest train(const BinaryDataset& train_data,
+                                    const NdfConfig& config);
+
+  std::vector<int> predict(const BinaryDataset& data) const;
+  double accuracy(const BinaryDataset& data) const;
+
+  // Mean per-example NLL (diagnostic).
+  double nll(const BinaryDataset& data) const;
+
+ private:
+  struct Tree {
+    // Routing weights: (n_internal x F), bias (n_internal).
+    Matrix weights;
+    std::vector<float> bias;
+    // Leaf logits: (n_leaves x n_classes); distributions are softmax rows.
+    Matrix leaf_logits;
+  };
+
+  std::size_t n_internal() const { return (std::size_t{1} << depth_) - 1; }
+  std::size_t n_leaves() const { return std::size_t{1} << depth_; }
+
+  // P(y = c | x) for one example, averaged over trees; if `scratch` is
+  // non-null, per-tree routing probabilities are stored for backprop.
+  std::vector<double> class_probabilities(const float* x) const;
+
+  std::size_t depth_ = 0;
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;
+  std::vector<Tree> trees_;
+
+  friend struct NdfTrainerAccess;
+};
+
+}  // namespace poetbin

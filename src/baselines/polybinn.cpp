@@ -1,0 +1,101 @@
+#include "baselines/polybinn.h"
+
+#include "data/binarize.h"
+#include "util/check.h"
+
+namespace poetbin {
+
+PolyBinn PolyBinn::train(const BinaryDataset& train_data,
+                         const PolyBinnConfig& config) {
+  PolyBinn model;
+  const std::size_t n_classes = train_data.n_classes;
+  model.ensembles_.resize(n_classes);
+
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    // One-vs-all targets for class c.
+    BitVector targets(train_data.size());
+    for (std::size_t i = 0; i < train_data.size(); ++i) {
+      if (train_data.labels[i] == static_cast<int>(c)) targets.set(i, true);
+    }
+
+    ClassEnsemble& ensemble = model.ensembles_[c];
+    ClassicDtConfig dt_config;
+    dt_config.max_depth = config.max_depth;
+
+    AdaboostConfig boost_config;
+    boost_config.n_rounds = config.trees_per_class;
+    auto train_weak = [&](std::span<const double> weights,
+                          std::size_t round) -> BitVector {
+      (void)round;
+      ClassicDt tree =
+          ClassicDt::train(train_data.features, targets, weights, dt_config);
+      BitVector predictions = tree.eval_dataset(train_data.features);
+      ensemble.trees.push_back(std::move(tree));
+      return predictions;
+    };
+
+    const AdaboostResult boosted =
+        run_adaboost(targets, train_weak, boost_config);
+    for (const auto& round : boosted.rounds) {
+      ensemble.alphas.push_back(round.alpha);
+    }
+  }
+  return model;
+}
+
+double PolyBinn::confidence(const ClassEnsemble& ensemble,
+                            const BitVector& example_bits) const {
+  double sum = 0.0;
+  for (std::size_t t = 0; t < ensemble.trees.size(); ++t) {
+    const double h = ensemble.trees[t].eval(example_bits) ? 1.0 : -1.0;
+    sum += ensemble.alphas[t] * h;
+  }
+  return sum;
+}
+
+std::vector<int> PolyBinn::predict(const BinaryDataset& data) const {
+  std::vector<int> predictions(data.size(), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const BitVector row = data.features.row(i);
+    double best = 0.0;
+    std::size_t best_class = 0;
+    for (std::size_t c = 0; c < ensembles_.size(); ++c) {
+      const double conf = confidence(ensembles_[c], row);
+      if (c == 0 || conf > best) {
+        best = conf;
+        best_class = c;
+      }
+    }
+    predictions[i] = static_cast<int>(best_class);
+  }
+  return predictions;
+}
+
+double PolyBinn::accuracy(const BinaryDataset& data) const {
+  const auto predictions = predict(data);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == data.labels[i]) ++correct;
+  }
+  return data.size() == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::size_t PolyBinn::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& ensemble : ensembles_) {
+    for (const auto& tree : ensemble.trees) total += tree.node_count();
+  }
+  return total;
+}
+
+std::size_t PolyBinn::total_distinct_features() const {
+  std::size_t total = 0;
+  for (const auto& ensemble : ensembles_) {
+    for (const auto& tree : ensemble.trees) total += tree.distinct_features();
+  }
+  return total;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,52 @@
+// POLYBiNN baseline (Abdelsalam et al. 2018).
+//
+// A pure decision-tree combinatorial engine: per class, a one-vs-all
+// Adaboost ensemble of *off-the-shelf* (per-node greedy) DTs; the class
+// with the highest ensemble confidence wins. This is exactly the contrast
+// the paper draws: classic trees have more nodes and need a confidence
+// comparison across binary classifiers, whereas PoET-BiN's level-wise trees
+// are LUT-native and its output layer is a retrained neural layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boost/adaboost.h"
+#include "data/dataset.h"
+#include "dt/classic_dt.h"
+
+namespace poetbin {
+
+struct PolyBinnConfig {
+  std::size_t trees_per_class = 8;
+  std::size_t max_depth = 6;
+  std::uint64_t seed = 31;
+};
+
+class PolyBinn {
+ public:
+  static PolyBinn train(const BinaryDataset& train_data,
+                        const PolyBinnConfig& config);
+
+  std::vector<int> predict(const BinaryDataset& data) const;
+  double accuracy(const BinaryDataset& data) const;
+
+  // Resource proxy: total DT nodes across all ensembles.
+  std::size_t total_nodes() const;
+  // Distinct features the LUT mapping of each tree would need, summed.
+  std::size_t total_distinct_features() const;
+
+ private:
+  struct ClassEnsemble {
+    std::vector<ClassicDt> trees;
+    std::vector<double> alphas;
+  };
+
+  // Signed confidence sum_i alpha_i * (2 h_i(x) - 1) for one class.
+  double confidence(const ClassEnsemble& ensemble,
+                    const BitVector& example_bits) const;
+
+  std::vector<ClassEnsemble> ensembles_;
+};
+
+}  // namespace poetbin

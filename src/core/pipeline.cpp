@@ -1,0 +1,219 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "nn/conv.h"
+
+namespace poetbin {
+
+namespace {
+
+// Indices of the layers whose activations the pipeline extracts.
+struct BuiltNetwork {
+  Sequential net;
+  std::size_t feature_layer = 0;       // FE output (after final pool)
+  std::size_t hidden_layer = 0;        // post-activation hidden layer
+  std::size_t intermediate_layer = 0;  // teacher only: BinarySigmoid output
+};
+
+enum class FeActivation { kRelu, kBinarySigmoid };
+
+// FE: conv -> ReLU -> pool -> conv -> act -> pool. With a binary act the
+// max-pool of {0,1} values stays binary, so the FE output is the paper's
+// binary feature vector.
+BuiltNetwork build_network(const PipelineConfig& config, FeActivation fe_act,
+                           bool with_intermediate, Rng& rng) {
+  const ImageDataset probe = make_synthetic(
+      {config.data.family, 1, config.data.seed, config.data.noise});
+  const Shape3 input_shape{probe.channels, probe.height, probe.width};
+
+  BuiltNetwork built;
+  Sequential& net = built.net;
+
+  auto& conv1 = net.add<Conv2d>(input_shape, config.net.conv1_channels,
+                                /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  net.add<Relu>();
+  auto& pool1 = net.add<MaxPool2d>(conv1.output_shape(), /*pool=*/2);
+  auto& conv2 = net.add<Conv2d>(pool1.output_shape(), config.net.conv2_channels,
+                                /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng);
+  if (fe_act == FeActivation::kRelu) {
+    net.add<Relu>();
+  } else {
+    net.add<BinarySigmoid>();
+  }
+  net.add<MaxPool2d>(conv2.output_shape(), /*pool=*/2);
+  built.feature_layer = net.n_layers() - 1;
+
+  const std::size_t feature_dim =
+      MaxPool2d(conv2.output_shape(), 2).output_shape().flat();
+  const std::size_t n_classes = 10;
+  const std::size_t intermediate_dim =
+      n_classes * config.poetbin.rinc.lut_inputs;
+
+  net.add<Dense>(feature_dim, config.net.hidden_dim, rng);
+  net.add<BatchNorm>(config.net.hidden_dim);
+  if (config.binary_hidden && with_intermediate) {
+    net.add<BinarySigmoid>();
+  } else {
+    net.add<Relu>();
+  }
+  built.hidden_layer = net.n_layers() - 1;
+  if (with_intermediate) {
+    net.add<Dense>(config.net.hidden_dim, intermediate_dim, rng);
+    net.add<BinarySigmoid>();
+    built.intermediate_layer = net.n_layers() - 1;
+    // Sparse output wiring (Fig. 4): class c reads only its own P-bit block
+    // of the intermediate layer, so the blocks specialise per class — the
+    // property the student's LUT output layer depends on.
+    net.add<BlockSparseDense>(n_classes, config.poetbin.rinc.lut_inputs, rng);
+  } else {
+    net.add<Dense>(config.net.hidden_dim, n_classes, rng);
+  }
+  return built;
+}
+
+double train_and_score(Sequential& net, const Matrix& train_x,
+                       const std::vector<int>& train_y, const Matrix& test_x,
+                       const std::vector<int>& test_y,
+                       const PipelineConfig& config) {
+  Adam adam(config.net.learning_rate);
+  TrainConfig train_config = config.net.train;
+  train_config.verbose = config.verbose;
+  net.fit(train_x, train_y, adam, train_config);
+  return net.evaluate_accuracy(test_x, test_y);
+}
+
+BitMatrix extract_bits(Sequential& net, const Matrix& inputs,
+                       std::size_t layer_index) {
+  const Matrix activations = net.activations_at(inputs, layer_index);
+  // FE outputs pass through BinarySigmoid (values exactly 0/1); threshold at
+  // 0.5 is robust to any float representation.
+  return binarize_activations(activations.vec(), activations.rows(),
+                              activations.cols(), 0.5f);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  PipelineResult result;
+  Rng rng(config.seed);
+
+  // --- data ---
+  SyntheticSpec spec = config.data;
+  spec.n_examples = config.n_train + config.n_test;
+  ImageDataset all = make_synthetic(spec);
+  Rng shuffle_rng = rng.fork(1);
+  shuffle_dataset(all, shuffle_rng);
+  auto [train_set, test_set] = split_dataset(all, config.n_train);
+
+  const Matrix train_x = images_to_matrix(train_set);
+  const Matrix test_x = images_to_matrix(test_set);
+  const std::vector<int>& train_y = train_set.labels;
+  const std::vector<int>& test_y = test_set.labels;
+
+  // --- A1: vanilla network ---
+  if (config.verbose) std::printf("[pipeline] training A1 (vanilla)\n");
+  Rng init_a1 = rng.fork(2);
+  BuiltNetwork a1 = build_network(config, FeActivation::kRelu,
+                                  /*with_intermediate=*/false, init_a1);
+  result.a1 = train_and_score(a1.net, train_x, train_y, test_x, test_y, config);
+
+  // --- A2: binary feature representation network ---
+  if (config.train_a2_network) {
+    if (config.verbose) std::printf("[pipeline] training A2 (binary features)\n");
+    Rng init_a2 = rng.fork(3);
+    BuiltNetwork a2 = build_network(config, FeActivation::kBinarySigmoid,
+                                    /*with_intermediate=*/false, init_a2);
+    result.a2 =
+        train_and_score(a2.net, train_x, train_y, test_x, test_y, config);
+  } else {
+    result.a2 = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // --- A3: teacher network (binary features + binary intermediate layer) ---
+  if (config.verbose) std::printf("[pipeline] training A3 (teacher)\n");
+  Rng init_a3 = rng.fork(4);
+  BuiltNetwork teacher = build_network(config, FeActivation::kBinarySigmoid,
+                                       /*with_intermediate=*/true, init_a3);
+  result.a3 =
+      train_and_score(teacher.net, train_x, train_y, test_x, test_y, config);
+
+  // --- feature + target extraction from the teacher ---
+  result.train_bits.features =
+      extract_bits(teacher.net, train_x, teacher.feature_layer);
+  result.train_bits.labels = train_y;
+  result.train_bits.n_classes = 10;
+  result.test_bits.features =
+      extract_bits(teacher.net, test_x, teacher.feature_layer);
+  result.test_bits.labels = test_y;
+  result.test_bits.n_classes = 10;
+
+  result.teacher_train_bits =
+      extract_bits(teacher.net, train_x, teacher.intermediate_layer);
+  result.teacher_test_bits =
+      extract_bits(teacher.net, test_x, teacher.intermediate_layer);
+
+  if (config.binary_hidden) {
+    result.hidden_train_bits =
+        extract_bits(teacher.net, train_x, teacher.hidden_layer);
+    result.hidden_test_bits =
+        extract_bits(teacher.net, test_x, teacher.hidden_layer);
+  }
+
+  // --- A4: PoET-BiN student ---
+  if (config.verbose) std::printf("[pipeline] training A4 (PoET-BiN)\n");
+  result.model = PoetBin::train(result.train_bits.features,
+                                result.teacher_train_bits, train_y,
+                                config.poetbin);
+  result.a4 = result.model.accuracy(result.test_bits.features, test_y);
+
+  result.fidelity_train = PoetBin::intermediate_fidelity(
+      result.model.rinc_outputs(result.train_bits.features),
+      result.teacher_train_bits);
+  result.fidelity_test = PoetBin::intermediate_fidelity(
+      result.model.rinc_outputs(result.test_bits.features),
+      result.teacher_test_bits);
+  return result;
+}
+
+namespace {
+
+PipelineConfig base_preset(SyntheticFamily family, std::size_t lut_inputs,
+                           std::size_t n_dts, double scale,
+                           std::uint64_t seed) {
+  PipelineConfig config;
+  config.data.family = family;
+  config.data.seed = seed;
+  config.n_train = static_cast<std::size_t>(2000 * scale);
+  config.n_test = static_cast<std::size_t>(800 * scale);
+  config.net.train.epochs = 8;
+  config.net.train.batch_size = 64;
+  config.poetbin.rinc.lut_inputs = lut_inputs;
+  config.poetbin.rinc.levels = 2;
+  config.poetbin.rinc.total_dts = n_dts;
+  config.poetbin.output.quant_bits = 8;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+PipelineConfig preset_m1(double scale) {
+  return base_preset(SyntheticFamily::kDigits, /*P=*/8, /*DTs=*/32, scale, 101);
+}
+
+PipelineConfig preset_c1(double scale) {
+  PipelineConfig config =
+      base_preset(SyntheticFamily::kTextures, /*P=*/8, /*DTs=*/40, scale, 103);
+  config.net.train.epochs = 10;  // hardest family, give it a little longer
+  return config;
+}
+
+PipelineConfig preset_s1(double scale) {
+  return base_preset(SyntheticFamily::kHouseNumbers, /*P=*/6, /*DTs=*/36, scale,
+                     102);
+}
+
+}  // namespace poetbin

@@ -1,0 +1,89 @@
+// The A1 -> A4 workflow of Fig. 5.
+//
+//  A1 vanilla:  conv FE (ReLU features) + FC classifier, full precision.
+//  A2 binary features: the FE's last activation becomes a binary sigmoid.
+//  A3 teacher:  A2 + an intermediate layer of nc*P binary neurons before the
+//               output layer.
+//  A4 PoET-BiN: every classifier hidden layer and the intermediate layer are
+//               replaced by RINC modules distilled from the teacher's
+//               intermediate bits; the sparse output layer is retrained on
+//               RINC outputs and quantized to q bits.
+//
+// The pipeline trains the three networks on one of the synthetic dataset
+// families, extracts binary features + intermediate targets from the
+// teacher, trains the PoET-BiN student, and reports the four accuracies of
+// Table 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/poetbin.h"
+#include "data/binarize.h"
+#include "data/synthetic.h"
+#include "nn/sequential.h"
+
+namespace poetbin {
+
+struct NetworkConfig {
+  std::size_t conv1_channels = 12;
+  std::size_t conv2_channels = 32;  // 32 channels x 4x4 = 512 binary features
+  std::size_t hidden_dim = 256;
+  double learning_rate = 3e-3;
+  TrainConfig train;  // epochs, batch size, loss, lr decay
+};
+
+struct PipelineConfig {
+  SyntheticSpec data;          // family + total example count + seed
+  std::size_t n_train = 2000;  // first n_train examples after shuffling
+  std::size_t n_test = 800;
+  NetworkConfig net;
+  PoetBinConfig poetbin;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+  // Skip training the A2-only network (A2 is diagnostic; the teacher
+  // subsumes it). When skipped, `a2` is reported as NaN.
+  bool train_a2_network = true;
+  // SS4.1 ablation support: give the teacher's *hidden* layer a binary
+  // sigmoid too and export its bits, so RINC modules can be trained per
+  // hidden neuron instead of per intermediate neuron.
+  bool binary_hidden = false;
+};
+
+struct PipelineResult {
+  double a1 = 0.0;  // vanilla test accuracy
+  double a2 = 0.0;  // binary-feature network test accuracy
+  double a3 = 0.0;  // teacher test accuracy
+  double a4 = 0.0;  // PoET-BiN test accuracy
+
+  // How often the RINC bank reproduces the teacher's intermediate bits.
+  double fidelity_train = 0.0;
+  double fidelity_test = 0.0;
+
+  PoetBin model;
+
+  // Binary features (teacher FE outputs) for both splits — baselines train
+  // on exactly these, mirroring the paper's shared-feature-extractor setup.
+  BinaryDataset train_bits;
+  BinaryDataset test_bits;
+
+  // Teacher intermediate-layer bits (distillation targets / diagnostics).
+  BitMatrix teacher_train_bits;
+  BitMatrix teacher_test_bits;
+
+  // Teacher hidden-layer bits; populated only when config.binary_hidden.
+  BitMatrix hidden_train_bits;
+  BitMatrix hidden_test_bits;
+};
+
+PipelineResult run_pipeline(const PipelineConfig& config);
+
+// Paper-architecture presets (Table 1), mapped onto the synthetic families:
+//   M1 (MNIST -> digits):        P=8, RINC-2, 32 DTs, q=8
+//   C1 (CIFAR-10 -> textures):   P=8, RINC-2, 40 DTs, q=8
+//   S1 (SVHN -> house_numbers):  P=6, RINC-2, 36 DTs, q=8
+// `scale` multiplies the default train/test sizes (1.0 = bench default).
+PipelineConfig preset_m1(double scale = 1.0);
+PipelineConfig preset_c1(double scale = 1.0);
+PipelineConfig preset_s1(double scale = 1.0);
+
+}  // namespace poetbin

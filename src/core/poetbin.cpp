@@ -1,0 +1,281 @@
+#include "core/poetbin.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace poetbin {
+
+float SparseOutputNeuron::activation(std::size_t combo) const {
+  float acc = bias;
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    if ((combo >> j) & 1) acc += weights[j];
+  }
+  return acc;
+}
+
+PoetBin PoetBin::train(const BitMatrix& features,
+                       const BitMatrix& intermediate_targets,
+                       const std::vector<int>& labels,
+                       const PoetBinConfig& config) {
+  const std::size_t n = features.rows();
+  POETBIN_CHECK(intermediate_targets.rows() == n);
+  POETBIN_CHECK(labels.size() == n);
+  const std::size_t n_intermediate = intermediate_targets.cols();
+  POETBIN_CHECK_MSG(n_intermediate == config.n_classes * config.rinc.lut_inputs,
+                    "intermediate layer must have nc x P neurons");
+
+  PoetBin model;
+  model.config_ = config;
+  model.modules_.assign(n_intermediate, RincModule{});
+
+  // Distil one RINC module per intermediate neuron. The problems are
+  // independent, so a static partition over worker threads is deterministic.
+  std::size_t n_threads = config.threads;
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, n_intermediate);
+
+  std::atomic<std::size_t> next_module{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t j = next_module.fetch_add(1);
+      if (j >= n_intermediate) return;
+      model.modules_[j] = RincModule::train(
+          features, intermediate_targets.column(j), /*weights=*/{}, config.rinc);
+    }
+  };
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (config.verbose) {
+    for (std::size_t j = 0; j < n_intermediate; ++j) {
+      std::printf("  RINC %zu/%zu train_err=%.4f\n", j + 1, n_intermediate,
+                  model.modules_[j].train_error());
+    }
+  }
+
+  const BitMatrix rinc_bits = model.rinc_outputs(features);
+  model.retrain_output_layer(rinc_bits, labels);
+  return model;
+}
+
+PoetBin PoetBin::from_parts(PoetBinConfig config,
+                            std::vector<RincModule> modules,
+                            std::vector<SparseOutputNeuron> output_neurons,
+                            QuantizerParams quantizer) {
+  POETBIN_CHECK(modules.size() ==
+                config.n_classes * config.rinc.lut_inputs);
+  POETBIN_CHECK(output_neurons.size() == config.n_classes);
+  const std::size_t n_combos = std::size_t{1} << config.rinc.lut_inputs;
+  for (const auto& neuron : output_neurons) {
+    POETBIN_CHECK(neuron.input_modules.size() == config.rinc.lut_inputs);
+    POETBIN_CHECK(neuron.weights.size() == config.rinc.lut_inputs);
+    POETBIN_CHECK(neuron.codes.size() == n_combos);
+    for (const auto m : neuron.input_modules) {
+      POETBIN_CHECK(m < modules.size());
+    }
+    for (const auto code : neuron.codes) {
+      POETBIN_CHECK(code < quantizer.levels());
+    }
+  }
+  PoetBin model;
+  model.config_ = std::move(config);
+  model.modules_ = std::move(modules);
+  model.output_ = std::move(output_neurons);
+  model.quantizer_ = quantizer;
+  return model;
+}
+
+BitMatrix PoetBin::rinc_outputs(const BitMatrix& features) const {
+  BitMatrix out(features.rows(), modules_.size());
+  for (std::size_t j = 0; j < modules_.size(); ++j) {
+    out.column(j) = modules_[j].eval_dataset(features);
+  }
+  return out;
+}
+
+void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
+                                   const std::vector<int>& labels) {
+  const std::size_t n = rinc_bits.rows();
+  const std::size_t n_classes = config_.n_classes;
+  const std::size_t p = config_.rinc.lut_inputs;
+  const OutputLayerConfig& ocfg = config_.output;
+
+  // Block wiring: output neuron c reads modules [c*P, (c+1)*P).
+  output_.assign(n_classes, SparseOutputNeuron{});
+  Rng rng(ocfg.seed);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    SparseOutputNeuron& neuron = output_[c];
+    neuron.input_modules.resize(p);
+    neuron.weights.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+      neuron.input_modules[j] = c * p + j;
+      neuron.weights[j] =
+          static_cast<float>(rng.gaussian(0.0, std::sqrt(2.0 / p)));
+    }
+    neuron.bias = 0.0f;
+  }
+
+  // Pre-pack each example's P-bit combo per class (bits don't change during
+  // output-layer training).
+  std::vector<std::uint32_t> combos(n * n_classes, 0);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const BitVector& column = rinc_bits.column(c * p + j);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (column.get(i)) combos[i * n_classes + c] |= 1u << j;
+      }
+    }
+  }
+
+  // Full-batch gradient descent on the multi-class squared hinge, with
+  // momentum and exponential LR decay. Each logit depends only on its own
+  // P weights, so gradients stay block-local (the sparse wiring).
+  std::vector<float> weight_velocity(n_classes * p, 0.0f);
+  std::vector<float> bias_velocity(n_classes, 0.0f);
+  double lr = ocfg.learning_rate;
+  const float momentum = 0.9f;
+
+  for (std::size_t epoch = 0; epoch < ocfg.epochs; ++epoch) {
+    std::vector<float> weight_grad(n_classes * p, 0.0f);
+    std::vector<float> bias_grad(n_classes, 0.0f);
+    const float inv_n = 1.0f / static_cast<float>(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < n_classes; ++c) {
+        const std::uint32_t combo = combos[i * n_classes + c];
+        const float logit = output_[c].activation(combo);
+        const float target = (static_cast<std::size_t>(labels[i]) == c) ? 1.0f
+                                                                        : -1.0f;
+        const float hinge = 1.0f - target * logit;
+        if (hinge <= 0.0f) continue;
+        const float grad_logit = -2.0f * hinge * target * inv_n;
+        bias_grad[c] += grad_logit;
+        for (std::size_t j = 0; j < p; ++j) {
+          if ((combo >> j) & 1) weight_grad[c * p + j] += grad_logit;
+        }
+      }
+    }
+
+    const float flr = static_cast<float>(lr);
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      for (std::size_t j = 0; j < p; ++j) {
+        float& vel = weight_velocity[c * p + j];
+        vel = momentum * vel - flr * weight_grad[c * p + j];
+        output_[c].weights[j] += vel;
+      }
+      float& bias_vel = bias_velocity[c];
+      bias_vel = momentum * bias_vel - flr * bias_grad[c];
+      output_[c].bias += bias_vel;
+    }
+    lr *= ocfg.lr_decay;
+  }
+
+  // Shared quantizer scale over all neurons' reachable activations so raw
+  // codes are directly comparable in the hardware argmax.
+  const std::size_t n_combos = std::size_t{1} << p;
+  Matrix activations(n_classes, n_combos);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    for (std::size_t combo = 0; combo < n_combos; ++combo) {
+      activations(c, combo) = output_[c].activation(combo);
+    }
+  }
+  quantizer_ = fit_quantizer(activations, config_.output.quant_bits);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    output_[c].codes.resize(n_combos);
+    for (std::size_t combo = 0; combo < n_combos; ++combo) {
+      output_[c].codes[combo] = quantize_value(activations(c, combo), quantizer_);
+    }
+  }
+}
+
+int PoetBin::predict(const BitVector& example_bits) const {
+  std::size_t best_class = 0;
+  std::uint32_t best_code = 0;
+  for (std::size_t c = 0; c < output_.size(); ++c) {
+    const SparseOutputNeuron& neuron = output_[c];
+    std::size_t combo = 0;
+    for (std::size_t j = 0; j < neuron.input_modules.size(); ++j) {
+      if (modules_[neuron.input_modules[j]].eval(example_bits)) {
+        combo |= std::size_t{1} << j;
+      }
+    }
+    const std::uint32_t code = neuron.codes[combo];
+    // Ties resolve to the lower class index, same rule as the comparator
+    // tree the hardware would instantiate.
+    if (c == 0 || code > best_code) {
+      best_code = code;
+      best_class = c;
+    }
+  }
+  return static_cast<int>(best_class);
+}
+
+std::vector<int> PoetBin::predict_dataset(const BitMatrix& features) const {
+  const std::size_t n = features.rows();
+  const BitMatrix bits = rinc_outputs(features);
+  std::vector<int> predictions(n, 0);
+  const std::size_t p = config_.rinc.lut_inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best_class = 0;
+    std::uint32_t best_code = 0;
+    for (std::size_t c = 0; c < output_.size(); ++c) {
+      std::size_t combo = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (bits.get(i, output_[c].input_modules[j])) combo |= std::size_t{1} << j;
+      }
+      const std::uint32_t code = output_[c].codes[combo];
+      if (c == 0 || code > best_code) {
+        best_code = code;
+        best_class = c;
+      }
+    }
+    predictions[i] = static_cast<int>(best_class);
+  }
+  return predictions;
+}
+
+double PoetBin::accuracy(const BitMatrix& features,
+                         const std::vector<int>& labels) const {
+  const auto predictions = predict_dataset(features);
+  POETBIN_CHECK(predictions.size() == labels.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) / labels.size();
+}
+
+double PoetBin::intermediate_fidelity(const BitMatrix& rinc_bits,
+                                      const BitMatrix& teacher_bits) {
+  POETBIN_CHECK(rinc_bits.rows() == teacher_bits.rows());
+  POETBIN_CHECK(rinc_bits.cols() == teacher_bits.cols());
+  if (rinc_bits.rows() == 0 || rinc_bits.cols() == 0) return 1.0;
+  std::size_t agree = 0;
+  for (std::size_t c = 0; c < rinc_bits.cols(); ++c) {
+    agree += rinc_bits.column(c).xnor_popcount(teacher_bits.column(c));
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(rinc_bits.rows() * rinc_bits.cols());
+}
+
+std::size_t PoetBin::lut_count() const {
+  std::size_t total = 0;
+  for (const auto& module : modules_) total += module.lut_count();
+  total += output_.size() * static_cast<std::size_t>(config_.output.quant_bits);
+  return total;
+}
+
+}  // namespace poetbin

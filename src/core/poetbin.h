@@ -1,0 +1,107 @@
+// PoET-BiN classifier: nc x P RINC modules emulating the teacher's
+// intermediate layer, followed by the sparsely connected, q-bit quantized
+// output layer (§2.2).
+//
+// Each output neuron is wired to exactly P intermediate bits (the block of
+// RINC modules distilled for its class), so its real-valued activation is a
+// function of P bits and is realised in hardware as q LUTs of P inputs.
+// The output layer is retrained on the RINC outputs (not the teacher bits),
+// which is what lets the network adapt to RINC prediction noise — the
+// effect behind the paper's CIFAR-10 accuracy *gain* at stage A4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rinc.h"
+#include "nn/quantize.h"
+#include "util/bit_matrix.h"
+
+namespace poetbin {
+
+struct OutputLayerConfig {
+  int quant_bits = 8;          // q
+  std::size_t epochs = 200;    // full-batch gradient steps
+  double learning_rate = 0.05;
+  double lr_decay = 0.99;
+  std::uint64_t seed = 11;
+};
+
+struct PoetBinConfig {
+  RincConfig rinc;
+  std::size_t n_classes = 10;
+  OutputLayerConfig output;
+  // Worker threads for distilling the nc x P RINC modules (they are
+  // independent problems, so parallel training is deterministic).
+  // 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  bool verbose = false;
+};
+
+// One sparsely connected output neuron: float weights for training, plus the
+// quantized 2^P-entry activation table that ships to hardware.
+struct SparseOutputNeuron {
+  std::vector<std::size_t> input_modules;  // indices into the RINC bank
+  std::vector<float> weights;              // size P
+  float bias = 0.0f;
+  std::vector<std::uint32_t> codes;        // 2^P quantized activations
+
+  float activation(std::size_t combo) const;
+};
+
+class PoetBin {
+ public:
+  PoetBin() = default;
+
+  // `intermediate_targets` holds the teacher's intermediate-layer bits
+  // (n x nc*P) used to distil one RINC module per column; `labels` are the
+  // true classes used to retrain the output layer on the RINC outputs.
+  static PoetBin train(const BitMatrix& features,
+                       const BitMatrix& intermediate_targets,
+                       const std::vector<int>& labels,
+                       const PoetBinConfig& config);
+
+  // Reconstruction from stored artefacts (deserialization). Validates the
+  // nc x P wiring and code-table sizes.
+  static PoetBin from_parts(PoetBinConfig config,
+                            std::vector<RincModule> modules,
+                            std::vector<SparseOutputNeuron> output_neurons,
+                            QuantizerParams quantizer);
+
+  std::size_t n_classes() const { return output_.size(); }
+  std::size_t n_modules() const { return modules_.size(); }
+  std::size_t lut_inputs() const { return config_.rinc.lut_inputs; }
+  int quant_bits() const { return config_.output.quant_bits; }
+
+  const std::vector<RincModule>& modules() const { return modules_; }
+  const std::vector<SparseOutputNeuron>& output_neurons() const { return output_; }
+  const QuantizerParams& quantizer() const { return quantizer_; }
+
+  // Intermediate bits produced by the RINC bank (n x nc*P).
+  BitMatrix rinc_outputs(const BitMatrix& features) const;
+
+  int predict(const BitVector& example_bits) const;
+  std::vector<int> predict_dataset(const BitMatrix& features) const;
+  double accuracy(const BitMatrix& features, const std::vector<int>& labels) const;
+
+  // Fraction of intermediate bits where RINC output matches the teacher
+  // target (diagnostic for distillation quality).
+  static double intermediate_fidelity(const BitMatrix& rinc_bits,
+                                      const BitMatrix& teacher_bits);
+
+  // Total LUT count before 8->6 decomposition: RINC LUTs + q per output
+  // neuron (the paper's q x nc output-layer cost).
+  std::size_t lut_count() const;
+
+ private:
+  PoetBinConfig config_;
+  std::vector<RincModule> modules_;        // nc * P, module j targets column j
+  std::vector<SparseOutputNeuron> output_; // nc neurons
+  QuantizerParams quantizer_;              // shared scale -> comparable codes
+
+  void retrain_output_layer(const BitMatrix& rinc_bits,
+                            const std::vector<int>& labels);
+};
+
+}  // namespace poetbin

@@ -1,0 +1,80 @@
+// RINC convolution — the paper's §6 future-work item ("in future work, we
+// will implement the convolutional layers with RINC modules").
+//
+// A binarized conv layer maps a C x H x W binary feature map to out_c
+// binary output maps, where each output bit is a boolean function of a
+// C x k x k patch. That function is exactly a wide binary neuron, so it is
+// distilled into one RINC module per *output channel* (weight sharing: the
+// same module is applied at every spatial position, mirroring how a conv
+// kernel is shared). Training pools the patches of all examples and all
+// positions into one distillation dataset per channel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rinc.h"
+#include "util/bit_matrix.h"
+
+namespace poetbin {
+
+struct BinShape3 {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t flat() const { return channels * height * width; }
+  bool operator==(const BinShape3&) const = default;
+};
+
+struct RincConvConfig {
+  std::size_t out_channels = 8;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;  // out-of-frame bits read as 0
+  RincConfig rinc;          // per-channel module shape
+  // Cap on pooled (example x position) patch rows used for training each
+  // channel's module; rows are subsampled deterministically beyond it.
+  std::size_t max_train_patches = 200000;
+};
+
+class RincConvLayer {
+ public:
+  RincConvLayer() = default;
+
+  // `inputs` holds n examples of in_shape.flat() bits each (channel-major);
+  // `targets` holds the binarized teacher conv outputs, n examples of
+  // out_channels * out_h * out_w bits (channel-major), where out_h/out_w
+  // follow from kernel/stride/padding.
+  static RincConvLayer train(const BitMatrix& inputs, BinShape3 in_shape,
+                             const BitMatrix& targets,
+                             const RincConvConfig& config);
+
+  BinShape3 input_shape() const { return in_shape_; }
+  BinShape3 output_shape() const { return out_shape_; }
+  std::size_t patch_bits() const {
+    return in_shape_.channels * config_.kernel * config_.kernel;
+  }
+
+  // Applies the layer to n examples; returns n x out_shape().flat() bits.
+  BitMatrix eval_dataset(const BitMatrix& inputs) const;
+
+  const std::vector<RincModule>& channel_modules() const { return modules_; }
+  // LUTs for one instantiation of every channel module. In hardware the
+  // modules are replicated per position (fully parallel single-cycle conv)
+  // or time-multiplexed; both costs derive from this count.
+  std::size_t lut_count_per_position() const;
+
+  // Fraction of output bits matching the targets (distillation fidelity).
+  double fidelity(const BitMatrix& inputs, const BitMatrix& targets) const;
+
+ private:
+  // Patch rows (one per example x position) for the whole dataset.
+  BitMatrix gather_patches(const BitMatrix& inputs) const;
+
+  BinShape3 in_shape_;
+  BinShape3 out_shape_;
+  RincConvConfig config_;
+  std::vector<RincModule> modules_;  // one per output channel
+};
+
+}  // namespace poetbin

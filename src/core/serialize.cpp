@@ -1,0 +1,169 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+namespace {
+
+std::string bits_to_string(const BitVector& bits) {
+  return bits.to_string();  // bit 0 first
+}
+
+BitVector bits_from_string(const std::string& text) {
+  BitVector bits(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    POETBIN_CHECK_MSG(text[i] == '0' || text[i] == '1',
+                      "malformed bit string in model file");
+    if (text[i] == '1') bits.set(i, true);
+  }
+  return bits;
+}
+
+void save_module(const RincModule& module, std::ostream& out) {
+  if (module.is_leaf()) {
+    const Lut& lut = module.leaf_lut();
+    out << "leaf " << lut.arity();
+    for (const auto input : lut.inputs()) out << ' ' << input;
+    out << ' ' << bits_to_string(lut.table()) << '\n';
+    return;
+  }
+  out << "node " << module.children().size();
+  for (const auto weight : module.mat().weights()) out << ' ' << weight;
+  out << '\n';
+  for (const auto& child : module.children()) save_module(child, out);
+}
+
+RincModule load_module(std::istream& in) {
+  std::string kind;
+  POETBIN_CHECK_MSG(static_cast<bool>(in >> kind), "truncated model file");
+  if (kind == "leaf") {
+    std::size_t arity = 0;
+    POETBIN_CHECK(static_cast<bool>(in >> arity));
+    POETBIN_CHECK_MSG(arity >= 1 && arity <= 16, "bad leaf arity");
+    std::vector<std::size_t> inputs(arity);
+    for (auto& input : inputs) POETBIN_CHECK(static_cast<bool>(in >> input));
+    std::string table_text;
+    POETBIN_CHECK(static_cast<bool>(in >> table_text));
+    POETBIN_CHECK_MSG(table_text.size() == (std::size_t{1} << arity),
+                      "leaf table size mismatch");
+    return RincModule::make_leaf(
+        Lut(std::move(inputs), bits_from_string(table_text)));
+  }
+  POETBIN_CHECK_MSG(kind == "node", "expected 'leaf' or 'node'");
+  std::size_t fanin = 0;
+  POETBIN_CHECK(static_cast<bool>(in >> fanin));
+  POETBIN_CHECK_MSG(fanin >= 1 && fanin <= 20, "bad node fanin");
+  std::vector<double> weights(fanin);
+  for (auto& weight : weights) POETBIN_CHECK(static_cast<bool>(in >> weight));
+  std::vector<RincModule> children;
+  children.reserve(fanin);
+  for (std::size_t c = 0; c < fanin; ++c) children.push_back(load_module(in));
+  return RincModule::make_internal(std::move(children),
+                                   MatModule(std::move(weights)));
+}
+
+}  // namespace
+
+void save_model(const PoetBin& model, std::ostream& out) {
+  out << "poetbin-model v1\n";
+  out << "config " << model.lut_inputs() << ' '
+      << (model.modules().empty() ? 0 : model.modules().front().level()) << ' '
+      << (model.modules().empty() ? 0 : model.modules().front().leaf_dt_count())
+      << ' ' << model.n_classes() << ' ' << model.quant_bits() << '\n';
+  const QuantizerParams& q = model.quantizer();
+  out << "quantizer " << q.bits << ' ' << q.min_value << ' ' << q.max_value
+      << '\n';
+  for (std::size_t m = 0; m < model.n_modules(); ++m) {
+    out << "module " << m << '\n';
+    save_module(model.modules()[m], out);
+  }
+  for (std::size_t c = 0; c < model.n_classes(); ++c) {
+    const SparseOutputNeuron& neuron = model.output_neurons()[c];
+    out << "output " << c << ' ' << neuron.bias;
+    for (const auto module_index : neuron.input_modules) {
+      out << ' ' << module_index;
+    }
+    for (const auto weight : neuron.weights) out << ' ' << weight;
+    for (const auto code : neuron.codes) out << ' ' << code;
+    out << '\n';
+  }
+}
+
+PoetBin load_model(std::istream& in) {
+  std::string token;
+  std::string version;
+  POETBIN_CHECK(static_cast<bool>(in >> token >> version));
+  POETBIN_CHECK_MSG(token == "poetbin-model" && version == "v1",
+                    "unrecognised model file header");
+
+  PoetBinConfig config;
+  std::size_t levels = 0;
+  std::size_t total_dts = 0;
+  POETBIN_CHECK(static_cast<bool>(in >> token));
+  POETBIN_CHECK(token == "config");
+  POETBIN_CHECK(static_cast<bool>(
+      in >> config.rinc.lut_inputs >> levels >> total_dts >>
+      config.n_classes >> config.output.quant_bits));
+  config.rinc.levels = levels;
+  config.rinc.total_dts = total_dts;
+
+  QuantizerParams quantizer;
+  POETBIN_CHECK(static_cast<bool>(in >> token));
+  POETBIN_CHECK(token == "quantizer");
+  POETBIN_CHECK(static_cast<bool>(
+      in >> quantizer.bits >> quantizer.min_value >> quantizer.max_value));
+  POETBIN_CHECK_MSG(quantizer.bits == config.output.quant_bits,
+                    "quantizer/config bit mismatch");
+
+  const std::size_t n_modules = config.n_classes * config.rinc.lut_inputs;
+  std::vector<RincModule> modules;
+  modules.reserve(n_modules);
+  for (std::size_t m = 0; m < n_modules; ++m) {
+    std::size_t index = 0;
+    POETBIN_CHECK(static_cast<bool>(in >> token >> index));
+    POETBIN_CHECK_MSG(token == "module" && index == m,
+                      "module records out of order");
+    modules.push_back(load_module(in));
+  }
+
+  std::vector<SparseOutputNeuron> output(config.n_classes);
+  const std::size_t n_combos = std::size_t{1} << config.rinc.lut_inputs;
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    std::size_t index = 0;
+    SparseOutputNeuron& neuron = output[c];
+    POETBIN_CHECK(static_cast<bool>(in >> token >> index >> neuron.bias));
+    POETBIN_CHECK_MSG(token == "output" && index == c,
+                      "output records out of order");
+    neuron.input_modules.resize(config.rinc.lut_inputs);
+    neuron.weights.resize(config.rinc.lut_inputs);
+    neuron.codes.resize(n_combos);
+    for (auto& m : neuron.input_modules) POETBIN_CHECK(static_cast<bool>(in >> m));
+    for (auto& w : neuron.weights) POETBIN_CHECK(static_cast<bool>(in >> w));
+    for (auto& code : neuron.codes) POETBIN_CHECK(static_cast<bool>(in >> code));
+  }
+
+  return PoetBin::from_parts(std::move(config), std::move(modules),
+                             std::move(output), quantizer);
+}
+
+bool save_model_file(const PoetBin& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_model(model, out);
+  return static_cast<bool>(out);
+}
+
+bool load_model_file(PoetBin& model, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  model = load_model(in);
+  return true;
+}
+
+}  // namespace poetbin

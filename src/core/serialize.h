@@ -1,0 +1,33 @@
+// Plain-text serialization of trained models.
+//
+// A trained PoET-BiN classifier is just LUT contents and wiring — a few
+// kilobytes — so a human-readable line format is both debuggable and
+// diff-friendly. The format is versioned; loaders validate structure and
+// abort on malformed input rather than constructing broken models.
+//
+//   poetbin-model v1
+//   config <P> <L> <total_dts> <n_classes> <qbits>
+//   quantizer <bits> <min> <max>
+//   module <index>
+//     leaf <arity> <input...> <table-bits>
+//     node <fanin>   ... children follow depth-first ... <mat-table-bits>
+//   output <class> <bias> <weight...> <codes...>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/poetbin.h"
+#include "core/rinc.h"
+
+namespace poetbin {
+
+void save_model(const PoetBin& model, std::ostream& out);
+// Aborts (POETBIN_CHECK) on malformed input.
+PoetBin load_model(std::istream& in);
+
+// Convenience file wrappers; return false if the file cannot be opened.
+bool save_model_file(const PoetBin& model, const std::string& path);
+bool load_model_file(PoetBin& model, const std::string& path);
+
+}  // namespace poetbin

@@ -1,0 +1,68 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace poetbin {
+
+void shift_image(float* image, std::size_t channels, std::size_t height,
+                 std::size_t width, int shift_row, int shift_col) {
+  const std::size_t plane = height * width;
+  std::vector<float> original(image, image + channels * plane);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t r = 0; r < height; ++r) {
+      for (std::size_t col = 0; col < width; ++col) {
+        const long src_r = static_cast<long>(r) - shift_row;
+        const long src_c = static_cast<long>(col) - shift_col;
+        float value = 0.0f;  // zero padding outside the original frame
+        if (src_r >= 0 && src_c >= 0 && src_r < static_cast<long>(height) &&
+            src_c < static_cast<long>(width)) {
+          value = original[c * plane + static_cast<std::size_t>(src_r) * width +
+                           static_cast<std::size_t>(src_c)];
+        }
+        image[c * plane + r * width + col] = value;
+      }
+    }
+  }
+}
+
+void flip_image_horizontal(float* image, std::size_t channels,
+                           std::size_t height, std::size_t width) {
+  const std::size_t plane = height * width;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t r = 0; r < height; ++r) {
+      float* row = image + c * plane + r * width;
+      std::reverse(row, row + width);
+    }
+  }
+}
+
+ImageDataset augment_dataset(const ImageDataset& dataset,
+                             const AugmentConfig& config) {
+  ImageDataset augmented = dataset;
+  Rng rng(config.seed);
+  const int pad = static_cast<int>(config.padding);
+  for (std::size_t i = 0; i < augmented.size(); ++i) {
+    float* image = augmented.image(i);
+    if (pad > 0) {
+      // Pad-and-crop == shift by a uniform offset in [-pad, pad].
+      const int shift_row =
+          static_cast<int>(rng.next_below(2 * config.padding + 1)) - pad;
+      const int shift_col =
+          static_cast<int>(rng.next_below(2 * config.padding + 1)) - pad;
+      if (shift_row != 0 || shift_col != 0) {
+        shift_image(image, augmented.channels, augmented.height,
+                    augmented.width, shift_row, shift_col);
+      }
+    }
+    if (config.horizontal_flip && rng.next_bool()) {
+      flip_image_horizontal(image, augmented.channels, augmented.height,
+                            augmented.width);
+    }
+  }
+  return augmented;
+}
+
+}  // namespace poetbin

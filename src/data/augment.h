@@ -1,0 +1,33 @@
+// Image augmentation.
+//
+// The paper uses no augmentation "except for padding in CIFAR-10" — i.e.
+// pad-and-random-crop, the standard CIFAR recipe. We provide exactly that
+// plus horizontal flips (off by default to match the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace poetbin {
+
+struct AugmentConfig {
+  // Pad by `padding` pixels on every side, then crop back at a random
+  // offset (pad-and-crop translation augmentation).
+  std::size_t padding = 2;
+  bool horizontal_flip = false;
+  std::uint64_t seed = 51;
+};
+
+// Returns an augmented copy with one randomly shifted (and possibly
+// flipped) variant per input example. Labels are preserved.
+ImageDataset augment_dataset(const ImageDataset& dataset,
+                             const AugmentConfig& config);
+
+// In-place single-image ops, exposed for tests.
+void shift_image(float* image, std::size_t channels, std::size_t height,
+                 std::size_t width, int shift_row, int shift_col);
+void flip_image_horizontal(float* image, std::size_t channels,
+                           std::size_t height, std::size_t width);
+
+}  // namespace poetbin

@@ -1,0 +1,37 @@
+#include "data/binarize.h"
+
+namespace poetbin {
+
+BitMatrix binarize_activations(const std::vector<float>& activations,
+                               std::size_t n_rows, std::size_t n_cols,
+                               float threshold) {
+  POETBIN_CHECK(activations.size() == n_rows * n_cols);
+  BitMatrix bits(n_rows, n_cols);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const float* row = activations.data() + r * n_cols;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (row[c] >= threshold) bits.set(r, c, true);
+    }
+  }
+  return bits;
+}
+
+BitVector pack_targets(const std::vector<int>& values) {
+  BitVector out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) out.set(i, true);
+  }
+  return out;
+}
+
+std::vector<double> column_means(const BitMatrix& bits) {
+  std::vector<double> means(bits.cols(), 0.0);
+  if (bits.rows() == 0) return means;
+  for (std::size_t c = 0; c < bits.cols(); ++c) {
+    means[c] = static_cast<double>(bits.column(c).popcount()) /
+               static_cast<double>(bits.rows());
+  }
+  return means;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,346 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace poetbin {
+
+namespace {
+
+constexpr std::size_t kSide = 16;
+
+// 7x5 dot-matrix font for digits 0-9; '1' marks an on-pixel.
+// Standard seven-segment-like shapes so classes are visually distinct but
+// share strokes (e.g. 3/8/9), which gives the classifier a realistic
+// confusion structure.
+constexpr std::array<const char*, 10> kDigitFont = {
+    // 0
+    "01110"
+    "10001"
+    "10011"
+    "10101"
+    "11001"
+    "10001"
+    "01110",
+    // 1
+    "00100"
+    "01100"
+    "00100"
+    "00100"
+    "00100"
+    "00100"
+    "01110",
+    // 2
+    "01110"
+    "10001"
+    "00001"
+    "00110"
+    "01000"
+    "10000"
+    "11111",
+    // 3
+    "01110"
+    "10001"
+    "00001"
+    "00110"
+    "00001"
+    "10001"
+    "01110",
+    // 4
+    "00010"
+    "00110"
+    "01010"
+    "10010"
+    "11111"
+    "00010"
+    "00010",
+    // 5
+    "11111"
+    "10000"
+    "11110"
+    "00001"
+    "00001"
+    "10001"
+    "01110",
+    // 6
+    "00110"
+    "01000"
+    "10000"
+    "11110"
+    "10001"
+    "10001"
+    "01110",
+    // 7
+    "11111"
+    "00001"
+    "00010"
+    "00100"
+    "01000"
+    "01000"
+    "01000",
+    // 8
+    "01110"
+    "10001"
+    "10001"
+    "01110"
+    "10001"
+    "10001"
+    "01110",
+    // 9
+    "01110"
+    "10001"
+    "10001"
+    "01111"
+    "00001"
+    "00010"
+    "01100",
+};
+
+float clampf(float v, float lo, float hi) { return std::max(lo, std::min(hi, v)); }
+
+// Paints a digit glyph onto a kSide x kSide single-channel canvas with the
+// given top-left offset, per-example scale wobble and stroke intensity.
+void paint_digit(float* canvas, int digit, int off_row, int off_col,
+                 double scale_r, double scale_c, float intensity, Rng& rng,
+                 double dropout) {
+  const char* glyph = kDigitFont[static_cast<std::size_t>(digit)];
+  for (int gr = 0; gr < 7; ++gr) {
+    for (int gc = 0; gc < 5; ++gc) {
+      if (glyph[gr * 5 + gc] != '1') continue;
+      if (dropout > 0.0 && rng.next_bool(dropout)) continue;  // broken stroke
+      // Each glyph cell covers a ~scale x scale block of pixels.
+      const int r0 = off_row + static_cast<int>(std::lround(gr * scale_r));
+      const int c0 = off_col + static_cast<int>(std::lround(gc * scale_c));
+      const int r1 = off_row + static_cast<int>(std::lround((gr + 1) * scale_r));
+      const int c1 = off_col + static_cast<int>(std::lround((gc + 1) * scale_c));
+      for (int r = r0; r < std::max(r1, r0 + 1); ++r) {
+        for (int c = c0; c < std::max(c1, c0 + 1); ++c) {
+          if (r < 0 || c < 0 || r >= static_cast<int>(kSide) ||
+              c >= static_cast<int>(kSide)) {
+            continue;
+          }
+          canvas[r * kSide + c] =
+              clampf(canvas[r * kSide + c] + intensity, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+}
+
+ImageDataset make_empty(std::size_t channels, std::size_t n_examples) {
+  ImageDataset dataset;
+  dataset.channels = channels;
+  dataset.height = kSide;
+  dataset.width = kSide;
+  dataset.n_classes = 10;
+  dataset.pixels.assign(n_examples * channels * kSide * kSide, 0.0f);
+  dataset.labels.assign(n_examples, 0);
+  return dataset;
+}
+
+void add_noise(float* image, std::size_t size, double stddev, Rng& rng) {
+  for (std::size_t i = 0; i < size; ++i) {
+    image[i] = clampf(image[i] + static_cast<float>(rng.gaussian(0.0, stddev)),
+                      0.0f, 1.0f);
+  }
+}
+
+// Soft elliptical blob used for background clutter.
+void paint_blob(float* canvas, double center_r, double center_c, double radius,
+                float intensity) {
+  for (std::size_t r = 0; r < kSide; ++r) {
+    for (std::size_t c = 0; c < kSide; ++c) {
+      const double dr = (static_cast<double>(r) - center_r) / radius;
+      const double dc = (static_cast<double>(c) - center_c) / radius;
+      const double d2 = dr * dr + dc * dc;
+      if (d2 < 1.0) {
+        canvas[r * kSide + c] = clampf(
+            canvas[r * kSide + c] + intensity * static_cast<float>(1.0 - d2),
+            0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ImageDataset make_digits(std::size_t n_examples, std::uint64_t seed, double noise) {
+  ImageDataset dataset = make_empty(/*channels=*/1, n_examples);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_examples; ++i) {
+    const int digit = static_cast<int>(rng.next_below(10));
+    dataset.labels[i] = digit;
+    float* image = dataset.image(i);
+
+    const double scale_r = rng.uniform(1.5, 1.9);  // 7 rows -> ~10-13 px
+    const double scale_c = rng.uniform(1.8, 2.3);  // 5 cols -> ~9-11 px
+    const int max_row = static_cast<int>(kSide - std::lround(7 * scale_r));
+    const int max_col = static_cast<int>(kSide - std::lround(5 * scale_c));
+    const int off_row = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(std::max(1, max_row + 1))));
+    const int off_col = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(std::max(1, max_col + 1))));
+    const float intensity = static_cast<float>(rng.uniform(0.75, 1.0));
+
+    paint_digit(image, digit, off_row, off_col, scale_r, scale_c, intensity, rng,
+                /*dropout=*/0.02);
+    add_noise(image, kSide * kSide, noise, rng);
+  }
+  return dataset;
+}
+
+ImageDataset make_house_numbers(std::size_t n_examples, std::uint64_t seed,
+                                double noise) {
+  ImageDataset dataset = make_empty(/*channels=*/3, n_examples);
+  Rng rng(seed);
+  const std::size_t plane = kSide * kSide;
+  std::vector<float> glyph_plane(plane);
+
+  for (std::size_t i = 0; i < n_examples; ++i) {
+    const int digit = static_cast<int>(rng.next_below(10));
+    dataset.labels[i] = digit;
+    float* image = dataset.image(i);
+
+    // Background: a base colour plus 2-4 clutter blobs per channel group.
+    const float bg[3] = {static_cast<float>(rng.uniform(0.0, 0.45)),
+                         static_cast<float>(rng.uniform(0.0, 0.45)),
+                         static_cast<float>(rng.uniform(0.0, 0.45))};
+    for (int ch = 0; ch < 3; ++ch) {
+      std::fill(image + ch * plane, image + (ch + 1) * plane, bg[ch]);
+    }
+    const std::size_t n_blobs = 2 + rng.next_below(3);
+    for (std::size_t b = 0; b < n_blobs; ++b) {
+      const double cr = rng.uniform(0.0, kSide);
+      const double cc = rng.uniform(0.0, kSide);
+      const double radius = rng.uniform(2.0, 5.0);
+      for (int ch = 0; ch < 3; ++ch) {
+        paint_blob(image + ch * plane, cr, cc, radius,
+                   static_cast<float>(rng.uniform(-0.25, 0.3)));
+      }
+    }
+
+    // Distractor: fragment of a *different* digit near the border, as in
+    // SVHN's multi-digit crops.
+    std::fill(glyph_plane.begin(), glyph_plane.end(), 0.0f);
+    const int distractor = static_cast<int>(rng.next_below(10));
+    const int side_off = rng.next_bool() ? -4 : static_cast<int>(kSide) - 4;
+    paint_digit(glyph_plane.data(), distractor, 2, side_off, 1.6, 2.0, 0.5f, rng,
+                0.3);
+
+    // Main digit, centred-ish, painted in its own foreground colour.
+    const double scale_r = rng.uniform(1.4, 1.8);
+    const double scale_c = rng.uniform(1.7, 2.2);
+    const int off_row = 1 + static_cast<int>(rng.next_below(3));
+    const int off_col = 2 + static_cast<int>(rng.next_below(3));
+    paint_digit(glyph_plane.data(), digit, off_row, off_col, scale_r, scale_c,
+                1.0f, rng, 0.05);
+
+    const float fg[3] = {static_cast<float>(rng.uniform(0.5, 1.0)),
+                         static_cast<float>(rng.uniform(0.5, 1.0)),
+                         static_cast<float>(rng.uniform(0.5, 1.0))};
+    for (int ch = 0; ch < 3; ++ch) {
+      float* channel = image + ch * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        channel[p] = clampf(channel[p] + glyph_plane[p] * fg[ch], 0.0f, 1.0f);
+      }
+    }
+    add_noise(image, 3 * plane, noise, rng);
+  }
+  return dataset;
+}
+
+ImageDataset make_textures(std::size_t n_examples, std::uint64_t seed,
+                           double noise) {
+  ImageDataset dataset = make_empty(/*channels=*/3, n_examples);
+  Rng rng(seed);
+  const std::size_t plane = kSide * kSide;
+  const double pi = 3.14159265358979323846;
+
+  for (std::size_t i = 0; i < n_examples; ++i) {
+    const int label = static_cast<int>(rng.next_below(10));
+    dataset.labels[i] = label;
+    float* image = dataset.image(i);
+
+    // Class k defines a grating orientation, spatial frequency and a colour
+    // tilt; instances jitter all three plus phase, so no single pixel is
+    // class-determining (CIFAR-like global statistics). The jitters are
+    // wide enough that neighbouring classes overlap — this family must be
+    // the hardest of the three, mirroring CIFAR-10's role in the paper.
+    const double orientation =
+        (label % 5) * (pi / 5.0) + rng.gaussian(0.0, 0.22);
+    const double frequency =
+        (label < 5 ? 0.62 : 0.88) + rng.gaussian(0.0, 0.09);
+    const double phase = rng.uniform(0.0, 2.0 * pi);
+    const double colour_tilt = (label % 3) * 0.35 + rng.gaussian(0.0, 0.18);
+
+    const double dir_r = std::sin(orientation);
+    const double dir_c = std::cos(orientation);
+    for (std::size_t r = 0; r < kSide; ++r) {
+      for (std::size_t c = 0; c < kSide; ++c) {
+        const double t =
+            frequency * (dir_r * static_cast<double>(r) +
+                         dir_c * static_cast<double>(c)) +
+            phase;
+        const float base = static_cast<float>(0.5 + 0.4 * std::sin(t));
+        image[0 * plane + r * kSide + c] =
+            clampf(base * static_cast<float>(1.0 - 0.3 * colour_tilt), 0.f, 1.f);
+        image[1 * plane + r * kSide + c] =
+            clampf(base * static_cast<float>(0.7 + 0.2 * colour_tilt), 0.f, 1.f);
+        image[2 * plane + r * kSide + c] =
+            clampf(static_cast<float>(0.5 + 0.4 * std::cos(t)) *
+                       static_cast<float>(0.6 + 0.25 * colour_tilt),
+                   0.f, 1.f);
+      }
+    }
+
+    // Blob occluders mimic object-vs-background variation; even-numbered
+    // classes get one extra blob.
+    const std::size_t n_blobs = 2 + rng.next_below(3) + (label % 2 == 0 ? 1 : 0);
+    for (std::size_t b = 0; b < n_blobs; ++b) {
+      const double cr = rng.uniform(2.0, kSide - 2.0);
+      const double cc = rng.uniform(2.0, kSide - 2.0);
+      const double radius = rng.uniform(1.5, 4.5);
+      const int channel = static_cast<int>(rng.next_below(3));
+      paint_blob(image + channel * plane, cr, cc, radius,
+                 static_cast<float>(rng.uniform(-0.55, 0.55)));
+    }
+    add_noise(image, 3 * plane, noise, rng);
+  }
+  return dataset;
+}
+
+ImageDataset make_synthetic(const SyntheticSpec& spec) {
+  switch (spec.family) {
+    case SyntheticFamily::kDigits:
+      return make_digits(spec.n_examples, spec.seed, spec.noise);
+    case SyntheticFamily::kHouseNumbers:
+      return make_house_numbers(spec.n_examples, spec.seed, spec.noise);
+    case SyntheticFamily::kTextures:
+      return make_textures(spec.n_examples, spec.seed, spec.noise);
+  }
+  POETBIN_CHECK_MSG(false, "unknown synthetic family");
+}
+
+const char* family_name(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kDigits: return "digits";
+    case SyntheticFamily::kHouseNumbers: return "house_numbers";
+    case SyntheticFamily::kTextures: return "textures";
+  }
+  return "?";
+}
+
+const char* family_paper_dataset(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kDigits: return "MNIST";
+    case SyntheticFamily::kHouseNumbers: return "SVHN";
+    case SyntheticFamily::kTextures: return "CIFAR-10";
+  }
+  return "?";
+}
+
+}  // namespace poetbin

@@ -1,0 +1,179 @@
+#include "dt/classic_dt.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "dt/entropy.h"
+#include "util/check.h"
+
+namespace poetbin {
+
+ClassicDt ClassicDt::train(const BitMatrix& features, const BitVector& targets,
+                           std::span<const double> weights,
+                           const ClassicDtConfig& config) {
+  const std::size_t n = features.rows();
+  POETBIN_CHECK(targets.size() == n);
+  POETBIN_CHECK(n > 0);
+
+  std::vector<double> uniform;
+  if (weights.empty()) {
+    uniform.assign(n, 1.0 / static_cast<double>(n));
+    weights = uniform;
+  }
+  POETBIN_CHECK(weights.size() == n);
+  const double root_weight =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  ClassicDt tree;
+  std::vector<std::size_t> examples(n);
+  std::iota(examples.begin(), examples.end(), std::size_t{0});
+  std::vector<bool> used_on_path(features.cols(), false);
+  tree.root_ = tree.build(features, targets, weights, examples, used_on_path,
+                          /*depth=*/0, config, root_weight);
+  return tree;
+}
+
+int ClassicDt::build(const BitMatrix& features, const BitVector& targets,
+                     std::span<const double> weights,
+                     std::vector<std::size_t>& examples,
+                     std::vector<bool>& used_on_path, std::size_t depth,
+                     const ClassicDtConfig& config, double root_weight) {
+  double mass0 = 0.0;
+  double mass1 = 0.0;
+  for (const auto i : examples) {
+    (targets.get(i) ? mass1 : mass0) += weights[i];
+  }
+  const double node_weight = mass0 + mass1;
+  const bool majority = mass0 <= mass1;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.label = majority;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (depth >= config.max_depth || mass0 == 0.0 || mass1 == 0.0 ||
+      node_weight < config.min_node_weight_fraction * root_weight ||
+      examples.empty()) {
+    return make_leaf();
+  }
+
+  // Pick the feature minimising the weighted entropy of the two children.
+  double best_entropy = std::numeric_limits<double>::infinity();
+  std::size_t best_feature = features.cols();
+  for (std::size_t f = 0; f < features.cols(); ++f) {
+    if (used_on_path[f]) continue;
+    const BitVector& column = features.column(f);
+    double c0[2] = {0.0, 0.0};
+    double c1[2] = {0.0, 0.0};
+    for (const auto i : examples) {
+      const bool bit = column.get(i);
+      const bool target = targets.get(i);
+      (bit ? c1 : c0)[target ? 1 : 0] += weights[i];
+    }
+    const double split_entropy = weighted_node_entropy(c0[0], c0[1]) +
+                                 weighted_node_entropy(c1[0], c1[1]);
+    if (split_entropy < best_entropy) {
+      best_entropy = split_entropy;
+      best_feature = f;
+    }
+  }
+  if (best_feature >= features.cols()) return make_leaf();
+
+  // No-gain split -> leaf (prevents useless growth on constant columns).
+  const double parent_entropy = weighted_node_entropy(mass0, mass1);
+  if (best_entropy >= parent_entropy - 1e-12) return make_leaf();
+
+  std::vector<std::size_t> left_examples;
+  std::vector<std::size_t> right_examples;
+  const BitVector& column = features.column(best_feature);
+  for (const auto i : examples) {
+    (column.get(i) ? right_examples : left_examples).push_back(i);
+  }
+  if (left_examples.empty() || right_examples.empty()) return make_leaf();
+
+  used_on_path[best_feature] = true;
+  const int left = build(features, targets, weights, left_examples,
+                         used_on_path, depth + 1, config, root_weight);
+  const int right = build(features, targets, weights, right_examples,
+                          used_on_path, depth + 1, config, root_weight);
+  used_on_path[best_feature] = false;
+
+  Node node;
+  node.feature = best_feature;
+  node.left = left;
+  node.right = right;
+  node.label = majority;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+bool ClassicDt::eval(const BitVector& example_bits) const {
+  POETBIN_CHECK(root_ >= 0);
+  int cursor = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(cursor)];
+    if (node.feature == Node::kLeaf) return node.label;
+    cursor = example_bits.get(node.feature) ? node.right : node.left;
+  }
+}
+
+BitVector ClassicDt::eval_dataset(const BitMatrix& features) const {
+  BitVector out(features.rows());
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    int cursor = root_;
+    for (;;) {
+      const Node& node = nodes_[static_cast<std::size_t>(cursor)];
+      if (node.feature == Node::kLeaf) {
+        if (node.label) out.set(i, true);
+        break;
+      }
+      cursor = features.get(i, node.feature) ? node.right : node.left;
+    }
+  }
+  return out;
+}
+
+std::size_t ClassicDt::leaf_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.feature == Node::kLeaf) ++count;
+  }
+  return count;
+}
+
+std::size_t ClassicDt::depth_below(int node) const {
+  if (node < 0) return 0;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.feature == Node::kLeaf) return 0;
+  return 1 + std::max(depth_below(n.left), depth_below(n.right));
+}
+
+std::size_t ClassicDt::depth() const { return depth_below(root_); }
+
+std::size_t ClassicDt::distinct_features() const {
+  std::set<std::size_t> features;
+  for (const auto& node : nodes_) {
+    if (node.feature != Node::kLeaf) features.insert(node.feature);
+  }
+  return features.size();
+}
+
+double ClassicDt::weighted_error(const BitMatrix& features,
+                                 const BitVector& targets,
+                                 std::span<const double> weights) const {
+  const BitVector predictions = eval_dataset(features);
+  double error = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    total += w;
+    if (predictions.get(i) != targets.get(i)) error += w;
+  }
+  return total > 0.0 ? error / total : 0.0;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,68 @@
+// Classic per-node greedy decision tree (Quinlan-style) on binary features.
+//
+// This is the "off-the-shelf DT" the paper contrasts with its level-wise
+// variant: each node picks its own best feature, so equally deep trees use
+// more distinct features and do NOT map to a single LUT. Used by the
+// POLYBiNN baseline and by the ablation comparing RINC-0 against a
+// depth-limited classic tree under an equal-distinct-features budget.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/bit_matrix.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+struct ClassicDtConfig {
+  std::size_t max_depth = 6;
+  // Stop splitting when a node's total weight drops below this fraction of
+  // the root weight.
+  double min_node_weight_fraction = 1e-4;
+};
+
+class ClassicDt {
+ public:
+  ClassicDt() = default;
+
+  static ClassicDt train(const BitMatrix& features, const BitVector& targets,
+                         std::span<const double> weights,
+                         const ClassicDtConfig& config);
+
+  bool eval(const BitVector& example_bits) const;
+  BitVector eval_dataset(const BitMatrix& features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+  // Number of distinct features tested anywhere in the tree; this is what
+  // a LUT implementation of the tree would need as inputs.
+  std::size_t distinct_features() const;
+
+  double weighted_error(const BitMatrix& features, const BitVector& targets,
+                        std::span<const double> weights) const;
+
+ private:
+  struct Node {
+    // Leaf iff feature == kLeaf; then `label` holds the class.
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+    std::size_t feature = kLeaf;
+    int left = -1;   // feature bit == 0
+    int right = -1;  // feature bit == 1
+    bool label = false;
+  };
+
+  int build(const BitMatrix& features, const BitVector& targets,
+            std::span<const double> weights, std::vector<std::size_t>& examples,
+            std::vector<bool>& used_on_path, std::size_t depth,
+            const ClassicDtConfig& config, double root_weight);
+
+  std::size_t depth_below(int node) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace poetbin

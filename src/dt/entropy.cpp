@@ -1,0 +1,22 @@
+#include "dt/entropy.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+double binary_entropy(double p) {
+  POETBIN_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double weighted_node_entropy(double weight_class0, double weight_class1) {
+  POETBIN_CHECK(weight_class0 >= 0.0 && weight_class1 >= 0.0);
+  const double total = weight_class0 + weight_class1;
+  if (total <= 0.0) return 0.0;
+  return total * binary_entropy(weight_class1 / total);
+}
+
+}  // namespace poetbin

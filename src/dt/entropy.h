@@ -1,0 +1,16 @@
+// Weighted entropy utilities shared by the level-wise and classic DTs.
+#pragma once
+
+#include <cstddef>
+
+namespace poetbin {
+
+// Binary Shannon entropy of the distribution (w0, w1) in bits, scaled by
+// the node's total weight: (w0+w1) * H(w1/(w0+w1)). Zero-weight nodes
+// contribute zero. This is the quantity Algorithm 1 accumulates per level.
+double weighted_node_entropy(double weight_class0, double weight_class1);
+
+// Plain H(p) for p in [0,1], in bits.
+double binary_entropy(double p);
+
+}  // namespace poetbin

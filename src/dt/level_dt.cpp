@@ -1,0 +1,125 @@
+#include "dt/level_dt.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "dt/entropy.h"
+#include "util/check.h"
+
+namespace poetbin {
+
+namespace {
+
+// Extracts bit i from a packed column without bounds re-checks; callers
+// guarantee i < n.
+inline std::size_t column_bit(const std::uint64_t* words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+}  // namespace
+
+LevelDtResult train_level_dt(const BitMatrix& features, const BitVector& targets,
+                             std::span<const double> weights,
+                             const LevelDtConfig& config) {
+  const std::size_t n = features.rows();
+  const std::size_t n_features = features.cols();
+  POETBIN_CHECK(targets.size() == n);
+  POETBIN_CHECK(config.n_inputs >= 1);
+  POETBIN_CHECK_MSG(config.n_inputs <= 16, "LUT arity beyond hardware range");
+  POETBIN_CHECK_MSG(n > 0, "cannot train on an empty dataset");
+
+  std::vector<double> uniform;
+  if (weights.empty()) {
+    uniform.assign(n, 1.0 / static_cast<double>(n));
+    weights = uniform;
+  }
+  POETBIN_CHECK(weights.size() == n);
+
+  std::vector<std::size_t> candidates = config.candidate_features;
+  if (candidates.empty()) {
+    candidates.resize(n_features);
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  }
+  for (const auto c : candidates) POETBIN_CHECK(c < n_features);
+  const std::size_t depth = std::min(config.n_inputs, candidates.size());
+  POETBIN_CHECK_MSG(depth == config.n_inputs,
+                    "not enough candidate features for the requested LUT arity");
+
+  // node_id[i]: LUT address prefix of example i (bits 0..level-1 filled).
+  std::vector<std::uint32_t> node_id(n, 0);
+  std::vector<bool> used(n_features, false);
+  std::vector<std::size_t> selected;
+  selected.reserve(depth);
+
+  // counts[bucket*2 + class]: weighted class mass per candidate child node.
+  std::vector<double> counts;
+  double best_entropy_final = 0.0;
+
+  for (std::size_t level = 0; level < depth; ++level) {
+    const std::size_t n_buckets = std::size_t{2} << level;  // 2^(level+1)
+    double min_entropy = std::numeric_limits<double>::infinity();
+    std::size_t best_feature = n_features;  // sentinel
+
+    for (const auto feat : candidates) {
+      if (used[feat]) continue;
+      counts.assign(n_buckets * 2, 0.0);
+      const std::uint64_t* col = features.column(feat).words();
+      const std::uint64_t* tgt = targets.words();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t bucket =
+            node_id[i] | (column_bit(col, i) << level);
+        counts[bucket * 2 + column_bit(tgt, i)] += weights[i];
+      }
+      double level_entropy = 0.0;
+      for (std::size_t b = 0; b < n_buckets; ++b) {
+        level_entropy += weighted_node_entropy(counts[b * 2], counts[b * 2 + 1]);
+      }
+      // Strict '<' keeps the smallest feature index on ties -> deterministic.
+      if (level_entropy < min_entropy) {
+        min_entropy = level_entropy;
+        best_feature = feat;
+      }
+    }
+
+    POETBIN_CHECK(best_feature < n_features);
+    used[best_feature] = true;
+    selected.push_back(best_feature);
+    best_entropy_final = min_entropy;
+
+    const std::uint64_t* col = features.column(best_feature).words();
+    for (std::size_t i = 0; i < n; ++i) {
+      node_id[i] |= static_cast<std::uint32_t>(column_bit(col, i) << level);
+    }
+  }
+
+  // Leaf labelling: weighted majority per cell; Algorithm 1 assigns class 1
+  // when S0 <= S1 (so empty cells default to 1).
+  const std::size_t n_cells = std::size_t{1} << depth;
+  std::vector<double> cell_mass(n_cells * 2, 0.0);
+  const std::uint64_t* tgt = targets.words();
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_mass[node_id[i] * 2 + column_bit(tgt, i)] += weights[i];
+  }
+
+  BitVector table(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    if (cell_mass[cell * 2] <= cell_mass[cell * 2 + 1]) table.set(cell, true);
+  }
+
+  LevelDtResult result;
+  result.lut = Lut(std::move(selected), std::move(table));
+  result.final_entropy = best_entropy_final;
+
+  double error = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool predicted = result.lut.lookup(node_id[i]);
+    if (predicted != targets.get(i)) error += weights[i];
+  }
+  const double total_weight =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  result.weighted_error = total_weight > 0.0 ? error / total_weight : 0.0;
+  return result;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,52 @@
+// Look-Up Table: the atomic hardware unit of PoET-BiN.
+//
+// A Lut selects P input features (by index into the binary feature vector)
+// and stores one output bit for each of the 2^P input combinations — exactly
+// the Input-vs-Output table of Fig. 1. Address convention: bit j of the
+// table address is the value of input feature `inputs()[j]` (the feature
+// selected at DT level j), so address = sum_j x[inputs[j]] << j.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bit_matrix.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+class Lut {
+ public:
+  Lut() = default;
+  Lut(std::vector<std::size_t> inputs, BitVector table);
+
+  std::size_t arity() const { return inputs_.size(); }
+  std::size_t table_size() const { return table_.size(); }
+  const std::vector<std::size_t>& inputs() const { return inputs_; }
+  const BitVector& table() const { return table_; }
+
+  bool lookup(std::size_t address) const { return table_.get(address); }
+
+  // Address of one example's row bits (size = full feature count).
+  std::size_t address_of(const BitVector& example_bits) const;
+  bool eval(const BitVector& example_bits) const {
+    return lookup(address_of(example_bits));
+  }
+
+  // Evaluates all rows of a feature-major dataset in one pass per input.
+  BitVector eval_dataset(const BitMatrix& features) const;
+
+  // Per-example addresses for a whole dataset (used by the sparse output
+  // layer, whose LUT output is multi-bit).
+  std::vector<std::size_t> addresses(const BitMatrix& features) const;
+
+  bool operator==(const Lut& other) const {
+    return inputs_ == other.inputs_ && table_ == other.table_;
+  }
+
+ private:
+  std::vector<std::size_t> inputs_;
+  BitVector table_;  // size 2^arity
+};
+
+}  // namespace poetbin

@@ -1,0 +1,50 @@
+#include "hw/memory_model.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+std::uint64_t monolithic_table_bits(std::size_t n_inputs) {
+  if (n_inputs >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << n_inputs;
+}
+
+std::uint64_t rinc_table_bits(std::size_t lut_inputs, std::size_t levels,
+                              std::size_t total_dts) {
+  POETBIN_CHECK(lut_inputs >= 1 && lut_inputs < 24);
+  // LUT units: sum over levels of ceil(dts / P^l) (matches
+  // rinc_module_lut_units); full tree when total_dts == 0.
+  std::uint64_t dts = total_dts;
+  if (dts == 0) {
+    dts = 1;
+    for (std::size_t l = 0; l < levels; ++l) dts *= lut_inputs;
+  }
+  std::uint64_t units = 0;
+  std::uint64_t group = 1;
+  for (std::size_t l = 0; l <= levels; ++l) {
+    units += (dts + group - 1) / group;
+    group *= lut_inputs;
+  }
+  return units * (std::uint64_t{1} << lut_inputs);
+}
+
+std::uint64_t rinc_table_bits(const RincModule& module) {
+  if (module.is_leaf()) return module.leaf_lut().table_size();
+  std::uint64_t bits = module.mat_lut().table_size();
+  for (const auto& child : module.children()) bits += rinc_table_bits(child);
+  return bits;
+}
+
+std::uint64_t block_rams_required(std::uint64_t table_bits) {
+  return (table_bits + kBlockRamBits - 1) / kBlockRamBits;
+}
+
+std::uint64_t rinc_input_capacity(std::size_t lut_inputs, std::size_t levels) {
+  std::uint64_t capacity = 1;
+  for (std::size_t l = 0; l <= levels; ++l) capacity *= lut_inputs;
+  return capacity;
+}
+
+}  // namespace poetbin

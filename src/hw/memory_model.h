@@ -1,0 +1,38 @@
+// Memory-block implementation model (§2.1.1).
+//
+// The paper notes a RINC-0 table can live in a memory block instead of a
+// LUT, but a monolithic table for an N-input function needs 2^N bits — "a
+// 30-input LUT already requires one gigabit". These helpers quantify that
+// contrast: exponential monolithic cost vs the polynomial cost of the RINC
+// decomposition, plus a BRAM-count model for mapping RINC tables onto
+// fixed-size block RAMs (Spartan-6 RAMB16: 18 kbit).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rinc.h"
+
+namespace poetbin {
+
+// Bits needed for a single monolithic truth table over n_inputs variables.
+// Saturates at uint64 max for n_inputs >= 64.
+std::uint64_t monolithic_table_bits(std::size_t n_inputs);
+
+// Total table bits of a RINC-L: one 2^P-bit table per LUT (leaf DTs and MAT
+// modules alike), using the closed-form LUT count for a `total_dts` budget.
+std::uint64_t rinc_table_bits(std::size_t lut_inputs, std::size_t levels,
+                              std::size_t total_dts);
+std::uint64_t rinc_table_bits(const RincModule& module);
+
+// Spartan-6 block RAM capacity (RAMB16BWER, 18 kbit w/o parity = 16 kbit
+// usable as a pure table).
+constexpr std::uint64_t kBlockRamBits = 16 * 1024;
+
+// BRAMs needed to host all of a module's tables, packing greedily.
+std::uint64_t block_rams_required(std::uint64_t table_bits);
+
+// Effective input capacity of a RINC-L (P^(L+1)).
+std::uint64_t rinc_input_capacity(std::size_t lut_inputs, std::size_t levels);
+
+}  // namespace poetbin

@@ -1,0 +1,44 @@
+// Builds a LUT netlist from trained RincModule / PoetBin models.
+//
+// One netlist node per RINC-0 LUT and per MAT LUT, plus q code-bit LUTs per
+// output neuron — exactly the structure the paper's VHDL generator emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "hw/netlist.h"
+
+namespace poetbin {
+
+struct PoetBinNetlist {
+  Netlist netlist;
+  std::size_t n_features = 0;
+  // class_code_bits[c][k] = node id of bit k (LSB first) of class c's
+  // quantized activation code.
+  std::vector<std::vector<std::size_t>> class_code_bits;
+
+  // Simulates the netlist and arg-maxes the class codes (ties to the lower
+  // class index, matching PoetBin::predict).
+  int predict(const BitVector& feature_bits) const;
+  std::vector<int> predict_dataset(const BitMatrix& features) const;
+};
+
+struct RincNetlist {
+  Netlist netlist;
+  std::size_t n_features = 0;
+  std::size_t output_node = 0;
+
+  bool eval(const BitVector& feature_bits) const;
+};
+
+// `n_features` fixes the primary-input width (the paper feeds 512 features
+// through a shift register regardless of how many a module actually taps).
+RincNetlist build_rinc_netlist(const RincModule& module, std::size_t n_features);
+
+PoetBinNetlist build_poetbin_netlist(const PoetBin& model,
+                                     std::size_t n_features);
+
+}  // namespace poetbin

@@ -1,0 +1,71 @@
+#include "nn/binary_layers.h"
+
+#include <cmath>
+
+namespace poetbin {
+
+Matrix SignActivation::forward(const Matrix& input, bool train) {
+  if (train) cached_input_ = input;
+  Matrix out = input;
+  for (auto& v : out.vec()) v = (v >= 0.0f) ? 1.0f : -1.0f;
+  return out;
+}
+
+Matrix SignActivation::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (std::fabs(cached_input_.vec()[i]) > 1.0f) grad.vec()[i] = 0.0f;
+  }
+  return grad;
+}
+
+BinaryDense::BinaryDense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : latent_(Matrix::randn(in_dim, out_dim, rng,
+                            std::sqrt(2.0 / static_cast<double>(in_dim)))) {}
+
+Matrix BinaryDense::binarized() const {
+  Matrix bin = latent_.value;
+  for (auto& v : bin.vec()) v = (v >= 0.0f) ? 1.0f : -1.0f;
+  return bin;
+}
+
+Matrix BinaryDense::forward(const Matrix& input, bool train) {
+  if (train) cached_input_ = input;
+  return input.matmul(binarized());
+}
+
+Matrix BinaryDense::backward(const Matrix& grad_output) {
+  // Straight-through: gradient w.r.t. the latent weights is the gradient
+  // w.r.t. the binarized weights.
+  latent_.grad += cached_input_.transposed_matmul(grad_output);
+  return grad_output.matmul_transposed(binarized());
+}
+
+void BinaryDense::collect_params(std::vector<Param*>& out) {
+  out.push_back(&latent_);
+}
+
+void BinaryDense::clip_latent_weights() {
+  for (auto& v : latent_.value.vec()) {
+    if (v > 1.0f) v = 1.0f;
+    if (v < -1.0f) v = -1.0f;
+  }
+}
+
+std::vector<BitVector> BinaryDense::packed_weights() const {
+  std::vector<BitVector> columns(out_dim(), BitVector(in_dim()));
+  for (std::size_t j = 0; j < out_dim(); ++j) {
+    for (std::size_t i = 0; i < in_dim(); ++i) {
+      if (latent_.value(i, j) >= 0.0f) columns[j].set(i, true);
+    }
+  }
+  return columns;
+}
+
+long xnor_preactivation(const BitVector& inputs, const BitVector& weights) {
+  const long agreements = static_cast<long>(inputs.xnor_popcount(weights));
+  const long n = static_cast<long>(inputs.size());
+  return 2 * agreements - n;
+}
+
+}  // namespace poetbin

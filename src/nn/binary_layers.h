@@ -1,0 +1,59 @@
+// BinaryNet-style layers (Courbariaux et al. 2016): ±1 weights and
+// activations trained with straight-through estimators, plus a packed
+// XNOR-popcount inference path that matches the float forward pass
+// bit-exactly after binarization.
+#pragma once
+
+#include "nn/layers.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+// Sign activation emitting ±1 with the clipped straight-through gradient.
+class SignActivation : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Sign"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+// Dense layer whose *effective* weights are sign(latent weights). Gradients
+// flow to the latent weights (straight-through), which are clipped to
+// [-1, 1] after each update as in the BinaryNet recipe.
+class BinaryDense : public Layer {
+ public:
+  BinaryDense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "BinaryDense"; }
+
+  void clip_latent_weights();
+
+  std::size_t in_dim() const { return latent_.value.rows(); }
+  std::size_t out_dim() const { return latent_.value.cols(); }
+
+  // Packed sign(W) columns for XNOR-popcount inference. Column j's bit i is
+  // 1 iff latent(i, j) >= 0.
+  std::vector<BitVector> packed_weights() const;
+
+  const Param& latent() const { return latent_; }
+  Param& latent() { return latent_; }
+
+ private:
+  Matrix binarized() const;
+
+  Param latent_;
+  Matrix cached_input_;
+};
+
+// XNOR-popcount evaluation of one binary neuron: inputs/weights in {0,1}
+// encode ±1 as (2b-1). Returns the integer pre-activation
+// sum_i (2x_i-1)(2w_i-1) = 2*xnor_popcount - n.
+long xnor_preactivation(const BitVector& inputs, const BitVector& weights);
+
+}  // namespace poetbin

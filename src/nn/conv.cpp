@@ -1,0 +1,228 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <limits>
+
+namespace poetbin {
+
+Conv2d::Conv2d(Shape3 input_shape, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Rng& rng)
+    : input_shape_(input_shape),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weights_(Matrix::randn(
+          input_shape.channels * kernel * kernel, out_channels, rng,
+          std::sqrt(2.0 / static_cast<double>(input_shape.channels * kernel *
+                                              kernel)))),
+      bias_(Matrix::zeros(1, out_channels)) {
+  POETBIN_CHECK(stride_ > 0);
+  POETBIN_CHECK(input_shape.height + 2 * padding >= kernel);
+  POETBIN_CHECK(input_shape.width + 2 * padding >= kernel);
+  output_shape_ = {out_channels,
+                   (input_shape.height + 2 * padding - kernel) / stride + 1,
+                   (input_shape.width + 2 * padding - kernel) / stride + 1};
+}
+
+Matrix Conv2d::im2col(const Matrix& input) const {
+  const std::size_t batch = input.rows();
+  const std::size_t out_h = output_shape_.height;
+  const std::size_t out_w = output_shape_.width;
+  const std::size_t patch = input_shape_.channels * kernel_ * kernel_;
+  Matrix cols(batch * out_h * out_w, patch);
+
+  const std::size_t in_h = input_shape_.height;
+  const std::size_t in_w = input_shape_.width;
+  const std::size_t plane = in_h * in_w;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* image = input.row(n);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float* dst = cols.row((n * out_h + oy) * out_w + ox);
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < input_shape_.channels; ++c) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(padding_);
+            for (std::size_t kx = 0; kx < kernel_; ++kx, ++idx) {
+              const long ix = static_cast<long>(ox * stride_ + kx) -
+                              static_cast<long>(padding_);
+              if (iy < 0 || ix < 0 || iy >= static_cast<long>(in_h) ||
+                  ix >= static_cast<long>(in_w)) {
+                dst[idx] = 0.0f;
+              } else {
+                dst[idx] = image[c * plane + static_cast<std::size_t>(iy) * in_w +
+                                 static_cast<std::size_t>(ix)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Matrix Conv2d::col2im(const Matrix& grad_cols, std::size_t batch) const {
+  const std::size_t out_h = output_shape_.height;
+  const std::size_t out_w = output_shape_.width;
+  const std::size_t in_h = input_shape_.height;
+  const std::size_t in_w = input_shape_.width;
+  const std::size_t plane = in_h * in_w;
+  Matrix grad_input(batch, input_shape_.flat());
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* image = grad_input.row(n);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        const float* src = grad_cols.row((n * out_h + oy) * out_w + ox);
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < input_shape_.channels; ++c) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(padding_);
+            for (std::size_t kx = 0; kx < kernel_; ++kx, ++idx) {
+              const long ix = static_cast<long>(ox * stride_ + kx) -
+                              static_cast<long>(padding_);
+              if (iy < 0 || ix < 0 || iy >= static_cast<long>(in_h) ||
+                  ix >= static_cast<long>(in_w)) {
+                continue;
+              }
+              image[c * plane + static_cast<std::size_t>(iy) * in_w +
+                    static_cast<std::size_t>(ix)] += src[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Matrix Conv2d::forward(const Matrix& input, bool train) {
+  POETBIN_CHECK(input.cols() == input_shape_.flat());
+  const std::size_t batch = input.rows();
+  Matrix cols = im2col(input);
+  if (train) cached_cols_ = cols;
+
+  // (batch*oh*ow x patch) * (patch x out_c)
+  Matrix flat_out = cols.matmul(weights_.value);
+  flat_out.add_row_vector(bias_.value);
+
+  // Repack to (batch x out_c*oh*ow) channel-major images.
+  const std::size_t out_h = output_shape_.height;
+  const std::size_t out_w = output_shape_.width;
+  const std::size_t out_c = output_shape_.channels;
+  Matrix out(batch, output_shape_.flat());
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* image = out.row(n);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        const float* src = flat_out.row((n * out_h + oy) * out_w + ox);
+        for (std::size_t c = 0; c < out_c; ++c) {
+          image[c * out_h * out_w + oy * out_w + ox] = src[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv2d::backward(const Matrix& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  const std::size_t out_h = output_shape_.height;
+  const std::size_t out_w = output_shape_.width;
+  const std::size_t out_c = output_shape_.channels;
+
+  // Unpack grad to the flat (batch*oh*ow x out_c) layout.
+  Matrix flat_grad(batch * out_h * out_w, out_c);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* image = grad_output.row(n);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float* dst = flat_grad.row((n * out_h + oy) * out_w + ox);
+        for (std::size_t c = 0; c < out_c; ++c) {
+          dst[c] = image[c * out_h * out_w + oy * out_w + ox];
+        }
+      }
+    }
+  }
+
+  weights_.grad += cached_cols_.transposed_matmul(flat_grad);
+  bias_.grad += flat_grad.column_sums();
+
+  Matrix grad_cols = flat_grad.matmul_transposed(weights_.value);
+  return col2im(grad_cols, batch);
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weights_);
+  out.push_back(&bias_);
+}
+
+MaxPool2d::MaxPool2d(Shape3 input_shape, std::size_t pool)
+    : input_shape_(input_shape), pool_(pool) {
+  POETBIN_CHECK(pool > 0);
+  POETBIN_CHECK(input_shape.height % pool == 0);
+  POETBIN_CHECK(input_shape.width % pool == 0);
+  output_shape_ = {input_shape.channels, input_shape.height / pool,
+                   input_shape.width / pool};
+}
+
+Matrix MaxPool2d::forward(const Matrix& input, bool train) {
+  POETBIN_CHECK(input.cols() == input_shape_.flat());
+  const std::size_t batch = input.rows();
+  const std::size_t in_h = input_shape_.height;
+  const std::size_t in_w = input_shape_.width;
+  const std::size_t out_h = output_shape_.height;
+  const std::size_t out_w = output_shape_.width;
+
+  Matrix out(batch, output_shape_.flat());
+  if (train) {
+    argmax_.assign(batch * output_shape_.flat(), 0);
+    cached_batch_ = batch;
+  }
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* image = input.row(n);
+    float* out_image = out.row(n);
+    for (std::size_t c = 0; c < input_shape_.channels; ++c) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t py = 0; py < pool_; ++py) {
+            for (std::size_t px = 0; px < pool_; ++px) {
+              const std::size_t idx =
+                  c * in_h * in_w + (oy * pool_ + py) * in_w + (ox * pool_ + px);
+              if (image[idx] > best) {
+                best = image[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = c * out_h * out_w + oy * out_w + ox;
+          out_image[out_idx] = best;
+          if (train) argmax_[n * output_shape_.flat() + out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool2d::backward(const Matrix& grad_output) {
+  POETBIN_CHECK(grad_output.rows() == cached_batch_);
+  Matrix grad_input(cached_batch_, input_shape_.flat());
+  for (std::size_t n = 0; n < cached_batch_; ++n) {
+    const float* grad_row = grad_output.row(n);
+    float* in_row = grad_input.row(n);
+    for (std::size_t o = 0; o < output_shape_.flat(); ++o) {
+      in_row[argmax_[n * output_shape_.flat() + o]] += grad_row[o];
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,68 @@
+// Convolutional feature-extractor layers (Conv2d via im2col, MaxPool2d).
+//
+// Mini-batches stay in the (batch x C*H*W) matrix layout used by the dense
+// layers; each spatial layer is constructed with its input shape and derives
+// its output shape, so a Sequential of conv/pool/dense layers composes
+// without a separate tensor type.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace poetbin {
+
+struct Shape3 {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+
+  std::size_t flat() const { return channels * height * width; }
+  bool operator==(const Shape3&) const = default;
+};
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(Shape3 input_shape, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "Conv2d"; }
+
+  Shape3 output_shape() const { return output_shape_; }
+
+ private:
+  // (n*out_h*out_w) x (in_c*k*k) patch matrix for one batch.
+  Matrix im2col(const Matrix& input) const;
+  // Scatter-add of patch gradients back to input layout.
+  Matrix col2im(const Matrix& grad_cols, std::size_t batch) const;
+
+  Shape3 input_shape_;
+  Shape3 output_shape_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  Param weights_;  // (in_c*k*k) x out_c
+  Param bias_;     // 1 x out_c
+  Matrix cached_cols_;
+};
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(Shape3 input_shape, std::size_t pool);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+  Shape3 output_shape() const { return output_shape_; }
+
+ private:
+  Shape3 input_shape_;
+  Shape3 output_shape_;
+  std::size_t pool_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace poetbin

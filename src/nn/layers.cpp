@@ -1,0 +1,239 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace poetbin {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : weights_(Matrix::randn(in_dim, out_dim, rng,
+                             std::sqrt(2.0 / static_cast<double>(in_dim)))),
+      bias_(Matrix::zeros(1, out_dim)) {}
+
+Matrix Dense::forward(const Matrix& input, bool train) {
+  if (train) cached_input_ = input;
+  Matrix out = input.matmul(weights_.value);
+  out.add_row_vector(bias_.value);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  weights_.grad += cached_input_.transposed_matmul(grad_output);
+  bias_.grad += grad_output.column_sums();
+  return grad_output.matmul_transposed(weights_.value);
+}
+
+void Dense::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weights_);
+  out.push_back(&bias_);
+}
+
+Matrix Relu::forward(const Matrix& input, bool train) {
+  if (train) cached_input_ = input;
+  Matrix out = input;
+  for (auto& v : out.vec()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_.vec()[i] <= 0.0f) grad.vec()[i] = 0.0f;
+  }
+  return grad;
+}
+
+Matrix BinarySigmoid::forward(const Matrix& input, bool train) {
+  if (train) cached_input_ = input;
+  Matrix out = input;
+  for (auto& v : out.vec()) v = (v >= 0.0f) ? 1.0f : 0.0f;
+  return out;
+}
+
+Matrix BinarySigmoid::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    // Straight-through: pass the gradient only where the hard sigmoid is
+    // non-saturated.
+    if (std::fabs(cached_input_.vec()[i]) > 1.0f) grad.vec()[i] = 0.0f;
+  }
+  return grad;
+}
+
+BatchNorm::BatchNorm(std::size_t dim, float momentum, float epsilon)
+    : gamma_(Matrix(1, dim, 1.0f)),
+      beta_(Matrix::zeros(1, dim)),
+      running_mean_(Matrix::zeros(1, dim)),
+      running_var_(Matrix(1, dim, 1.0f)),
+      momentum_(momentum),
+      epsilon_(epsilon) {}
+
+Matrix BatchNorm::forward(const Matrix& input, bool train) {
+  const std::size_t n = input.rows();
+  const std::size_t dim = input.cols();
+  Matrix out(n, dim);
+
+  if (train) {
+    POETBIN_CHECK_MSG(n > 0, "BatchNorm requires a non-empty batch");
+    Matrix mean(1, dim);
+    Matrix var(1, dim);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = input.row(r);
+      for (std::size_t c = 0; c < dim; ++c) mean(0, c) += row[c];
+    }
+    mean *= 1.0f / static_cast<float>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = input.row(r);
+      for (std::size_t c = 0; c < dim; ++c) {
+        const float d = row[c] - mean(0, c);
+        var(0, c) += d * d;
+      }
+    }
+    var *= 1.0f / static_cast<float>(n);
+
+    cached_inv_std_ = Matrix(1, dim);
+    for (std::size_t c = 0; c < dim; ++c) {
+      cached_inv_std_(0, c) = 1.0f / std::sqrt(var(0, c) + epsilon_);
+      running_mean_(0, c) =
+          momentum_ * running_mean_(0, c) + (1.0f - momentum_) * mean(0, c);
+      running_var_(0, c) =
+          momentum_ * running_var_(0, c) + (1.0f - momentum_) * var(0, c);
+    }
+
+    cached_normalized_ = Matrix(n, dim);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        const float normalized =
+            (input(r, c) - mean(0, c)) * cached_inv_std_(0, c);
+        cached_normalized_(r, c) = normalized;
+        out(r, c) = gamma_.value(0, c) * normalized + beta_.value(0, c);
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        const float inv_std = 1.0f / std::sqrt(running_var_(0, c) + epsilon_);
+        out(r, c) = gamma_.value(0, c) * (input(r, c) - running_mean_(0, c)) *
+                        inv_std +
+                    beta_.value(0, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix BatchNorm::backward(const Matrix& grad_output) {
+  const std::size_t n = grad_output.rows();
+  const std::size_t dim = grad_output.cols();
+  POETBIN_CHECK(cached_normalized_.rows() == n);
+
+  Matrix grad_input(n, dim);
+  // Standard batch-norm backward in terms of the cached normalized values.
+  Matrix sum_grad(1, dim);
+  Matrix sum_grad_norm(1, dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      sum_grad(0, c) += grad_output(r, c);
+      sum_grad_norm(0, c) += grad_output(r, c) * cached_normalized_(r, c);
+    }
+  }
+  for (std::size_t c = 0; c < dim; ++c) {
+    gamma_.grad(0, c) += sum_grad_norm(0, c);
+    beta_.grad(0, c) += sum_grad(0, c);
+  }
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const float term = grad_output(r, c) - inv_n * sum_grad(0, c) -
+                         inv_n * cached_normalized_(r, c) * sum_grad_norm(0, c);
+      grad_input(r, c) = gamma_.value(0, c) * cached_inv_std_(0, c) * term;
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+BlockSparseDense::BlockSparseDense(std::size_t n_blocks, std::size_t block_size,
+                                   Rng& rng)
+    : n_blocks_(n_blocks),
+      block_size_(block_size),
+      weights_(Matrix::randn(n_blocks, block_size, rng,
+                             std::sqrt(2.0 / static_cast<double>(block_size)))),
+      bias_(Matrix::zeros(1, n_blocks)) {}
+
+Matrix BlockSparseDense::forward(const Matrix& input, bool train) {
+  POETBIN_CHECK(input.cols() == n_blocks_ * block_size_);
+  if (train) cached_input_ = input;
+  Matrix out(input.rows(), n_blocks_);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const float* in_row = input.row(r);
+    float* out_row = out.row(r);
+    for (std::size_t j = 0; j < n_blocks_; ++j) {
+      const float* w = weights_.value.row(j);
+      float acc = bias_.value(0, j);
+      for (std::size_t k = 0; k < block_size_; ++k) {
+        acc += w[k] * in_row[j * block_size_ + k];
+      }
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix BlockSparseDense::backward(const Matrix& grad_output) {
+  POETBIN_CHECK(grad_output.cols() == n_blocks_);
+  const std::size_t n = grad_output.rows();
+  Matrix grad_input(n, n_blocks_ * block_size_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* grad_row = grad_output.row(r);
+    const float* in_row = cached_input_.row(r);
+    float* gin_row = grad_input.row(r);
+    for (std::size_t j = 0; j < n_blocks_; ++j) {
+      const float g = grad_row[j];
+      if (g == 0.0f) continue;
+      bias_.grad(0, j) += g;
+      float* wgrad = weights_.grad.row(j);
+      const float* w = weights_.value.row(j);
+      for (std::size_t k = 0; k < block_size_; ++k) {
+        wgrad[k] += g * in_row[j * block_size_ + k];
+        gin_row[j * block_size_ + k] += g * w[k];
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BlockSparseDense::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weights_);
+  out.push_back(&bias_);
+}
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.fork(0xd0))
+{
+  POETBIN_CHECK(rate >= 0.0 && rate < 1.0);
+}
+
+Matrix Dropout::forward(const Matrix& input, bool train) {
+  if (!train || rate_ == 0.0) return input;
+  mask_ = Matrix(input.rows(), input.cols());
+  const float scale = 1.0f / static_cast<float>(1.0 - rate_);
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool keep = !rng_.next_bool(rate_);
+    mask_.vec()[i] = keep ? scale : 0.0f;
+    out.vec()[i] *= mask_.vec()[i];
+  }
+  return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;
+  return grad_output.hadamard(mask_);
+}
+
+}  // namespace poetbin

@@ -1,0 +1,151 @@
+// Layer abstraction and the dense/activation/normalisation layers used by
+// the vanilla network (A1), the teacher network (A3) and the baselines.
+//
+// Layers process mini-batches stored as (batch x features) matrices and
+// cache whatever the backward pass needs. `BinarySigmoid` implements the
+// Kwan (1992) hard binary activation with a straight-through estimator,
+// which is what the paper inserts to obtain binary features (A2) and the
+// binary intermediate layer (A3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace poetbin {
+
+// A trainable tensor together with its gradient accumulator.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(Matrix v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` toggles behaviours like batch-norm statistics and dropout.
+  virtual Matrix forward(const Matrix& input, bool train) = 0;
+  // Receives dLoss/dOutput, accumulates parameter grads, returns dLoss/dInput.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+  virtual std::string name() const = 0;
+};
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "Dense"; }
+
+  const Param& weights() const { return weights_; }
+  Param& weights() { return weights_; }
+  const Param& bias() const { return bias_; }
+  Param& bias() { return bias_; }
+  std::size_t in_dim() const { return weights_.value.rows(); }
+  std::size_t out_dim() const { return weights_.value.cols(); }
+
+ private:
+  Param weights_;  // (in x out)
+  Param bias_;     // (1 x out)
+  Matrix cached_input_;
+};
+
+class Relu : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Relu"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+// Hard binary activation: forward emits {0,1} = [x >= 0]; backward uses the
+// straight-through estimator gated to |x| <= 1 (the derivative of the
+// clipped hard sigmoid), following the BinaryNet training recipe.
+class BinarySigmoid : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "BinarySigmoid"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+// Per-feature batch normalisation with running statistics for inference.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::size_t dim, float momentum = 0.9f, float epsilon = 1e-5f);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "BatchNorm"; }
+
+ private:
+  Param gamma_;
+  Param beta_;
+  Matrix running_mean_;  // (1 x dim)
+  Matrix running_var_;   // (1 x dim)
+  float momentum_;
+  float epsilon_;
+
+  // Backward-pass caches (training batches only).
+  Matrix cached_normalized_;
+  Matrix cached_inv_std_;  // (1 x dim)
+};
+
+// Sparsely connected output layer (paper Fig. 4): output neuron j reads only
+// inputs [j*block_size, (j+1)*block_size). Used as the teacher's output
+// layer so that each intermediate-layer block specialises for its class —
+// the property the PoET-BiN student's LUT output layer relies on.
+class BlockSparseDense : public Layer {
+ public:
+  BlockSparseDense(std::size_t n_blocks, std::size_t block_size, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "BlockSparseDense"; }
+
+  std::size_t n_blocks() const { return n_blocks_; }
+  std::size_t block_size() const { return block_size_; }
+  // Compact weights: (n_blocks x block_size).
+  const Param& weights() const { return weights_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  std::size_t n_blocks_;
+  std::size_t block_size_;
+  Param weights_;  // (n_blocks x block_size)
+  Param bias_;     // (1 x n_blocks)
+  Matrix cached_input_;
+};
+
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Matrix mask_;
+};
+
+}  // namespace poetbin

@@ -1,0 +1,95 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+LossResult squared_hinge_loss(const Matrix& logits, const std::vector<int>& labels) {
+  const std::size_t n = logits.rows();
+  const std::size_t n_classes = logits.cols();
+  POETBIN_CHECK(labels.size() == n);
+  LossResult result;
+  result.grad = Matrix(n, n_classes);
+
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.row(i);
+    float* grad_row = result.grad.row(i);
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      const float target = (static_cast<std::size_t>(labels[i]) == c) ? 1.0f : -1.0f;
+      const float margin = 1.0f - target * row[c];
+      if (margin > 0.0f) {
+        total += static_cast<double>(margin) * margin;
+        grad_row[c] = -2.0f * margin * target * inv_n;
+      }
+    }
+  }
+  result.value = total / static_cast<double>(n);
+  return result;
+}
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    float* row = out.row(i);
+    float max_val = row[0];
+    for (std::size_t c = 1; c < out.cols(); ++c) max_val = std::max(max_val, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_val);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+LossResult cross_entropy_loss(const Matrix& logits, const std::vector<int>& labels) {
+  const std::size_t n = logits.rows();
+  POETBIN_CHECK(labels.size() == n);
+  LossResult result;
+  result.grad = softmax(logits);
+
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* grad_row = result.grad.row(i);
+    const auto label = static_cast<std::size_t>(labels[i]);
+    POETBIN_CHECK(label < logits.cols());
+    total -= std::log(std::max(grad_row[label], 1e-12f));
+    grad_row[label] -= 1.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) grad_row[c] *= inv_n;
+  }
+  result.value = total / static_cast<double>(n);
+  return result;
+}
+
+std::vector<int> argmax_rows(const Matrix& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.row(i);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& labels) {
+  POETBIN_CHECK(predicted.size() == labels.size());
+  if (predicted.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+}  // namespace poetbin

@@ -1,0 +1,34 @@
+// Loss functions.
+//
+// The paper trains all vanilla/teacher networks with the multi-class squared
+// hinge loss (as in BinaryNet); cross-entropy is provided for the NDF
+// baseline and output-layer retraining.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace poetbin {
+
+struct LossResult {
+  double value = 0.0;  // mean loss over the batch
+  Matrix grad;         // dLoss/dLogits, already divided by batch size
+};
+
+// Multi-class squared hinge: targets are +1 for the true class, -1 otherwise;
+// loss = mean_i sum_c max(0, 1 - t_ic * y_ic)^2.
+LossResult squared_hinge_loss(const Matrix& logits, const std::vector<int>& labels);
+
+// Softmax followed by negative log-likelihood.
+LossResult cross_entropy_loss(const Matrix& logits, const std::vector<int>& labels);
+
+// Row-wise softmax (stable); exposed for the NDF baseline.
+Matrix softmax(const Matrix& logits);
+
+// Row-wise argmax -> predicted labels.
+std::vector<int> argmax_rows(const Matrix& logits);
+
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& labels);
+
+}  // namespace poetbin

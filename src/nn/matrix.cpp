@@ -1,0 +1,123 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace poetbin {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng, double stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  POETBIN_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j order: the inner loop streams both `other` and `out` rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = row(i);
+    float* out_row = out.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.row(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  POETBIN_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const float* a_row = row(i);
+    float* out_row = out.row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  POETBIN_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const float* a_row = row(k);
+    const float* b_row = other.row(k);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const float a = a_row[i];
+      if (a == 0.0f) continue;
+      float* out_row = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  POETBIN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  POETBIN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::add_row_vector(const Matrix& bias) {
+  POETBIN_CHECK(bias.rows() == 1 && bias.cols() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* out_row = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out_row[c] += bias(0, c);
+  }
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* in_row = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out(0, c) += in_row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  POETBIN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace poetbin

@@ -1,0 +1,80 @@
+// Dense row-major float matrix with the handful of BLAS-like operations the
+// training library needs. Kept deliberately small: this is a substrate for
+// training the vanilla/teacher networks and baselines, not a tensor library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace poetbin {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float value = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0f);
+  }
+  // He-style Gaussian init scaled by fan-in.
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      double stddev);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float operator()(std::size_t r, std::size_t c) const {
+    POETBIN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& operator()(std::size_t r, std::size_t c) {
+    POETBIN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+  const std::vector<float>& vec() const { return data_; }
+  std::vector<float>& vec() { return data_; }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  // this (m x k) times other (k x n) -> (m x n).
+  Matrix matmul(const Matrix& other) const;
+  // this (m x k) times other^T where other is (n x k) -> (m x n).
+  Matrix matmul_transposed(const Matrix& other) const;
+  // this^T (k x m) times other (k x n)? No: returns transpose(this) * other,
+  // where this is (k x m) and other is (k x n) -> (m x n).
+  Matrix transposed_matmul(const Matrix& other) const;
+
+  Matrix transpose() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  // Adds `bias` (1 x cols) to every row.
+  void add_row_vector(const Matrix& bias);
+  // Column sums -> (1 x cols); used for bias gradients.
+  Matrix column_sums() const;
+
+  // Elementwise product.
+  Matrix hadamard(const Matrix& other) const;
+
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace poetbin

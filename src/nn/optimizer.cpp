@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+Sgd::Sgd(double learning_rate, double momentum) : momentum_(momentum) {
+  learning_rate_ = learning_rate;
+}
+
+void Sgd::attach(std::vector<Param*> params) {
+  params_ = std::move(params);
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (const auto* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::step() {
+  POETBIN_CHECK(params_.size() == velocity_.size());
+  const float lr = static_cast<float>(learning_rate_);
+  const float mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Matrix& vel = velocity_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      vel.vec()[k] = mu * vel.vec()[k] - lr * p.grad.vec()[k];
+      p.value.vec()[k] += vel.vec()[k];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  learning_rate_ = learning_rate;
+}
+
+void Adam::attach(std::vector<Param*> params) {
+  params_ = std::move(params);
+  m_.clear();
+  v_.clear();
+  step_count_ = 0;
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  POETBIN_CHECK(params_.size() == m_.size());
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const float lr = static_cast<float>(learning_rate_ * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(epsilon_);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      const float g = p.grad.vec()[k];
+      m.vec()[k] = b1 * m.vec()[k] + (1.0f - b1) * g;
+      v.vec()[k] = b2 * v.vec()[k] + (1.0f - b2) * g * g;
+      p.value.vec()[k] -= lr * m.vec()[k] / (std::sqrt(v.vec()[k]) + eps);
+    }
+  }
+}
+
+}  // namespace poetbin

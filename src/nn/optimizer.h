@@ -1,0 +1,61 @@
+// Optimizers: SGD with momentum and Adam, both with the exponentially
+// decaying learning-rate schedule the paper uses.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace poetbin {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Registers the parameters once before training.
+  virtual void attach(std::vector<Param*> params) = 0;
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+  // lr(t) = lr0 * decay^epoch; call at the end of each epoch.
+  void decay_learning_rate(double factor) { learning_rate_ *= factor; }
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Param*> params_;
+  double learning_rate_ = 1e-3;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.9);
+
+  void attach(std::vector<Param*> params) override;
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void attach(std::vector<Param*> params) override;
+  void step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long step_count_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace poetbin

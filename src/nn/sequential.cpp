@@ -1,0 +1,159 @@
+#include "nn/sequential.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace poetbin {
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+Matrix Sequential::forward(const Matrix& input, bool train) {
+  Matrix activation = input;
+  for (auto& layer : layers_) activation = layer->forward(activation, train);
+  return activation;
+}
+
+void Sequential::backward(const Matrix& grad_logits) {
+  Matrix grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+}
+
+namespace {
+
+Matrix gather_rows(const Matrix& input, const std::vector<std::size_t>& order,
+                   std::size_t begin, std::size_t end) {
+  Matrix out(end - begin, input.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const float* src = input.row(order[i]);
+    std::copy(src, src + input.cols(), out.row(i - begin));
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix Sequential::activations_at(const Matrix& input, std::size_t layer_index,
+                                  std::size_t batch_size) {
+  POETBIN_CHECK(layer_index < layers_.size());
+  Matrix result;
+  bool first = true;
+  for (std::size_t start = 0; start < input.rows(); start += batch_size) {
+    const std::size_t end = std::min(input.rows(), start + batch_size);
+    Matrix batch(end - start, input.cols());
+    for (std::size_t r = start; r < end; ++r) {
+      std::copy(input.row(r), input.row(r) + input.cols(), batch.row(r - start));
+    }
+    for (std::size_t l = 0; l <= layer_index; ++l) {
+      batch = layers_[l]->forward(batch, /*train=*/false);
+    }
+    if (first) {
+      result = Matrix(input.rows(), batch.cols());
+      first = false;
+    }
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+      std::copy(batch.row(r), batch.row(r) + batch.cols(), result.row(start + r));
+    }
+  }
+  return result;
+}
+
+Matrix Sequential::predict_logits(const Matrix& input, std::size_t batch_size) {
+  POETBIN_CHECK(!layers_.empty());
+  return activations_at(input, layers_.size() - 1, batch_size);
+}
+
+std::vector<int> Sequential::predict(const Matrix& input, std::size_t batch_size) {
+  return argmax_rows(predict_logits(input, batch_size));
+}
+
+double Sequential::evaluate_accuracy(const Matrix& input,
+                                     const std::vector<int>& labels,
+                                     std::size_t batch_size) {
+  return accuracy(predict(input, batch_size), labels);
+}
+
+EpochStats Sequential::run_epoch(const Matrix& inputs,
+                                 const std::vector<int>& labels,
+                                 Optimizer& optimizer, const TrainConfig& config,
+                                 Rng& shuffle_rng) {
+  const std::size_t n = inputs.rows();
+  POETBIN_CHECK(labels.size() == n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  shuffle_rng.shuffle(order.data(), order.size());
+
+  EpochStats stats;
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  std::size_t batches = 0;
+
+  for (std::size_t start = 0; start < n; start += config.batch_size) {
+    const std::size_t end = std::min(n, start + config.batch_size);
+    Matrix batch = gather_rows(inputs, order, start, end);
+    std::vector<int> batch_labels(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      batch_labels[i - start] = labels[order[i]];
+    }
+
+    optimizer.zero_grad();
+    Matrix logits = forward(batch, /*train=*/true);
+    const LossResult loss = (config.loss == LossKind::kSquaredHinge)
+                                ? squared_hinge_loss(logits, batch_labels)
+                                : cross_entropy_loss(logits, batch_labels);
+    backward(loss.grad);
+    optimizer.step();
+
+    loss_sum += loss.value;
+    ++batches;
+    const auto preds = argmax_rows(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch_labels[i]) ++correct;
+    }
+  }
+
+  stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+  stats.train_accuracy = n > 0 ? static_cast<double>(correct) / n : 0.0;
+  return stats;
+}
+
+std::vector<EpochStats> Sequential::fit(const Matrix& inputs,
+                                        const std::vector<int>& labels,
+                                        Optimizer& optimizer,
+                                        const TrainConfig& config) {
+  optimizer.attach(params());
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<EpochStats> history;
+  history.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochStats stats = run_epoch(inputs, labels, optimizer, config, shuffle_rng);
+    if (config.verbose) {
+      std::printf("  epoch %zu/%zu loss=%.4f acc=%.4f lr=%.2e\n", epoch + 1,
+                  config.epochs, stats.train_loss, stats.train_accuracy,
+                  optimizer.learning_rate());
+    }
+    optimizer.decay_learning_rate(config.lr_decay);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+Matrix images_to_matrix(const ImageDataset& dataset) {
+  Matrix out(dataset.size(), dataset.image_size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const float* src = dataset.image(i);
+    float* dst = out.row(i);
+    for (std::size_t k = 0; k < dataset.image_size(); ++k) {
+      dst[k] = 2.0f * src[k] - 1.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,89 @@
+// Sequential model container and mini-batch training loop.
+//
+// Also provides `activations_at`, which runs the network up to (and
+// including) a given layer — this is how the pipeline extracts the binary
+// feature representation (after the feature extractor's BinarySigmoid) and
+// the teacher's intermediate-layer bits for RINC distillation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace poetbin {
+
+enum class LossKind { kSquaredHinge, kCrossEntropy };
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 64;
+  LossKind loss = LossKind::kSquaredHinge;
+  double lr_decay = 0.9;  // per-epoch exponential decay factor
+  bool verbose = false;
+  std::uint64_t shuffle_seed = 7;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  template <typename LayerT, typename... Args>
+  LayerT& add(Args&&... args) {
+    auto layer = std::make_unique<LayerT>(std::forward<Args>(args)...);
+    LayerT& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t n_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  std::vector<Param*> params();
+
+  Matrix forward(const Matrix& input, bool train);
+  // dLoss/dLogits in, accumulates parameter gradients.
+  void backward(const Matrix& grad_logits);
+
+  // Runs layers [0, layer_index] in inference mode.
+  Matrix activations_at(const Matrix& input, std::size_t layer_index,
+                        std::size_t batch_size = 256);
+
+  // Full inference in batches (memory-bounded).
+  Matrix predict_logits(const Matrix& input, std::size_t batch_size = 256);
+  std::vector<int> predict(const Matrix& input, std::size_t batch_size = 256);
+  double evaluate_accuracy(const Matrix& input, const std::vector<int>& labels,
+                           std::size_t batch_size = 256);
+
+  // One optimization pass over the data; returns loss/accuracy on the
+  // training batches as seen during the pass.
+  EpochStats run_epoch(const Matrix& inputs, const std::vector<int>& labels,
+                       Optimizer& optimizer, const TrainConfig& config,
+                       Rng& shuffle_rng);
+
+  // Full training loop: epochs, shuffling, LR decay.
+  std::vector<EpochStats> fit(const Matrix& inputs, const std::vector<int>& labels,
+                              Optimizer& optimizer, const TrainConfig& config);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Converts an ImageDataset's pixels to a (n x image_size) matrix, with
+// values rescaled to [-1, 1] (zero-centred, as the paper's networks expect).
+Matrix images_to_matrix(const ImageDataset& dataset);
+
+}  // namespace poetbin

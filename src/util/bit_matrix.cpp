@@ -1,0 +1,26 @@
+#include "util/bit_matrix.h"
+
+namespace poetbin {
+
+BitMatrix BitMatrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  BitMatrix out(row_indices.size(), cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    const BitVector& src = cols_[c];
+    BitVector& dst = out.cols_[c];
+    for (std::size_t r = 0; r < row_indices.size(); ++r) {
+      POETBIN_CHECK(row_indices[r] < n_rows_);
+      dst.set(r, src.get(row_indices[r]));
+    }
+  }
+  return out;
+}
+
+void BitMatrix::append_row(const std::vector<bool>& bits) {
+  POETBIN_CHECK(bits.size() == cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].push_back(bits[c]);
+  }
+  ++n_rows_;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,119 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace poetbin {
+
+namespace {
+constexpr std::size_t words_for(std::size_t n_bits) { return (n_bits + 63) / 64; }
+}  // namespace
+
+BitVector::BitVector(std::size_t n_bits, bool value)
+    : n_bits_(n_bits),
+      words_(words_for(n_bits), value ? ~0ULL : 0ULL) {
+  mask_tail();
+}
+
+void BitVector::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::fill(bool value) {
+  for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+  mask_tail();
+}
+
+void BitVector::resize(std::size_t n_bits, bool value) {
+  const std::size_t old_bits = n_bits_;
+  n_bits_ = n_bits;
+  words_.resize(words_for(n_bits), 0);
+  if (value && n_bits > old_bits) {
+    for (std::size_t i = old_bits; i < n_bits; ++i) set(i, true);
+  }
+  mask_tail();
+}
+
+void BitVector::push_back(bool value) {
+  resize(n_bits_ + 1);
+  set(n_bits_ - 1, value);
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVector::popcount_prefix(std::size_t prefix_bits) const {
+  POETBIN_CHECK(prefix_bits <= n_bits_);
+  std::size_t total = 0;
+  const std::size_t full_words = prefix_bits / 64;
+  for (std::size_t i = 0; i < full_words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+  const std::size_t rem = prefix_bits & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    total += static_cast<std::size_t>(std::popcount(words_[full_words] & mask));
+  }
+  return total;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVector BitVector::operator~() const {
+  BitVector result = *this;
+  for (auto& w : result.words_) w = ~w;
+  result.mask_tail();
+  return result;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return n_bits_ == other.n_bits_ && words_ == other.words_;
+}
+
+std::size_t BitVector::xnor_popcount(const BitVector& other) const {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  return n_bits_ - hamming(other);
+}
+
+std::size_t BitVector::hamming(const BitVector& other) const {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(n_bits_);
+  for (std::size_t i = 0; i < n_bits_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+void BitVector::mask_tail() {
+  const std::size_t rem = n_bits_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+}  // namespace poetbin

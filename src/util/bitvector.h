@@ -1,0 +1,84 @@
+// Packed bit vector with word-parallel logic ops and popcount.
+//
+// This is the unit of storage for binary activations: one BitVector holds
+// either one example's feature bits or (in BitMatrix) one feature's value
+// across all examples.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n_bits, bool value = false);
+
+  std::size_t size() const { return n_bits_; }
+  bool empty() const { return n_bits_ == 0; }
+
+  bool get(std::size_t i) const {
+    POETBIN_CHECK(i < n_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value) {
+    POETBIN_CHECK(i < n_bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void clear();             // all bits -> 0
+  void fill(bool value);    // all bits -> value
+  void resize(std::size_t n_bits, bool value = false);
+  void push_back(bool value);
+
+  // Number of set bits.
+  std::size_t popcount() const;
+  // Number of set bits among the first `prefix_bits` bits.
+  std::size_t popcount_prefix(std::size_t prefix_bits) const;
+
+  // Word-parallel logic. Operands must have equal size.
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator^=(const BitVector& other);
+  BitVector operator~() const;
+
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  bool operator==(const BitVector& other) const;
+
+  // XNOR-popcount: number of positions where the two vectors agree.
+  // This is the binary "dot product" used by BinaryNet-style neurons.
+  std::size_t xnor_popcount(const BitVector& other) const;
+
+  // Hamming distance (positions where they differ).
+  std::size_t hamming(const BitVector& other) const;
+
+  // Raw word access for tight inner loops (e.g. LevelDT's entropy scan).
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* words() { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
+  // "0101..." with bit 0 first; for tests and debugging.
+  std::string to_string() const;
+
+ private:
+  void mask_tail();  // zero bits beyond n_bits_ in the last word
+
+  std::size_t n_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace poetbin

@@ -1,0 +1,30 @@
+// Contract-checking macros used across the library.
+//
+// POETBIN_CHECK is active in all build types: library invariants and caller
+// contracts are cheap relative to training loops, and silent corruption in a
+// hardware-generation path is far worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace poetbin {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace poetbin
+
+#define POETBIN_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) ::poetbin::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define POETBIN_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) ::poetbin::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace poetbin {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& headers)
+    : out_(path), n_cols_(headers.size()) {
+  write_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  POETBIN_CHECK(cells.size() == n_cols_);
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted.push_back(ch);
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace poetbin

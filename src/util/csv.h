@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting bench sweeps (ablation frontiers etc.).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace poetbin {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t n_cols_;
+};
+
+}  // namespace poetbin

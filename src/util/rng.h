@@ -1,0 +1,115 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library takes an explicit seed so that
+// training runs, tests and benches are reproducible bit-for-bit across runs
+// and platforms. We use xoshiro256** seeded through splitmix64, which is
+// fast, well distributed and trivially portable (no libstdc++ distribution
+// differences leak into results).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+// splitmix64: used to expand a single 64-bit seed into the xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna), public domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    POETBIN_CHECK(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  std::size_t next_index(std::size_t bound) {
+    return static_cast<std::size_t>(next_below(bound));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  // Standard normal via Box-Muller (cached second value).
+  double next_gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    cached_ = mag * std::sin(two_pi * u2);
+    has_cached_ = true;
+    return mag * std::cos(two_pi * u2);
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * next_gaussian();
+  }
+
+  // Derive an independent stream, e.g. one per decision tree or per worker.
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+  template <typename T>
+  void shuffle(T* data, std::size_t n) {
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::size_t j = next_index(i + 1);
+      T tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace poetbin

@@ -1,0 +1,31 @@
+// ASCII table printer used by the bench harnesses to reproduce the paper's
+// tables side by side with our measured/model values.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poetbin {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  // Scientific notation, e.g. "8.2e-09".
+  static std::string sci(double value, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace poetbin

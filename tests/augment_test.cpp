@@ -1,0 +1,94 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace poetbin {
+namespace {
+
+TEST(Augment, ShiftMovesPixels) {
+  float image[16] = {};
+  image[5] = 1.0f;  // (1, 1) in a 4x4 single-channel image
+  shift_image(image, 1, 4, 4, 1, 2);
+  EXPECT_FLOAT_EQ(image[5], 0.0f);
+  EXPECT_FLOAT_EQ(image[2 * 4 + 3], 1.0f);  // (2, 3)
+}
+
+TEST(Augment, ShiftPadsWithZeros) {
+  float image[16];
+  std::fill(image, image + 16, 1.0f);
+  shift_image(image, 1, 4, 4, 2, 0);
+  // The top two rows came from outside the frame.
+  for (int c = 0; c < 8; ++c) EXPECT_FLOAT_EQ(image[c], 0.0f);
+  for (int c = 8; c < 16; ++c) EXPECT_FLOAT_EQ(image[c], 1.0f);
+}
+
+TEST(Augment, ShiftHandlesChannelsIndependently) {
+  float image[32] = {};
+  image[0] = 1.0f;       // channel 0 (0,0)
+  image[16 + 15] = 1.0f; // channel 1 (3,3)
+  shift_image(image, 2, 4, 4, 0, 1);
+  EXPECT_FLOAT_EQ(image[1], 1.0f);
+  EXPECT_FLOAT_EQ(image[16 + 15], 0.0f);  // shifted out? no: (3,3)->(3,4) out
+}
+
+TEST(Augment, FlipReversesRows) {
+  float image[8] = {1, 2, 3, 4, 5, 6, 7, 8};  // 1ch 2x4
+  flip_image_horizontal(image, 1, 2, 4);
+  EXPECT_FLOAT_EQ(image[0], 4.0f);
+  EXPECT_FLOAT_EQ(image[3], 1.0f);
+  EXPECT_FLOAT_EQ(image[4], 8.0f);
+}
+
+TEST(Augment, FlipIsInvolution) {
+  ImageDataset data = make_digits(5, 3);
+  ImageDataset copy = data;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    flip_image_horizontal(copy.image(i), copy.channels, copy.height, copy.width);
+    flip_image_horizontal(copy.image(i), copy.channels, copy.height, copy.width);
+  }
+  EXPECT_EQ(copy.pixels, data.pixels);
+}
+
+TEST(Augment, DatasetPreservesLabelsAndShapes) {
+  const ImageDataset data = make_digits(50, 4);
+  const ImageDataset augmented = augment_dataset(data, {.padding = 2});
+  EXPECT_EQ(augmented.labels, data.labels);
+  EXPECT_EQ(augmented.size(), data.size());
+  EXPECT_EQ(augmented.image_size(), data.image_size());
+}
+
+TEST(Augment, DatasetActuallyPerturbs) {
+  const ImageDataset data = make_digits(50, 5);
+  const ImageDataset augmented = augment_dataset(data, {.padding = 2});
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t k = 0; k < data.image_size(); ++k) {
+      if (data.image(i)[k] != augmented.image(i)[k]) {
+        ++changed;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(changed, 35u);  // ~24/25 get a nonzero shift
+}
+
+TEST(Augment, ZeroPaddingNoFlipIsIdentity) {
+  const ImageDataset data = make_digits(10, 6);
+  const ImageDataset augmented =
+      augment_dataset(data, {.padding = 0, .horizontal_flip = false});
+  EXPECT_EQ(augmented.pixels, data.pixels);
+}
+
+TEST(Augment, DeterministicInSeed) {
+  const ImageDataset data = make_digits(20, 7);
+  const ImageDataset a = augment_dataset(data, {.padding = 2, .seed = 9});
+  const ImageDataset b = augment_dataset(data, {.padding = 2, .seed = 9});
+  const ImageDataset c = augment_dataset(data, {.padding = 2, .seed = 10});
+  EXPECT_EQ(a.pixels, b.pixels);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+}  // namespace
+}  // namespace poetbin

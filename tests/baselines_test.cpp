@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/binarynet.h"
+#include "baselines/ndf.h"
+#include "baselines/polybinn.h"
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+// All baselines share the prototype dataset: 10 classes, 64 binary features,
+// flip noise 8%. A competent classifier should reach >= 85% on held-out
+// data; chance is 10%.
+struct Splits {
+  BinaryDataset train;
+  BinaryDataset test;
+};
+
+Splits make_splits(std::uint64_t seed) {
+  // One generation, then split: train and test must share the same class
+  // prototypes (independent draws would have unrelated class structure).
+  const BinaryDataset all = testing::prototype_dataset(1600, 64, seed);
+  std::vector<std::size_t> train_rows(1200);
+  std::vector<std::size_t> test_rows(400);
+  std::iota(train_rows.begin(), train_rows.end(), std::size_t{0});
+  std::iota(test_rows.begin(), test_rows.end(), std::size_t{1200});
+  return {all.select(train_rows), all.select(test_rows)};
+}
+
+TEST(BinaryNet, LearnsPrototypes) {
+  const Splits splits = make_splits(1);
+  BinaryNetConfig config;
+  config.epochs = 15;
+  const BinaryNetClassifier model =
+      BinaryNetClassifier::train(splits.train, config);
+  EXPECT_GT(model.accuracy(splits.train), 0.9);
+  EXPECT_GT(model.accuracy(splits.test), 0.8);
+}
+
+TEST(BinaryNet, NeuronCountMatchesArchitecture) {
+  const Splits splits = make_splits(2);
+  BinaryNetConfig config;
+  config.hidden_dims = {128, 32};
+  config.epochs = 2;
+  const BinaryNetClassifier model =
+      BinaryNetClassifier::train(splits.train, config);
+  EXPECT_EQ(model.n_neurons(), 128u + 32u + 10u);
+}
+
+TEST(BinaryNet, PredictionsInRange) {
+  const Splits splits = make_splits(3);
+  BinaryNetConfig config;
+  config.epochs = 3;
+  const BinaryNetClassifier model =
+      BinaryNetClassifier::train(splits.train, config);
+  for (const int p : model.predict(splits.test)) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 10);
+  }
+}
+
+TEST(PolyBinn, LearnsPrototypes) {
+  const Splits splits = make_splits(4);
+  PolyBinnConfig config;
+  config.trees_per_class = 6;
+  config.max_depth = 5;
+  const PolyBinn model = PolyBinn::train(splits.train, config);
+  EXPECT_GT(model.accuracy(splits.train), 0.8);
+  EXPECT_GT(model.accuracy(splits.test), 0.7);
+}
+
+TEST(PolyBinn, ResourceCountersPositive) {
+  const Splits splits = make_splits(5);
+  PolyBinnConfig config;
+  config.trees_per_class = 3;
+  config.max_depth = 4;
+  const PolyBinn model = PolyBinn::train(splits.train, config);
+  EXPECT_GT(model.total_nodes(), 10u * 3u);  // at least a node per tree
+  EXPECT_GT(model.total_distinct_features(), 0u);
+}
+
+TEST(Ndf, LearnsPrototypes) {
+  const Splits splits = make_splits(6);
+  NdfConfig config;
+  config.n_trees = 4;
+  config.depth = 3;
+  config.epochs = 8;
+  const NeuralDecisionForest model =
+      NeuralDecisionForest::train(splits.train, config);
+  EXPECT_GT(model.accuracy(splits.train), 0.85);
+  EXPECT_GT(model.accuracy(splits.test), 0.75);
+}
+
+TEST(Ndf, NllDecreasesWithTraining) {
+  const Splits splits = make_splits(7);
+  NdfConfig short_config;
+  short_config.n_trees = 3;
+  short_config.depth = 3;
+  short_config.epochs = 1;
+  NdfConfig long_config = short_config;
+  long_config.epochs = 8;
+  const auto short_model = NeuralDecisionForest::train(splits.train, short_config);
+  const auto long_model = NeuralDecisionForest::train(splits.train, long_config);
+  EXPECT_LT(long_model.nll(splits.train), short_model.nll(splits.train));
+}
+
+TEST(Ndf, ProbabilitiesFormDistribution) {
+  const Splits splits = make_splits(8);
+  NdfConfig config;
+  config.n_trees = 2;
+  config.depth = 2;
+  config.epochs = 1;
+  const auto model = NeuralDecisionForest::train(splits.train, config);
+  // predict() must yield valid classes; nll finite.
+  const auto predictions = model.predict(splits.test);
+  for (const int p : predictions) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 10);
+  }
+  EXPECT_TRUE(std::isfinite(model.nll(splits.test)));
+}
+
+}  // namespace
+}  // namespace poetbin

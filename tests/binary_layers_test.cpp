@@ -1,0 +1,93 @@
+#include "nn/binary_layers.h"
+
+#include <gtest/gtest.h>
+
+namespace poetbin {
+namespace {
+
+TEST(SignActivation, ForwardIsPlusMinusOne) {
+  SignActivation sign;
+  Matrix input(1, 3);
+  input.vec() = {-0.5f, 0.0f, 2.0f};
+  const Matrix out = sign.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out(0, 2), 1.0f);
+}
+
+TEST(SignActivation, GradientGatedBySaturation) {
+  SignActivation sign;
+  Matrix input(1, 3);
+  input.vec() = {0.5f, -2.0f, 0.9f};
+  sign.forward(input, true);
+  Matrix grad(1, 3, 1.0f);
+  const Matrix gin = sign.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(gin(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(gin(0, 2), 1.0f);
+}
+
+TEST(BinaryDense, ForwardUsesSignOfLatentWeights) {
+  Rng rng(1);
+  BinaryDense dense(2, 1, rng);
+  dense.latent().value(0, 0) = 0.3f;
+  dense.latent().value(1, 0) = -0.7f;
+  Matrix input(1, 2);
+  input.vec() = {1.0f, 1.0f};
+  const Matrix out = dense.forward(input, false);
+  // sign(0.3)=+1, sign(-0.7)=-1 -> 1*1 + 1*(-1) = 0.
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+}
+
+TEST(BinaryDense, ClipKeepsLatentInUnitBox) {
+  Rng rng(2);
+  BinaryDense dense(4, 4, rng);
+  dense.latent().value(0, 0) = 5.0f;
+  dense.latent().value(1, 1) = -5.0f;
+  dense.clip_latent_weights();
+  EXPECT_FLOAT_EQ(dense.latent().value(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dense.latent().value(1, 1), -1.0f);
+}
+
+TEST(BinaryDense, XnorPopcountPathMatchesFloatForward) {
+  Rng rng(3);
+  const std::size_t in_dim = 64;
+  const std::size_t out_dim = 8;
+  BinaryDense dense(in_dim, out_dim, rng);
+
+  // Random ±1 input, encoded both as floats and as bits.
+  Matrix input(1, in_dim);
+  BitVector input_bits(in_dim);
+  Rng bits_rng(4);
+  for (std::size_t i = 0; i < in_dim; ++i) {
+    const bool bit = bits_rng.next_bool();
+    input(0, i) = bit ? 1.0f : -1.0f;
+    input_bits.set(i, bit);
+  }
+
+  const Matrix float_out = dense.forward(input, false);
+  const auto packed = dense.packed_weights();
+  ASSERT_EQ(packed.size(), out_dim);
+  for (std::size_t j = 0; j < out_dim; ++j) {
+    const long preact = xnor_preactivation(input_bits, packed[j]);
+    EXPECT_FLOAT_EQ(float_out(0, j), static_cast<float>(preact)) << "neuron " << j;
+  }
+}
+
+TEST(XnorPreactivation, KnownValues) {
+  BitVector a(4);
+  BitVector b(4);
+  // all disagree: sum of (2a-1)(2b-1) = -4
+  a.fill(true);
+  EXPECT_EQ(xnor_preactivation(a, b), -4);
+  // all agree: +4
+  b.fill(true);
+  EXPECT_EQ(xnor_preactivation(a, b), 4);
+  // half agree: 0
+  b.set(0, false);
+  b.set(1, false);
+  EXPECT_EQ(xnor_preactivation(a, b), 0);
+}
+
+}  // namespace
+}  // namespace poetbin

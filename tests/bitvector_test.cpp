@@ -1,0 +1,177 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace poetbin {
+namespace {
+
+TEST(BitVector, StartsCleared) {
+  BitVector bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.popcount(), 0u);
+  for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.get(i));
+}
+
+TEST(BitVector, FillConstructor) {
+  BitVector bits(70, true);
+  EXPECT_EQ(bits.popcount(), 70u);
+}
+
+TEST(BitVector, SetGetRoundTrip) {
+  BitVector bits(130);
+  bits.set(0, true);
+  bits.set(63, true);
+  bits.set(64, true);
+  bits.set(129, true);
+  EXPECT_TRUE(bits.get(0));
+  EXPECT_TRUE(bits.get(63));
+  EXPECT_TRUE(bits.get(64));
+  EXPECT_TRUE(bits.get(129));
+  EXPECT_FALSE(bits.get(1));
+  EXPECT_EQ(bits.popcount(), 4u);
+  bits.set(63, false);
+  EXPECT_FALSE(bits.get(63));
+  EXPECT_EQ(bits.popcount(), 3u);
+}
+
+TEST(BitVector, TailBitsStayMasked) {
+  BitVector bits(65, true);
+  // Only 65 bits should count even though two words are allocated.
+  EXPECT_EQ(bits.popcount(), 65u);
+  const BitVector inverted = ~bits;
+  EXPECT_EQ(inverted.popcount(), 0u);
+}
+
+TEST(BitVector, LogicOps) {
+  BitVector a(8);
+  BitVector b(8);
+  a.set(0, true);
+  a.set(1, true);
+  b.set(1, true);
+  b.set(2, true);
+  EXPECT_EQ((a & b).popcount(), 1u);
+  EXPECT_EQ((a | b).popcount(), 3u);
+  EXPECT_EQ((a ^ b).popcount(), 2u);
+  EXPECT_TRUE((a & b).get(1));
+}
+
+TEST(BitVector, NotRespectsSize) {
+  BitVector a(10);
+  a.set(3, true);
+  const BitVector b = ~a;
+  EXPECT_EQ(b.popcount(), 9u);
+  EXPECT_FALSE(b.get(3));
+}
+
+TEST(BitVector, PopcountPrefix) {
+  BitVector bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i, true);
+  for (const std::size_t prefix : {0u, 1u, 63u, 64u, 65u, 128u, 199u, 200u}) {
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      if (bits.get(i)) ++expected;
+    }
+    EXPECT_EQ(bits.popcount_prefix(prefix), expected) << "prefix=" << prefix;
+  }
+}
+
+TEST(BitVector, XnorPopcountMatchesDefinition) {
+  Rng rng(77);
+  BitVector a(150);
+  BitVector b(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    a.set(i, rng.next_bool());
+    b.set(i, rng.next_bool());
+  }
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < 150; ++i) {
+    if (a.get(i) == b.get(i)) ++agree;
+  }
+  EXPECT_EQ(a.xnor_popcount(b), agree);
+  EXPECT_EQ(a.hamming(b), 150u - agree);
+}
+
+TEST(BitVector, XnorPopcountSelfIsSize) {
+  BitVector a(77, true);
+  EXPECT_EQ(a.xnor_popcount(a), 77u);
+  EXPECT_EQ(a.hamming(a), 0u);
+}
+
+TEST(BitVector, ResizeGrowsWithValue) {
+  BitVector bits(10);
+  bits.set(9, true);
+  bits.resize(80, true);
+  EXPECT_TRUE(bits.get(9));
+  EXPECT_TRUE(bits.get(79));
+  EXPECT_EQ(bits.popcount(), 71u);
+  bits.resize(5);
+  EXPECT_EQ(bits.size(), 5u);
+  EXPECT_EQ(bits.popcount(), 0u);
+}
+
+TEST(BitVector, PushBack) {
+  BitVector bits;
+  for (int i = 0; i < 100; ++i) bits.push_back(i % 2 == 0);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.popcount(), 50u);
+  EXPECT_TRUE(bits.get(0));
+  EXPECT_FALSE(bits.get(99));
+}
+
+TEST(BitVector, EqualityConsidersSizeAndBits) {
+  BitVector a(10);
+  BitVector b(10);
+  EXPECT_EQ(a, b);
+  b.set(4, true);
+  EXPECT_FALSE(a == b);
+  BitVector c(11);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVector, ToStringOrdersBitZeroFirst) {
+  BitVector bits(4);
+  bits.set(0, true);
+  bits.set(3, true);
+  EXPECT_EQ(bits.to_string(), "1001");
+}
+
+// Property sweep: word-parallel ops agree with the naive per-bit versions
+// for many sizes straddling word boundaries.
+class BitVectorPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorPropertyTest, OpsMatchNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  BitVector a(n);
+  BitVector b(n);
+  std::vector<bool> na(n);
+  std::vector<bool> nb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    na[i] = rng.next_bool();
+    nb[i] = rng.next_bool();
+    a.set(i, na[i]);
+    b.set(i, nb[i]);
+  }
+  const BitVector and_bits = a & b;
+  const BitVector or_bits = a | b;
+  const BitVector xor_bits = a ^ b;
+  std::size_t popcount = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(and_bits.get(i), na[i] && nb[i]);
+    EXPECT_EQ(or_bits.get(i), na[i] || nb[i]);
+    EXPECT_EQ(xor_bits.get(i), na[i] != nb[i]);
+    if (na[i]) ++popcount;
+  }
+  EXPECT_EQ(a.popcount(), popcount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,
+                         ::testing::Values(1, 2, 31, 32, 63, 64, 65, 127, 128,
+                                           129, 1000, 4096));
+
+}  // namespace
+}  // namespace poetbin

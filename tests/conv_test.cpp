@@ -1,0 +1,159 @@
+#include "nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poetbin {
+namespace {
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv({3, 16, 16}, 8, 3, 1, 1, rng);
+  EXPECT_EQ(conv.output_shape(), (Shape3{8, 16, 16}));
+  Conv2d strided({3, 16, 16}, 4, 3, 2, 1, rng);
+  EXPECT_EQ(strided.output_shape(), (Shape3{4, 8, 8}));
+  Conv2d valid({1, 5, 5}, 2, 3, 1, 0, rng);
+  EXPECT_EQ(valid.output_shape(), (Shape3{2, 3, 3}));
+}
+
+// A 1x1 kernel conv with identity-ish weights is a per-pixel linear map;
+// verify against direct computation.
+TEST(Conv2d, OneByOneKernelIsPointwise) {
+  Rng rng(2);
+  Conv2d conv({2, 4, 4}, 1, 1, 1, 0, rng);
+  // weights: (in_c*1*1 x out_c) = (2 x 1)
+  Matrix input(1, 2 * 4 * 4);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.vec()[i] = static_cast<float>(i) * 0.1f;
+  }
+  const Matrix out = conv.forward(input, false);
+  ASSERT_EQ(out.cols(), 16u);
+  // Recover weights via probing: output = w0*c0 + w1*c1 + b.
+  Matrix zero(1, 32);
+  const float bias = conv.forward(zero, false)(0, 0);
+  Matrix e0(1, 32);
+  e0.vec()[0] = 1.0f;  // channel 0, pixel (0,0)
+  const float w0 = conv.forward(e0, false)(0, 0) - bias;
+  Matrix e1(1, 32);
+  e1.vec()[16] = 1.0f;  // channel 1, pixel (0,0)
+  const float w1 = conv.forward(e1, false)(0, 0) - bias;
+  EXPECT_NEAR(out(0, 0), w0 * input.vec()[0] + w1 * input.vec()[16] + bias, 1e-4);
+  EXPECT_NEAR(out(0, 5), w0 * input.vec()[5] + w1 * input.vec()[21] + bias, 1e-4);
+}
+
+TEST(Conv2d, TranslationEquivarianceInterior) {
+  Rng rng(3);
+  Conv2d conv({1, 8, 8}, 3, 3, 1, 1, rng);
+  Matrix a(1, 64);
+  a.vec()[static_cast<std::size_t>(3 * 8 + 3)] = 1.0f;
+  Matrix b(1, 64);
+  b.vec()[static_cast<std::size_t>(4 * 8 + 4)] = 1.0f;
+  const Matrix out_a = conv.forward(a, false);
+  const Matrix out_b = conv.forward(b, false);
+  // Responses at (3,3) for a and (4,4) for b must match channel-wise.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(out_a(0, c * 64 + 3 * 8 + 3), out_b(0, c * 64 + 4 * 8 + 4), 1e-5);
+    EXPECT_NEAR(out_a(0, c * 64 + 2 * 8 + 3), out_b(0, c * 64 + 3 * 8 + 4), 1e-5);
+  }
+}
+
+TEST(Conv2d, InputGradientNumeric) {
+  Rng rng(4);
+  Conv2d conv({1, 5, 5}, 2, 3, 1, 1, rng);
+  Matrix input = Matrix::randn(2, 25, rng, 1.0);
+  Matrix loss_weights = Matrix::randn(2, 2 * 25, rng, 1.0);
+
+  conv.forward(input, true);
+  const Matrix grad_input = conv.backward(loss_weights);
+
+  const float epsilon = 1e-2f;
+  for (std::size_t i = 0; i < input.size(); i += 7) {
+    Matrix plus = input;
+    Matrix minus = input;
+    plus.vec()[i] += epsilon;
+    minus.vec()[i] -= epsilon;
+    const Matrix out_plus = conv.forward(plus, false);
+    const Matrix out_minus = conv.forward(minus, false);
+    double numeric = 0.0;
+    for (std::size_t k = 0; k < out_plus.size(); ++k) {
+      numeric += (out_plus.vec()[k] - out_minus.vec()[k]) * loss_weights.vec()[k];
+    }
+    numeric /= 2.0 * epsilon;
+    EXPECT_NEAR(grad_input.vec()[i], numeric, 2e-2 * (1.0 + std::fabs(numeric)));
+  }
+}
+
+TEST(Conv2d, WeightGradientNumeric) {
+  Rng rng(5);
+  Conv2d conv({1, 4, 4}, 1, 3, 1, 1, rng);
+  Matrix input = Matrix::randn(1, 16, rng, 1.0);
+  Matrix loss_weights = Matrix::randn(1, 16, rng, 1.0);
+
+  conv.forward(input, true);
+  conv.backward(loss_weights);
+  std::vector<Param*> params;
+  conv.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  const Matrix analytic = params[0]->grad;
+
+  const float epsilon = 1e-2f;
+  for (std::size_t i = 0; i < params[0]->value.size(); ++i) {
+    float& w = params[0]->value.vec()[i];
+    const float original = w;
+    w = original + epsilon;
+    const Matrix out_plus = conv.forward(input, false);
+    w = original - epsilon;
+    const Matrix out_minus = conv.forward(input, false);
+    w = original;
+    double numeric = 0.0;
+    for (std::size_t k = 0; k < out_plus.size(); ++k) {
+      numeric += (out_plus.vec()[k] - out_minus.vec()[k]) * loss_weights.vec()[k];
+    }
+    numeric /= 2.0 * epsilon;
+    EXPECT_NEAR(analytic.vec()[i], numeric, 2e-2 * (1.0 + std::fabs(numeric)));
+  }
+}
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d pool({1, 4, 4}, 2);
+  EXPECT_EQ(pool.output_shape(), (Shape3{1, 2, 2}));
+  Matrix input(1, 16);
+  for (std::size_t i = 0; i < 16; ++i) input.vec()[i] = static_cast<float>(i);
+  const Matrix out = pool.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(out(0, 2), 13.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 15.0f);
+}
+
+TEST(MaxPool2d, PreservesBinaryValues) {
+  MaxPool2d pool({1, 4, 4}, 2);
+  Matrix input(1, 16);
+  input.vec()[3] = 1.0f;
+  input.vec()[10] = 1.0f;
+  const Matrix out = pool.forward(input, false);
+  for (const float v : out.vec()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+  // Pixel 3 = (row 0, col 3) -> cell (0,1); pixel 10 = (row 2, col 2) ->
+  // cell (1,1).
+  EXPECT_FLOAT_EQ(out(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 1.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool({1, 2, 2}, 2);
+  Matrix input(1, 4);
+  input.vec() = {0.1f, 0.9f, 0.3f, 0.2f};
+  pool.forward(input, true);
+  Matrix grad(1, 1, 5.0f);
+  const Matrix gin = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gin(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(gin(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(gin(0, 3), 0.0f);
+}
+
+}  // namespace
+}  // namespace poetbin

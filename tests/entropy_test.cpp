@@ -1,0 +1,52 @@
+#include "dt/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poetbin {
+namespace {
+
+TEST(Entropy, PureDistributionsAreZero) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+}
+
+TEST(Entropy, MaximalAtHalf) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_LT(binary_entropy(0.3), 1.0);
+  EXPECT_LT(binary_entropy(0.9), binary_entropy(0.6));
+}
+
+TEST(Entropy, Symmetric) {
+  for (double p = 0.05; p < 0.5; p += 0.05) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1.0 - p), 1e-12);
+  }
+}
+
+TEST(WeightedNodeEntropy, ScalesWithMass) {
+  const double h = weighted_node_entropy(1.0, 3.0);
+  EXPECT_NEAR(h, 4.0 * binary_entropy(0.75), 1e-12);
+  EXPECT_NEAR(weighted_node_entropy(2.0, 6.0), 2.0 * h, 1e-12);
+}
+
+TEST(WeightedNodeEntropy, EmptyAndPureNodes) {
+  EXPECT_DOUBLE_EQ(weighted_node_entropy(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_node_entropy(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_node_entropy(0.0, 5.0), 0.0);
+}
+
+TEST(WeightedNodeEntropy, SplitNeverIncreasesEntropy) {
+  // Concavity: H(parent) >= H(left) + H(right) for any split of the mass.
+  const double parent = weighted_node_entropy(4.0, 6.0);
+  for (double l0 = 0.0; l0 <= 4.0; l0 += 1.0) {
+    for (double l1 = 0.0; l1 <= 6.0; l1 += 1.0) {
+      const double split = weighted_node_entropy(l0, l1) +
+                           weighted_node_entropy(4.0 - l0, 6.0 - l1);
+      EXPECT_LE(split, parent + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poetbin

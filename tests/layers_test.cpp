@@ -1,0 +1,270 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poetbin {
+namespace {
+
+// Finite-difference check of dLoss/dInput for a layer, where the loss is a
+// fixed random linear functional of the output (so dLoss/dOutput is known).
+void check_input_gradient(Layer& layer, Matrix input, double tolerance = 2e-2) {
+  Rng rng(17);
+  Matrix output = layer.forward(input, /*train=*/true);
+  const Matrix loss_weights = Matrix::randn(output.rows(), output.cols(), rng, 1.0);
+
+  const Matrix grad_input = layer.backward(loss_weights);
+  ASSERT_EQ(grad_input.rows(), input.rows());
+  ASSERT_EQ(grad_input.cols(), input.cols());
+
+  const float epsilon = 1e-2f;
+  for (std::size_t i = 0; i < input.size(); i += 3) {  // sample every 3rd
+    Matrix plus = input;
+    Matrix minus = input;
+    plus.vec()[i] += epsilon;
+    minus.vec()[i] -= epsilon;
+    const Matrix out_plus = layer.forward(plus, /*train=*/true);
+    const Matrix out_minus = layer.forward(minus, /*train=*/true);
+    double loss_plus = 0.0;
+    double loss_minus = 0.0;
+    for (std::size_t k = 0; k < out_plus.size(); ++k) {
+      loss_plus += static_cast<double>(out_plus.vec()[k]) * loss_weights.vec()[k];
+      loss_minus +=
+          static_cast<double>(out_minus.vec()[k]) * loss_weights.vec()[k];
+    }
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    // Re-run forward on the original input so cached state matches before
+    // comparing (backward was computed for `input`).
+    layer.forward(input, /*train=*/true);
+    EXPECT_NEAR(grad_input.vec()[i], numeric,
+                tolerance * (1.0 + std::fabs(numeric)))
+        << "input index " << i;
+  }
+}
+
+TEST(Dense, ForwardShapeAndBias) {
+  Rng rng(1);
+  Dense dense(3, 2, rng);
+  dense.bias().value(0, 0) = 5.0f;
+  Matrix input(1, 3);
+  const Matrix out = dense.forward(input, false);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0f);  // zero input -> bias only
+}
+
+TEST(Dense, InputGradient) {
+  Rng rng(2);
+  Dense dense(4, 3, rng);
+  Matrix input = Matrix::randn(2, 4, rng, 1.0);
+  check_input_gradient(dense, input);
+}
+
+TEST(Dense, WeightGradientAccumulates) {
+  Rng rng(3);
+  Dense dense(2, 2, rng);
+  Matrix input = Matrix::randn(3, 2, rng, 1.0);
+  Matrix grad(3, 2, 1.0f);
+  dense.forward(input, true);
+  dense.backward(grad);
+  const Matrix first = dense.weights().grad;
+  dense.forward(input, true);
+  dense.backward(grad);
+  EXPECT_NEAR(dense.weights().grad(0, 0), 2.0f * first(0, 0), 1e-4);
+}
+
+TEST(Dense, WeightGradientNumeric) {
+  Rng rng(4);
+  Dense dense(3, 2, rng);
+  Matrix input = Matrix::randn(2, 3, rng, 1.0);
+  Matrix loss_weights = Matrix::randn(2, 2, rng, 1.0);
+
+  dense.forward(input, true);
+  dense.backward(loss_weights);
+  const Matrix analytic = dense.weights().grad;
+
+  const float epsilon = 1e-2f;
+  for (std::size_t i = 0; i < dense.weights().value.size(); ++i) {
+    float& w = dense.weights().value.vec()[i];
+    const float original = w;
+    w = original + epsilon;
+    const Matrix out_plus = dense.forward(input, false);
+    w = original - epsilon;
+    const Matrix out_minus = dense.forward(input, false);
+    w = original;
+    double numeric = 0.0;
+    for (std::size_t k = 0; k < out_plus.size(); ++k) {
+      numeric += (out_plus.vec()[k] - out_minus.vec()[k]) * loss_weights.vec()[k];
+    }
+    numeric /= 2.0 * epsilon;
+    EXPECT_NEAR(analytic.vec()[i], numeric, 2e-2 * (1.0 + std::fabs(numeric)));
+  }
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  Matrix input(1, 4);
+  input.vec() = {-1.0f, 0.0f, 2.0f, -0.5f};
+  const Matrix out = relu.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 2), 2.0f);
+}
+
+TEST(Relu, BackwardMasks) {
+  Relu relu;
+  Matrix input(1, 3);
+  input.vec() = {-1.0f, 1.0f, 3.0f};
+  relu.forward(input, true);
+  Matrix grad(1, 3, 1.0f);
+  const Matrix gin = relu.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gin(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gin(0, 2), 1.0f);
+}
+
+TEST(BinarySigmoid, ForwardIsStep) {
+  BinarySigmoid act;
+  Matrix input(1, 4);
+  input.vec() = {-0.1f, 0.0f, 0.1f, -5.0f};
+  const Matrix out = act.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 1.0f);  // >= 0 -> 1
+  EXPECT_FLOAT_EQ(out(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 0.0f);
+}
+
+TEST(BinarySigmoid, StraightThroughGradientGating) {
+  BinarySigmoid act;
+  Matrix input(1, 3);
+  input.vec() = {0.5f, 1.5f, -0.9f};
+  act.forward(input, true);
+  Matrix grad(1, 3, 2.0f);
+  const Matrix gin = act.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 2.0f);  // inside [-1, 1]: pass through
+  EXPECT_FLOAT_EQ(gin(0, 1), 0.0f);  // saturated: blocked
+  EXPECT_FLOAT_EQ(gin(0, 2), 2.0f);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm bn(2);
+  Rng rng(5);
+  Matrix input = Matrix::randn(64, 2, rng, 3.0);
+  for (std::size_t r = 0; r < input.rows(); ++r) input(r, 0) += 10.0f;
+  const Matrix out = bn.forward(input, true);
+  double mean0 = 0.0;
+  double var0 = 0.0;
+  for (std::size_t r = 0; r < out.rows(); ++r) mean0 += out(r, 0);
+  mean0 /= out.rows();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    var0 += (out(r, 0) - mean0) * (out(r, 0) - mean0);
+  }
+  var0 /= out.rows();
+  EXPECT_NEAR(mean0, 0.0, 1e-4);
+  EXPECT_NEAR(var0, 1.0, 1e-2);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  BatchNorm bn(1);
+  Rng rng(6);
+  // Train on shifted data for a few batches so running stats adapt.
+  for (int i = 0; i < 50; ++i) {
+    Matrix batch = Matrix::randn(32, 1, rng, 1.0);
+    for (auto& v : batch.vec()) v += 4.0f;
+    bn.forward(batch, true);
+  }
+  Matrix probe(1, 1);
+  probe(0, 0) = 4.0f;  // at the running mean -> output near beta = 0
+  const Matrix out = bn.forward(probe, false);
+  EXPECT_NEAR(out(0, 0), 0.0f, 0.2f);
+}
+
+TEST(BatchNorm, InputGradient) {
+  BatchNorm bn(3);
+  Rng rng(7);
+  Matrix input = Matrix::randn(8, 3, rng, 2.0);
+  check_input_gradient(bn, input, 5e-2);
+}
+
+TEST(BlockSparseDense, ForwardUsesOnlyOwnBlock) {
+  Rng rng(20);
+  BlockSparseDense layer(2, 3, rng);
+  Matrix input(1, 6);
+  input.vec() = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  const Matrix base = layer.forward(input, false);
+  // Perturbing block 1's inputs must not change output 0.
+  Matrix perturbed = input;
+  perturbed(0, 3) += 10.0f;
+  perturbed(0, 5) -= 3.0f;
+  const Matrix out = layer.forward(perturbed, false);
+  EXPECT_FLOAT_EQ(out(0, 0), base(0, 0));
+  EXPECT_NE(out(0, 1), base(0, 1));
+}
+
+TEST(BlockSparseDense, ForwardMatchesManualComputation) {
+  Rng rng(21);
+  BlockSparseDense layer(2, 2, rng);
+  Matrix input(1, 4);
+  input.vec() = {1.0f, -1.0f, 0.5f, 2.0f};
+  const Matrix out = layer.forward(input, false);
+  const Matrix& w = layer.weights().value;
+  EXPECT_NEAR(out(0, 0),
+              w(0, 0) * 1.0f + w(0, 1) * -1.0f + layer.bias().value(0, 0), 1e-5);
+  EXPECT_NEAR(out(0, 1),
+              w(1, 0) * 0.5f + w(1, 1) * 2.0f + layer.bias().value(0, 1), 1e-5);
+}
+
+TEST(BlockSparseDense, InputGradient) {
+  Rng rng(22);
+  BlockSparseDense layer(3, 4, rng);
+  Matrix input = Matrix::randn(5, 12, rng, 1.0);
+  check_input_gradient(layer, input);
+}
+
+TEST(BlockSparseDense, GradientIsBlockLocal) {
+  Rng rng(23);
+  BlockSparseDense layer(2, 2, rng);
+  Matrix input = Matrix::randn(3, 4, rng, 1.0);
+  layer.forward(input, true);
+  // Only output 0 receives gradient: block 1 weights must stay untouched.
+  Matrix grad(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) grad(r, 0) = 1.0f;
+  layer.backward(grad);
+  std::vector<Param*> params;
+  layer.collect_params(params);
+  const Matrix& wgrad = params[0]->grad;
+  EXPECT_NE(wgrad(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(wgrad(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(wgrad(1, 1), 0.0f);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(8);
+  Dropout dropout(0.5, rng);
+  Matrix input = Matrix::randn(4, 4, rng, 1.0);
+  const Matrix out = dropout.forward(input, false);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.vec()[i], input.vec()[i]);
+  }
+}
+
+TEST(Dropout, TrainingDropsAndRescales) {
+  Rng rng(9);
+  Dropout dropout(0.5, rng);
+  Matrix input(1, 10000, 1.0f);
+  const Matrix out = dropout.forward(input, true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (const float v : out.vec()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - rate)
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.5, 0.03);
+  EXPECT_NEAR(sum / out.size(), 1.0, 0.06);  // expectation preserved
+}
+
+}  // namespace
+}  // namespace poetbin

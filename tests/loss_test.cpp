@@ -1,0 +1,105 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace poetbin {
+namespace {
+
+TEST(SquaredHinge, PerfectMarginIsZeroLoss) {
+  Matrix logits(1, 3);
+  logits.vec() = {2.0f, -2.0f, -2.0f};
+  const LossResult loss = squared_hinge_loss(logits, {0});
+  EXPECT_DOUBLE_EQ(loss.value, 0.0);
+  for (const float g : loss.grad.vec()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(SquaredHinge, KnownValue) {
+  Matrix logits(1, 2);
+  logits.vec() = {0.0f, 0.0f};
+  // margins: true class 1-0=1 -> loss 1; other 1-0=1 -> loss 1; total 2.
+  const LossResult loss = squared_hinge_loss(logits, {0});
+  EXPECT_DOUBLE_EQ(loss.value, 2.0);
+}
+
+TEST(SquaredHinge, GradientNumeric) {
+  Rng rng(1);
+  Matrix logits = Matrix::randn(4, 5, rng, 1.0);
+  const std::vector<int> labels = {0, 3, 2, 4};
+  const LossResult loss = squared_hinge_loss(logits, labels);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits;
+    Matrix minus = logits;
+    plus.vec()[i] += epsilon;
+    minus.vec()[i] -= epsilon;
+    const double numeric = (squared_hinge_loss(plus, labels).value -
+                            squared_hinge_loss(minus, labels).value) /
+                           (2.0 * epsilon);
+    EXPECT_NEAR(loss.grad.vec()[i], numeric, 1e-2);
+  }
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(2);
+  const Matrix logits = Matrix::randn(6, 10, rng, 3.0);
+  const Matrix probs = softmax(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GE(probs(r, c), 0.0f);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Matrix logits(1, 2);
+  logits.vec() = {1000.0f, 999.0f};
+  const Matrix probs = softmax(logits);
+  EXPECT_FALSE(std::isnan(probs(0, 0)));
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+}
+
+TEST(CrossEntropy, KnownValue) {
+  Matrix logits(1, 2);
+  logits.vec() = {0.0f, 0.0f};
+  const LossResult loss = cross_entropy_loss(logits, {1});
+  EXPECT_NEAR(loss.value, std::log(2.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientNumeric) {
+  Rng rng(3);
+  Matrix logits = Matrix::randn(3, 4, rng, 1.0);
+  const std::vector<int> labels = {1, 0, 3};
+  const LossResult loss = cross_entropy_loss(logits, labels);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits;
+    Matrix minus = logits;
+    plus.vec()[i] += epsilon;
+    minus.vec()[i] -= epsilon;
+    const double numeric = (cross_entropy_loss(plus, labels).value -
+                            cross_entropy_loss(minus, labels).value) /
+                           (2.0 * epsilon);
+    EXPECT_NEAR(loss.grad.vec()[i], numeric, 1e-2);
+  }
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Matrix logits(2, 3);
+  logits.vec() = {0.1f, 0.9f, 0.5f, 2.0f, -1.0f, 1.0f};
+  EXPECT_EQ(argmax_rows(logits), (std::vector<int>{1, 0}));
+}
+
+TEST(Accuracy, Computes) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,113 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace poetbin {
+namespace {
+
+Matrix make(std::size_t rows, std::size_t cols,
+            std::initializer_list<float> values) {
+  Matrix m(rows, cols);
+  std::size_t i = 0;
+  for (const float v : values) m.vec()[i++] = v;
+  return m;
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = make(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatmulTransposedMatchesExplicit) {
+  Rng rng(1);
+  const Matrix a = Matrix::randn(4, 6, rng, 1.0);
+  const Matrix b = Matrix::randn(5, 6, rng, 1.0);
+  const Matrix direct = a.matmul_transposed(b);
+  const Matrix expected = a.matmul(b.transpose());
+  ASSERT_EQ(direct.rows(), expected.rows());
+  ASSERT_EQ(direct.cols(), expected.cols());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.vec()[i], expected.vec()[i], 1e-4);
+  }
+}
+
+TEST(Matrix, TransposedMatmulMatchesExplicit) {
+  Rng rng(2);
+  const Matrix a = Matrix::randn(7, 3, rng, 1.0);
+  const Matrix b = Matrix::randn(7, 4, rng, 1.0);
+  const Matrix direct = a.transposed_matmul(b);
+  const Matrix expected = a.transpose().matmul(b);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.vec()[i], expected.vec()[i], 1e-4);
+  }
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(5, 9, rng, 1.0);
+  const Matrix back = a.transpose().transpose();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.vec()[i], back.vec()[i]);
+  }
+}
+
+TEST(Matrix, AddRowVector) {
+  Matrix m = make(2, 2, {1, 2, 3, 4});
+  const Matrix bias = make(1, 2, {10, 20});
+  m.add_row_vector(bias);
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 24.0f);
+}
+
+TEST(Matrix, ColumnSums) {
+  const Matrix m = make(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix sums = m.column_sums();
+  EXPECT_FLOAT_EQ(sums(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(sums(0, 1), 12.0f);
+}
+
+TEST(Matrix, HadamardAndScale) {
+  Matrix a = make(1, 3, {1, 2, 3});
+  const Matrix b = make(1, 3, {4, 5, 6});
+  const Matrix h = a.hadamard(b);
+  EXPECT_FLOAT_EQ(h(0, 2), 18.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a(0, 1), 4.0f);
+}
+
+TEST(Matrix, PlusMinus) {
+  Matrix a = make(1, 2, {1, 2});
+  const Matrix b = make(1, 2, {3, 5});
+  a += b;
+  EXPECT_FLOAT_EQ(a(0, 1), 7.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a(0, 1), 2.0f);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = make(1, 2, {3, 4});
+  EXPECT_NEAR(a.frobenius_norm(), 5.0, 1e-9);
+}
+
+TEST(Matrix, RandnStatistics) {
+  Rng rng(4);
+  const Matrix m = Matrix::randn(100, 100, rng, 0.5);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const float v : m.vec()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / m.size(), 0.0, 0.02);
+  EXPECT_NEAR(sq / m.size(), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,54 @@
+#include "hw/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+TEST(MemoryModel, MonolithicGrowsExponentially) {
+  EXPECT_EQ(monolithic_table_bits(6), 64u);
+  EXPECT_EQ(monolithic_table_bits(10), 1024u);
+  // The paper's example: a 30-input LUT already needs one gigabit.
+  EXPECT_EQ(monolithic_table_bits(30), std::uint64_t{1} << 30);
+  EXPECT_EQ(monolithic_table_bits(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MemoryModel, RincBitsMatchStructure) {
+  // Full RINC-2 at P=6: 43 LUTs x 64 bits.
+  EXPECT_EQ(rinc_table_bits(6, 2, 0), 43u * 64u);
+  // MNIST config: 37 LUTs x 256 bits.
+  EXPECT_EQ(rinc_table_bits(8, 2, 32), 37u * 256u);
+}
+
+TEST(MemoryModel, RincBitsFromTrainedModule) {
+  const BitMatrix features = testing::random_bits(200, 32, 1);
+  BitVector targets(200);
+  for (std::size_t i = 0; i < 200; ++i) targets.set(i, features.get(i, 4));
+  const RincModule module = RincModule::train(
+      features, targets, {}, {.lut_inputs = 4, .levels = 2, .total_dts = 8});
+  // 8 leaves + 2 subgroup MATs (arity 4) + 1 top MAT (arity 2).
+  EXPECT_EQ(rinc_table_bits(module), 8u * 16u + 2u * 16u + 4u);
+}
+
+TEST(MemoryModel, RincBeatsMonolithicForWideInputs) {
+  // Same effective input capacity, exponentially cheaper tables.
+  const std::uint64_t capacity = rinc_input_capacity(6, 2);  // 216 inputs
+  EXPECT_EQ(capacity, 216u);
+  EXPECT_LT(rinc_table_bits(6, 2, 0),
+            monolithic_table_bits(30));  // even 30 << 216 inputs is worse
+}
+
+TEST(MemoryModel, BlockRamPacking) {
+  EXPECT_EQ(block_rams_required(0), 0u);
+  EXPECT_EQ(block_rams_required(1), 1u);
+  EXPECT_EQ(block_rams_required(kBlockRamBits), 1u);
+  EXPECT_EQ(block_rams_required(kBlockRamBits + 1), 2u);
+  // SVHN-style module: 43 x 64 bits = 2752 bits -> one BRAM.
+  EXPECT_EQ(block_rams_required(rinc_table_bits(6, 2, 36)), 1u);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace poetbin {
+namespace {
+
+// Minimise f(w) = 0.5 * ||w - target||^2 directly through the Param/grad
+// machinery; both optimizers must converge.
+template <typename Opt>
+double optimize_quadratic(Opt&& optimizer, int steps) {
+  Param param(Matrix(1, 4));
+  const float target[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  optimizer.attach({&param});
+  for (int s = 0; s < steps; ++s) {
+    optimizer.zero_grad();
+    for (std::size_t i = 0; i < 4; ++i) {
+      param.grad.vec()[i] = param.value.vec()[i] - target[i];
+    }
+    optimizer.step();
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    err += std::fabs(param.value.vec()[i] - target[i]);
+  }
+  return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  EXPECT_LT(optimize_quadratic(Sgd(0.1), 200), 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_LT(optimize_quadratic(Adam(0.05), 500), 1e-2);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  // With equal LR and step count, momentum should make at least as much
+  // progress as plain SGD on a smooth quadratic.
+  const double with_momentum = optimize_quadratic(Sgd(0.01, 0.9), 50);
+  const double without = optimize_quadratic(Sgd(0.01, 0.0), 50);
+  EXPECT_LE(with_momentum, without + 1e-9);
+}
+
+TEST(Optimizer, LearningRateDecay) {
+  Sgd sgd(1.0);
+  sgd.decay_learning_rate(0.5);
+  sgd.decay_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.25);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Param param(Matrix(1, 2));
+  param.grad.vec() = {3.0f, 4.0f};
+  Sgd sgd(0.1);
+  sgd.attach({&param});
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(param.grad.vec()[0], 0.0f);
+  EXPECT_FLOAT_EQ(param.grad.vec()[1], 0.0f);
+}
+
+TEST(Adam, StepIsBoundedByLearningRate) {
+  // Adam's per-step displacement is roughly bounded by lr regardless of
+  // gradient magnitude.
+  Param param(Matrix(1, 1));
+  Adam adam(0.01);
+  adam.attach({&param});
+  param.grad.vec()[0] = 1e6f;
+  adam.step();
+  EXPECT_LT(std::fabs(param.value.vec()[0]), 0.1f);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,98 @@
+#include "nn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace poetbin {
+namespace {
+
+TEST(Quantize, FitCoversRange) {
+  Matrix values(1, 4);
+  values.vec() = {-2.0f, 0.0f, 1.0f, 3.0f};
+  const QuantizerParams params = fit_quantizer(values, 8);
+  EXPECT_FLOAT_EQ(params.min_value, -2.0f);
+  EXPECT_FLOAT_EQ(params.max_value, 3.0f);
+  EXPECT_EQ(params.levels(), 256u);
+}
+
+TEST(Quantize, DegenerateRangeIsWidened) {
+  Matrix values(1, 3, 1.5f);
+  const QuantizerParams params = fit_quantizer(values, 4);
+  EXPECT_GT(params.max_value, params.min_value);
+}
+
+TEST(Quantize, EndpointsExact) {
+  Matrix values(1, 2);
+  values.vec() = {-1.0f, 1.0f};
+  const QuantizerParams params = fit_quantizer(values, 8);
+  EXPECT_EQ(quantize_value(-1.0f, params), 0u);
+  EXPECT_EQ(quantize_value(1.0f, params), 255u);
+  EXPECT_FLOAT_EQ(quantize_dequantize(-1.0f, params), -1.0f);
+  EXPECT_FLOAT_EQ(quantize_dequantize(1.0f, params), 1.0f);
+}
+
+TEST(Quantize, ClampsOutOfRange) {
+  QuantizerParams params{8, 0.0f, 1.0f};
+  EXPECT_EQ(quantize_value(-5.0f, params), 0u);
+  EXPECT_EQ(quantize_value(5.0f, params), 255u);
+}
+
+TEST(Quantize, MonotoneInValue) {
+  QuantizerParams params{6, -1.0f, 1.0f};
+  std::uint32_t previous = 0;
+  for (float v = -1.0f; v <= 1.0f; v += 0.01f) {
+    const std::uint32_t code = quantize_value(v, params);
+    EXPECT_GE(code, previous);
+    previous = code;
+  }
+}
+
+class QuantizeBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeBitsTest, RoundTripErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  Rng rng(bits);
+  Matrix values(1, 500);
+  for (auto& v : values.vec()) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+  const QuantizerParams params = fit_quantizer(values, bits);
+  const float half_step = params.step() / 2.0f;
+  for (const float v : values.vec()) {
+    EXPECT_LE(std::fabs(quantize_dequantize(v, params) - v),
+              half_step + 1e-6f);
+  }
+}
+
+TEST_P(QuantizeBitsTest, MoreBitsNeverWorse) {
+  const int bits = GetParam();
+  if (bits >= 16) return;
+  Rng rng(100 + bits);
+  Matrix values(1, 200);
+  for (auto& v : values.vec()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const QuantizerParams coarse = fit_quantizer(values, bits);
+  const QuantizerParams fine = fit_quantizer(values, bits + 1);
+  double coarse_err = 0.0;
+  double fine_err = 0.0;
+  for (const float v : values.vec()) {
+    coarse_err += std::fabs(quantize_dequantize(v, coarse) - v);
+    fine_err += std::fabs(quantize_dequantize(v, fine) - v);
+  }
+  EXPECT_LE(fine_err, coarse_err + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizeBitsTest, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Quantize, MatrixApplies) {
+  Matrix values(1, 3);
+  values.vec() = {0.0f, 0.4f, 1.0f};
+  QuantizerParams params{1, 0.0f, 1.0f};  // 2 levels: 0 and 1
+  const Matrix q = quantize_matrix(values, params);
+  EXPECT_FLOAT_EQ(q.vec()[0], 0.0f);
+  EXPECT_FLOAT_EQ(q.vec()[1], 0.0f);
+  EXPECT_FLOAT_EQ(q.vec()[2], 1.0f);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,150 @@
+#include "core/rinc_conv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+// Binary input maps with a known boolean teacher conv on top.
+struct ConvProblem {
+  BitMatrix inputs;   // n x C*H*W
+  BitMatrix targets;  // n x out_c*oh*ow
+  BinShape3 in_shape;
+};
+
+// Teacher channel 0: centre pixel of the 3x3 patch; channel 1: OR of the
+// four edge-neighbours. Both are exact functions of <= 5 patch bits, so a
+// P>=5 RINC-0 should learn them perfectly.
+ConvProblem make_problem(std::size_t n, std::uint64_t seed) {
+  ConvProblem problem;
+  problem.in_shape = {1, 8, 8};
+  Rng rng(seed);
+  problem.inputs = BitMatrix(n, problem.in_shape.flat());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < problem.in_shape.flat(); ++k) {
+      if (rng.next_bool()) problem.inputs.set(i, k, true);
+    }
+  }
+
+  auto pixel = [&](std::size_t i, long r, long c) {
+    if (r < 0 || c < 0 || r >= 8 || c >= 8) return false;
+    return problem.inputs.get(i, static_cast<std::size_t>(r) * 8 +
+                                     static_cast<std::size_t>(c));
+  };
+  problem.targets = BitMatrix(n, 2 * 8 * 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (long r = 0; r < 8; ++r) {
+      for (long c = 0; c < 8; ++c) {
+        const std::size_t p = static_cast<std::size_t>(r) * 8 +
+                              static_cast<std::size_t>(c);
+        problem.targets.set(i, p, pixel(i, r, c));
+        const bool any_edge = pixel(i, r - 1, c) || pixel(i, r + 1, c) ||
+                              pixel(i, r, c - 1) || pixel(i, r, c + 1);
+        problem.targets.set(i, 64 + p, any_edge);
+      }
+    }
+  }
+  return problem;
+}
+
+RincConvConfig base_config() {
+  RincConvConfig config;
+  config.out_channels = 2;
+  config.kernel = 3;
+  config.stride = 1;
+  config.padding = 1;
+  config.rinc = {.lut_inputs = 5, .levels = 1, .total_dts = 5};
+  return config;
+}
+
+TEST(RincConv, OutputShapes) {
+  const ConvProblem problem = make_problem(20, 1);
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, problem.targets, base_config());
+  EXPECT_EQ(layer.output_shape(), (BinShape3{2, 8, 8}));
+  EXPECT_EQ(layer.patch_bits(), 9u);
+  const BitMatrix out = layer.eval_dataset(problem.inputs);
+  EXPECT_EQ(out.rows(), 20u);
+  EXPECT_EQ(out.cols(), 128u);
+}
+
+TEST(RincConv, LearnsExactPatchFunctions) {
+  const ConvProblem problem = make_problem(60, 2);
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, problem.targets, base_config());
+  // Both teacher channels are functions of <= 5 patch bits; the pooled
+  // patch dataset (60 x 64 rows) covers the space, so fidelity must be 1.
+  EXPECT_DOUBLE_EQ(layer.fidelity(problem.inputs, problem.targets), 1.0);
+}
+
+TEST(RincConv, GeneralisesToFreshInputs) {
+  const ConvProblem train_problem = make_problem(60, 3);
+  const RincConvLayer layer =
+      RincConvLayer::train(train_problem.inputs, train_problem.in_shape,
+                           train_problem.targets, base_config());
+  const ConvProblem test_problem = make_problem(30, 999);
+  EXPECT_DOUBLE_EQ(layer.fidelity(test_problem.inputs, test_problem.targets),
+                   1.0);
+}
+
+TEST(RincConv, WeightSharingIsTranslationEquivariant) {
+  const ConvProblem problem = make_problem(40, 4);
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, problem.targets, base_config());
+
+  // One lit pixel at (3, 3) vs (4, 5): channel outputs must shift with it.
+  BitMatrix a(1, 64);
+  a.set(0, 3 * 8 + 3, true);
+  BitMatrix b(1, 64);
+  b.set(0, 4 * 8 + 5, true);
+  const BitMatrix out_a = layer.eval_dataset(a);
+  const BitMatrix out_b = layer.eval_dataset(b);
+  for (std::size_t channel = 0; channel < 2; ++channel) {
+    for (long dr = -1; dr <= 1; ++dr) {
+      for (long dc = -1; dc <= 1; ++dc) {
+        const std::size_t pa = static_cast<std::size_t>((3 + dr) * 8 + 3 + dc);
+        const std::size_t pb = static_cast<std::size_t>((4 + dr) * 8 + 5 + dc);
+        EXPECT_EQ(out_a.get(0, channel * 64 + pa),
+                  out_b.get(0, channel * 64 + pb))
+            << "channel " << channel << " offset " << dr << "," << dc;
+      }
+    }
+  }
+}
+
+TEST(RincConv, StrideAndValidPadding) {
+  const ConvProblem problem = make_problem(20, 5);
+  RincConvConfig config = base_config();
+  config.stride = 2;
+  config.padding = 0;
+  // Output 3x3 per channel: (8 - 3)/2 + 1.
+  BitMatrix targets(problem.inputs.rows(), 2 * 3 * 3);
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, targets, config);
+  EXPECT_EQ(layer.output_shape(), (BinShape3{2, 3, 3}));
+}
+
+TEST(RincConv, LutCountIsPerChannelSum) {
+  const ConvProblem problem = make_problem(20, 6);
+  RincConvConfig config = base_config();
+  config.rinc = {.lut_inputs = 3, .levels = 1, .total_dts = 3};
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, problem.targets, config);
+  // 2 channels x (3 DTs + 1 MAT).
+  EXPECT_EQ(layer.lut_count_per_position(), 2u * 4u);
+  EXPECT_EQ(layer.channel_modules().size(), 2u);
+}
+
+TEST(RincConv, PatchSubsamplingStillLearns) {
+  const ConvProblem problem = make_problem(60, 7);
+  RincConvConfig config = base_config();
+  config.max_train_patches = 500;  // force subsampling (60*64 = 3840 rows)
+  const RincConvLayer layer = RincConvLayer::train(
+      problem.inputs, problem.in_shape, problem.targets, config);
+  EXPECT_GT(layer.fidelity(problem.inputs, problem.targets), 0.95);
+}
+
+}  // namespace
+}  // namespace poetbin

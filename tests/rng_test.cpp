@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace poetbin {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(10);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.next_below(8)];
+  for (const int count : seen) EXPECT_GT(count, 300);  // ~500 expected
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(12);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(77);
+  Rng fork = parent.fork(3);
+  // The fork must not replay the parent's stream.
+  Rng parent2(77);
+  (void)parent2.next_u64();  // parent consumed one draw to make the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fork.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values.data(), values.size());
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+  // And actually permutes something.
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[static_cast<size_t>(i)] != i) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 4.0);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 4.0);
+  }
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.2)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+}
+
+}  // namespace
+}  // namespace poetbin

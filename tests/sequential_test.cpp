@@ -1,0 +1,138 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace poetbin {
+namespace {
+
+// Two Gaussian blobs, linearly separable.
+void make_blobs(std::size_t n, Matrix& inputs, std::vector<int>& labels,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  inputs = Matrix(n, 2);
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.next_below(2));
+    labels[i] = label;
+    const double cx = label == 0 ? -1.5 : 1.5;
+    inputs(i, 0) = static_cast<float>(rng.gaussian(cx, 0.6));
+    inputs(i, 1) = static_cast<float>(rng.gaussian(-cx, 0.6));
+  }
+}
+
+TEST(Sequential, LearnsLinearlySeparableBlobs) {
+  Matrix inputs;
+  std::vector<int> labels;
+  make_blobs(400, inputs, labels, 1);
+
+  Rng rng(2);
+  Sequential net;
+  net.add<Dense>(2, 8, rng);
+  net.add<Relu>();
+  net.add<Dense>(8, 2, rng);
+
+  Adam adam(0.01);
+  TrainConfig config;
+  config.epochs = 20;
+  config.batch_size = 32;
+  net.fit(inputs, labels, adam, config);
+  EXPECT_GT(net.evaluate_accuracy(inputs, labels), 0.97);
+}
+
+TEST(Sequential, LearnsXorWithHiddenLayer) {
+  Matrix inputs(4, 2);
+  inputs.vec() = {0, 0, 0, 1, 1, 0, 1, 1};
+  const std::vector<int> labels = {0, 1, 1, 0};
+  // Replicate the four points to make batches meaningful.
+  Matrix train(200, 2);
+  std::vector<int> train_labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    train(i, 0) = inputs(i % 4, 0);
+    train(i, 1) = inputs(i % 4, 1);
+    train_labels[i] = labels[i % 4];
+  }
+
+  Rng rng(3);
+  Sequential net;
+  net.add<Dense>(2, 16, rng);
+  net.add<Relu>();
+  net.add<Dense>(16, 2, rng);
+  Adam adam(0.02);
+  TrainConfig config;
+  config.epochs = 60;
+  config.batch_size = 16;
+  config.loss = LossKind::kCrossEntropy;
+  net.fit(train, train_labels, adam, config);
+  EXPECT_EQ(net.predict(inputs), labels);
+}
+
+TEST(Sequential, ActivationsAtIntermediateLayer) {
+  Rng rng(4);
+  Sequential net;
+  net.add<Dense>(3, 5, rng);
+  net.add<Relu>();
+  net.add<Dense>(5, 2, rng);
+
+  Matrix input = Matrix::randn(7, 3, rng, 1.0);
+  const Matrix hidden = net.activations_at(input, 1);
+  EXPECT_EQ(hidden.rows(), 7u);
+  EXPECT_EQ(hidden.cols(), 5u);
+  for (const float v : hidden.vec()) EXPECT_GE(v, 0.0f);  // post-ReLU
+
+  // activations_at at the last layer equals predict_logits.
+  const Matrix logits = net.activations_at(input, 2);
+  const Matrix direct = net.predict_logits(input);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_FLOAT_EQ(logits.vec()[i], direct.vec()[i]);
+  }
+}
+
+TEST(Sequential, BatchedInferenceMatchesSingleBatch) {
+  Rng rng(5);
+  Sequential net;
+  net.add<Dense>(4, 6, rng);
+  net.add<Relu>();
+  net.add<Dense>(6, 3, rng);
+  Matrix input = Matrix::randn(50, 4, rng, 1.0);
+  const Matrix big = net.predict_logits(input, 256);
+  const Matrix small = net.predict_logits(input, 7);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    EXPECT_FLOAT_EQ(big.vec()[i], small.vec()[i]);
+  }
+}
+
+TEST(Sequential, FitReturnsDecreasingLoss) {
+  Matrix inputs;
+  std::vector<int> labels;
+  make_blobs(300, inputs, labels, 6);
+  Rng rng(7);
+  Sequential net;
+  net.add<Dense>(2, 8, rng);
+  net.add<Relu>();
+  net.add<Dense>(8, 2, rng);
+  Adam adam(0.01);
+  TrainConfig config;
+  config.epochs = 10;
+  const auto history = net.fit(inputs, labels, adam, config);
+  ASSERT_EQ(history.size(), 10u);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+  EXPECT_GT(history.back().train_accuracy, history.front().train_accuracy - 0.05);
+}
+
+TEST(ImagesToMatrix, RescalesToPlusMinusOne) {
+  const ImageDataset data = make_digits(10, 1);
+  const Matrix m = images_to_matrix(data);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), data.image_size());
+  for (const float v : m.vec()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Pixel 0 of image 0 maps to 2p-1.
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f * data.image(0)[0] - 1.0f);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,191 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+// Trains a small PoET-BiN model once for all round-trip tests.
+struct Fixture {
+  BinaryDataset data;
+  PoetBin model;
+
+  Fixture() {
+    data = testing::prototype_dataset(400, 48, 77);
+    const std::size_t p = 4;
+    BitMatrix intermediate(data.size(), data.n_classes * p);
+    Rng rng(3);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+        const bool is_class = data.labels[i] == static_cast<int>(j / p);
+        intermediate.set(i, j, is_class != rng.next_bool(0.05));
+      }
+    }
+    PoetBinConfig config;
+    config.rinc = {.lut_inputs = p, .levels = 2, .total_dts = 8};
+    config.n_classes = data.n_classes;
+    config.output.epochs = 60;
+    model = PoetBin::train(data.features, intermediate, data.labels, config);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture fx;
+  return fx;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  const Fixture& fx = fixture();
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  const PoetBin loaded = load_model(stream);
+
+  EXPECT_EQ(loaded.n_modules(), fx.model.n_modules());
+  EXPECT_EQ(loaded.n_classes(), fx.model.n_classes());
+  EXPECT_EQ(loaded.lut_count(), fx.model.lut_count());
+  EXPECT_EQ(loaded.predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+}
+
+TEST(Serialize, RoundTripPreservesRincBits) {
+  const Fixture& fx = fixture();
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  const PoetBin loaded = load_model(stream);
+  EXPECT_EQ(loaded.rinc_outputs(fx.data.features),
+            fx.model.rinc_outputs(fx.data.features));
+}
+
+TEST(Serialize, SavedTextIsStable) {
+  const Fixture& fx = fixture();
+  std::stringstream a;
+  std::stringstream b;
+  save_model(fx.model, a);
+  save_model(fx.model, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("poetbin-model v1"), std::string::npos);
+}
+
+TEST(Serialize, DoubleRoundTripIsIdentity) {
+  const Fixture& fx = fixture();
+  std::stringstream first;
+  save_model(fx.model, first);
+  const PoetBin once = load_model(first);
+  std::stringstream second;
+  save_model(once, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Fixture& fx = fixture();
+  const std::string path = ::testing::TempDir() + "/poetbin_model.txt";
+  ASSERT_TRUE(save_model_file(fx.model, path));
+  PoetBin loaded;
+  ASSERT_TRUE(load_model_file(loaded, path));
+  EXPECT_EQ(loaded.predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  PoetBin model;
+  EXPECT_FALSE(load_model_file(model, "/nonexistent/path/model.txt"));
+}
+
+TEST(Serialize, MalformedHeaderDies) {
+  std::stringstream stream("not-a-model v9\n");
+  EXPECT_DEATH(load_model(stream), "");
+}
+
+TEST(Serialize, TruncatedBodyDies) {
+  const Fixture& fx = fixture();
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  const std::string text = stream.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_DEATH(load_model(truncated), "");
+}
+
+// Round-trip across several (P, L, DTs) shapes — the format must not bake
+// in any one architecture.
+struct SerShape {
+  std::size_t p, levels, dts;
+};
+
+class SerializeShapeSweep : public ::testing::TestWithParam<SerShape> {};
+
+TEST_P(SerializeShapeSweep, RoundTripsEveryShape) {
+  const auto [p, levels, dts] = GetParam();
+  const BinaryDataset data = testing::prototype_dataset(250, 32, 40 + p);
+  BitMatrix intermediate(data.size(), data.n_classes * p);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+      intermediate.set(i, j, data.labels[i] == static_cast<int>(j / p));
+    }
+  }
+  PoetBinConfig config;
+  config.rinc = {.lut_inputs = p, .levels = levels, .total_dts = dts};
+  config.n_classes = data.n_classes;
+  config.output.epochs = 15;
+  const PoetBin model =
+      PoetBin::train(data.features, intermediate, data.labels, config);
+
+  std::stringstream stream;
+  save_model(model, stream);
+  const PoetBin loaded = load_model(stream);
+  EXPECT_EQ(loaded.predict_dataset(data.features),
+            model.predict_dataset(data.features));
+  EXPECT_EQ(loaded.lut_count(), model.lut_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SerializeShapeSweep,
+    ::testing::Values(SerShape{2, 0, 1}, SerShape{3, 1, 2}, SerShape{3, 1, 3},
+                      SerShape{4, 2, 7}, SerShape{5, 2, 25}),
+    [](const auto& info) {
+      return "P" + std::to_string(info.param.p) + "_L" +
+             std::to_string(info.param.levels) + "_D" +
+             std::to_string(info.param.dts);
+    });
+
+TEST(RincFromParts, RejectsMixedLevels) {
+  BitVector id_table(2);
+  id_table.set(1, true);
+  RincModule leaf = RincModule::make_leaf(Lut({0}, id_table));
+  RincModule inner = RincModule::make_internal(
+      {RincModule::make_leaf(Lut({0}, id_table)),
+       RincModule::make_leaf(Lut({1}, id_table))},
+      MatModule({1.0, 1.0}));
+  std::vector<RincModule> mixed;
+  mixed.push_back(std::move(leaf));
+  mixed.push_back(std::move(inner));
+  EXPECT_DEATH(RincModule::make_internal(std::move(mixed), MatModule({1.0, 1.0})),
+               "");
+}
+
+TEST(RincFromParts, HandBuiltModuleEvaluates) {
+  // Majority of three features, built by hand: 3 identity leaves + MAT.
+  BitVector id_table(2);
+  id_table.set(1, true);
+  std::vector<RincModule> leaves;
+  for (std::size_t f = 0; f < 3; ++f) {
+    leaves.push_back(RincModule::make_leaf(Lut({f}, id_table)));
+  }
+  const RincModule majority = RincModule::make_internal(
+      std::move(leaves), MatModule({1.0, 1.0, 1.0}));
+
+  BitVector example(3);
+  EXPECT_FALSE(majority.eval(example));
+  example.set(0, true);
+  EXPECT_FALSE(majority.eval(example));
+  example.set(2, true);
+  EXPECT_TRUE(majority.eval(example));
+}
+
+}  // namespace
+}  // namespace poetbin

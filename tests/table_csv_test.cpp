@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace poetbin {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "2.5"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name   |"), std::string::npos);
+  EXPECT_NE(text.find("| longer |"), std::string::npos);
+  // Header separator lines: top, below header, bottom.
+  std::size_t separators = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line[0] == '+') ++separators;
+  }
+  EXPECT_EQ(separators, 3u);
+}
+
+TEST(TablePrinter, FmtAndSci) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(98.5, 1), "98.5");
+  EXPECT_EQ(TablePrinter::sci(8.2e-9, 1), "8.2e-09");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/poetbin_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.add_row({"1", "two"});
+    csv.add_row({"with,comma", "quote\"inside"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,two");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace poetbin

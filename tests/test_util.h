@@ -1,0 +1,82 @@
+// Shared helpers for the test suite: small synthetic binary classification
+// problems with known structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/bit_matrix.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace poetbin::testing {
+
+// Random binary feature matrix.
+inline BitMatrix random_bits(std::size_t n_rows, std::size_t n_cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix bits(n_rows, n_cols);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (rng.next_bool()) bits.set(r, c, true);
+    }
+  }
+  return bits;
+}
+
+// Targets computed by an arbitrary boolean function of the row, optionally
+// flipped with probability `noise`.
+inline BitVector targets_from(const BitMatrix& features,
+                              const std::function<bool(const BitVector&)>& fn,
+                              double noise = 0.0, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  BitVector targets(features.rows());
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    bool label = fn(features.row(i));
+    if (noise > 0.0 && rng.next_bool(noise)) label = !label;
+    targets.set(i, label);
+  }
+  return targets;
+}
+
+inline double bit_accuracy(const BitVector& predictions, const BitVector& targets) {
+  return static_cast<double>(predictions.xnor_popcount(targets)) /
+         static_cast<double>(targets.size());
+}
+
+// 10-class linearly-separable-ish binary dataset: class = argmax over 10
+// prototype agreement counts. Every classifier worth its salt should get
+// well above chance on it.
+inline BinaryDataset prototype_dataset(std::size_t n, std::size_t n_features,
+                                       std::uint64_t seed,
+                                       double flip_prob = 0.08) {
+  Rng rng(seed);
+  const std::size_t n_classes = 10;
+  std::vector<BitVector> prototypes;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    BitVector proto(n_features);
+    for (std::size_t f = 0; f < n_features; ++f) {
+      if (rng.next_bool()) proto.set(f, true);
+    }
+    prototypes.push_back(std::move(proto));
+  }
+
+  BinaryDataset data;
+  data.features = BitMatrix(n, n_features);
+  data.labels.resize(n);
+  data.n_classes = n_classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng.next_index(n_classes);
+    data.labels[i] = static_cast<int>(label);
+    for (std::size_t f = 0; f < n_features; ++f) {
+      bool bit = prototypes[label].get(f);
+      if (rng.next_bool(flip_prob)) bit = !bit;
+      if (bit) data.features.set(i, f, true);
+    }
+  }
+  return data;
+}
+
+}  // namespace poetbin::testing
