@@ -1,0 +1,142 @@
+// Scalar vs bitsliced vs threaded batch inference on a synthetic dataset.
+//
+// The acceptance bar for the batch engine: the single-threaded bitsliced
+// path must be >= 8x the scalar eval_dataset throughput on a 10k-example
+// dataset. The threaded rows show how the engine scales when cores are
+// available (on a 1-core box they match the single-thread row).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_eval.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "util/bit_matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace poetbin;
+using Clock = std::chrono::steady_clock;
+
+BitMatrix random_bits(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix bits(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    BitVector& column = bits.column(c);
+    for (std::size_t w = 0; w < column.word_count(); ++w) {
+      column.words()[w] = rng.next_u64();
+    }
+    column.mask_tail_word();
+  }
+  return bits;
+}
+
+Lut random_lut(std::size_t arity, std::size_t n_features, Rng& rng) {
+  std::vector<std::size_t> inputs(arity);
+  for (auto& input : inputs) input = rng.next_index(n_features);
+  BitVector table(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < table.size(); ++a) table.set(a, rng.next_bool());
+  return Lut(std::move(inputs), std::move(table));
+}
+
+RincModule random_rinc(std::size_t level, std::size_t fanin,
+                       std::size_t leaf_arity, std::size_t n_features,
+                       Rng& rng) {
+  if (level == 0) {
+    return RincModule::make_leaf(random_lut(leaf_arity, n_features, rng));
+  }
+  std::vector<RincModule> children;
+  for (std::size_t c = 0; c < fanin; ++c) {
+    children.push_back(
+        random_rinc(level - 1, fanin, leaf_arity, n_features, rng));
+  }
+  std::vector<double> alphas(fanin);
+  for (auto& alpha : alphas) alpha = rng.next_double() + 0.1;
+  return RincModule::make_internal(std::move(children), MatModule(alphas));
+}
+
+template <typename Fn>
+double time_best_of(std::size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void report(const char* label, double seconds, std::size_t n_examples,
+            double baseline_seconds) {
+  std::printf("  %-28s %10.3f ms  %12.0f ex/s  %6.2fx\n", label,
+              1e3 * seconds, n_examples / seconds, baseline_seconds / seconds);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Batch inference: scalar vs bitsliced vs threaded",
+                      "batch engine acceptance: bitsliced 1-thread >= 8x scalar");
+
+  const std::size_t n_examples =
+      static_cast<std::size_t>(10000 * bench::bench_scale());
+  const std::size_t n_features = 512;
+  const BitMatrix features = random_bits(n_examples, n_features, 1234);
+  Rng rng(99);
+
+  std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("dataset: %zu examples x %zu features, %u hardware threads\n\n",
+              n_examples, n_features, static_cast<unsigned>(hw));
+
+  bool pass = true;
+  // P=6 (the paper's S1 arity) and P=8 (M1/C1), RINC-2 hierarchies; the P=8
+  // config uses fanin 4 to keep the LUT count comparable to the paper's
+  // partial trees.
+  for (const std::size_t p : {std::size_t{6}, std::size_t{8}}) {
+    const std::size_t fanin = p == 6 ? 6 : 4;
+    const RincModule module =
+        random_rinc(/*level=*/2, fanin, /*leaf_arity=*/p, n_features, rng);
+    std::printf("RINC-2, fanin %zu (%zu LUTs), P=%zu leaf arity:\n", fanin,
+                module.lut_count(), p);
+
+    BitVector scalar_out, sliced_out, threaded_out;
+    const double scalar_s =
+        time_best_of(3, [&] { scalar_out = module.eval_dataset(features); });
+    const double sliced_s = time_best_of(
+        5, [&] { sliced_out = module.eval_dataset_batched(features); });
+    const BatchEngine engine(hw);
+    const double threaded_s = time_best_of(
+        5, [&] { threaded_out = engine.eval_dataset(module, features); });
+
+    if (!(sliced_out == scalar_out) || !(threaded_out == scalar_out)) {
+      std::printf("  ERROR: outputs disagree with scalar path\n");
+      return 1;
+    }
+    report("scalar eval_dataset", scalar_s, n_examples, scalar_s);
+    report("bitsliced (1 thread)", sliced_s, n_examples, scalar_s);
+    char label[64];
+    std::snprintf(label, sizeof label, "bitsliced (%u threads)",
+                  static_cast<unsigned>(hw));
+    report(label, threaded_s, n_examples, scalar_s);
+
+    const double speedup = scalar_s / sliced_s;
+    std::printf("  -> single-thread bitsliced speedup: %.2fx (target 8x)\n\n",
+                speedup);
+    if (speedup < 8.0) pass = false;
+  }
+
+  // Only gate at full scale: small runs (CI smoke at 0.25) are too noisy
+  // for a hard threshold.
+  if (bench::bench_scale() < 1.0) {
+    std::printf("acceptance check skipped (scale < 1.0); measured %s 8x\n",
+                pass ? "above" : "below");
+    return 0;
+  }
+  std::printf("acceptance (bitsliced 1-thread >= 8x scalar): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -66,7 +66,8 @@ int main() {
   config.n_test = std::max<std::size_t>(150, config.n_test / 4);
   config.net.train.epochs = 4;
   config.train_a2_network = false;
-  config.poetbin.rinc = {.lut_inputs = 6, .levels = 2, .total_dts = 18};
+  config.poetbin.rinc =
+      {.lut_inputs = 6, .levels = 2, .total_dts = 18, .adaboost = {}};
   const PipelineResult result = run_pipeline(config);
 
   const PoetBinNetlist netlist =

@@ -3,13 +3,18 @@
 //
 //   $ ./poetbin_cli train model.txt [digits|house_numbers|textures]
 //   $ ./poetbin_cli eval model.txt  [digits|house_numbers|textures]
+//                   [--batch[=threads]]   # bitsliced batch engine + timing
 //   $ ./poetbin_cli export model.txt out_dir
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "core/batch_eval.h"
 #include "core/pipeline.h"
 #include "core/serialize.h"
 #include "hw/netlist_builder.h"
@@ -51,7 +56,8 @@ int cmd_train(const std::string& path, SyntheticFamily family) {
   return 0;
 }
 
-int cmd_eval(const std::string& path, SyntheticFamily family) {
+int cmd_eval(const std::string& path, SyntheticFamily family, bool batch,
+             std::size_t batch_threads) {
   PoetBin model;
   if (!load_model_file(model, path)) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
@@ -62,10 +68,25 @@ int cmd_eval(const std::string& path, SyntheticFamily family) {
   PipelineConfig config = family_config(family);
   config.train_a2_network = false;
   const PipelineResult result = run_pipeline(config);
-  const double accuracy =
-      model.accuracy(result.test_bits.features, result.test_bits.labels);
+  const BitMatrix& test_features = result.test_bits.features;
   std::printf("loaded model: %zu modules, %zu LUTs\n", model.n_modules(),
               model.lut_count());
+
+  double accuracy = 0.0;
+  if (batch) {
+    const BatchEngine engine(batch_threads);
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    accuracy = engine.accuracy(model, test_features, result.test_bits.labels);
+    const auto t1 = Clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("batch engine (%zu threads): %zu examples in %.3f ms "
+                "(%.0f examples/s)\n",
+                engine.n_threads(), test_features.rows(), 1e3 * seconds,
+                test_features.rows() / seconds);
+  } else {
+    accuracy = model.accuracy(test_features, result.test_bits.labels);
+  }
   std::printf("accuracy on regenerated '%s' test bits: %.2f%%\n",
               family_name(family), 100 * accuracy);
   std::printf("(note: features come from a re-trained teacher, so this\n"
@@ -99,19 +120,44 @@ int cmd_export(const std::string& path, const std::string& out_dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 3 && std::strcmp(argv[1], "train") == 0) {
-    return cmd_train(argv[2], parse_family(argc > 3 ? argv[3] : "digits"));
+  // Peel off --batch[=threads] wherever it appears.
+  bool batch = false;
+  std::size_t batch_threads = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batch", 7) == 0 &&
+        (argv[i][7] == '\0' || argv[i][7] == '=')) {
+      batch = true;
+      if (argv[i][7] == '=') {
+        char* end = nullptr;
+        const unsigned long threads = std::strtoul(argv[i] + 8, &end, 10);
+        if (end == argv[i] + 8 || *end != '\0' || argv[i][8] == '-') {
+          std::fprintf(stderr, "error: bad thread count in '%s'\n", argv[i]);
+          return 2;
+        }
+        batch_threads = static_cast<std::size_t>(threads);
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
   }
-  if (argc >= 3 && std::strcmp(argv[1], "eval") == 0) {
-    return cmd_eval(argv[2], parse_family(argc > 3 ? argv[3] : "digits"));
+  const int n_args = static_cast<int>(args.size());
+
+  if (n_args >= 3 && std::strcmp(args[1], "train") == 0) {
+    return cmd_train(args[2], parse_family(n_args > 3 ? args[3] : "digits"));
   }
-  if (argc >= 4 && std::strcmp(argv[1], "export") == 0) {
-    return cmd_export(argv[2], argv[3]);
+  if (n_args >= 3 && std::strcmp(args[1], "eval") == 0) {
+    return cmd_eval(args[2], parse_family(n_args > 3 ? args[3] : "digits"),
+                    batch, batch_threads);
+  }
+  if (n_args >= 4 && std::strcmp(args[1], "export") == 0) {
+    return cmd_export(args[2], args[3]);
   }
   std::fprintf(stderr,
                "usage:\n"
                "  %s train  <model.txt> [digits|house_numbers|textures]\n"
-               "  %s eval   <model.txt> [digits|house_numbers|textures]\n"
+               "  %s eval   <model.txt> [digits|house_numbers|textures]"
+               " [--batch[=threads]]\n"
                "  %s export <model.txt> <out_dir>\n",
                argv[0], argv[0], argv[0]);
   return 2;

@@ -1,0 +1,367 @@
+#include "core/batch_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+namespace {
+
+// All-ones in the positions a dataset of n_rows bits occupies within its
+// last word (0 means the last word is full).
+std::uint64_t tail_mask(std::size_t n_rows) {
+  const std::size_t rem = n_rows & 63;
+  return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+}
+
+// Truth table splatted to one word per entry: splat[a] is ~0 when
+// table[a] is set. The Shannon reduction below consumes these constants.
+std::vector<std::uint64_t> splat_table(const BitVector& table) {
+  std::vector<std::uint64_t> splat(table.size());
+  for (std::size_t a = 0; a < table.size(); ++a) {
+    splat[a] = table.get(a) ? ~0ULL : 0ULL;
+  }
+  return splat;
+}
+
+// One word of LUT output from P input words: iteratively Shannon-reduce the
+// splatted table over address bit 0, then 1, ... Each step is the bitwise
+// mux f0 ^ ((f0 ^ f1) & x) applied to adjacent half-tables, so the whole
+// evaluation is 2^P - 1 word muxes and touches no per-example state.
+// `scratch` must hold at least 2^(P-1) words (unused when P == 0).
+std::uint64_t shannon_reduce(const std::uint64_t* splat, std::size_t arity,
+                             const std::uint64_t* in, std::uint64_t* scratch) {
+  if (arity == 0) return splat[0];
+  std::size_t half = std::size_t{1} << (arity - 1);
+  const std::uint64_t x0 = in[0];
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::uint64_t f0 = splat[2 * k];
+    const std::uint64_t f1 = splat[2 * k + 1];
+    scratch[k] = f0 ^ ((f0 ^ f1) & x0);
+  }
+  for (std::size_t j = 1; j < arity; ++j) {
+    half >>= 1;
+    const std::uint64_t x = in[j];
+    for (std::size_t k = 0; k < half; ++k) {
+      const std::uint64_t f0 = scratch[2 * k];
+      const std::uint64_t f1 = scratch[2 * k + 1];
+      scratch[k] = f0 ^ ((f0 ^ f1) & x);
+    }
+  }
+  return scratch[0];
+}
+
+// Shared guts of the public word kernels once the splat table and the input
+// word streams are resolved. `columns[j]` must expose words
+// [word_begin, word_end) of address bit j at offsets word_begin..; the
+// kernels pass either BitMatrix column words (absolute indexing) or child
+// scratch buffers (rebased to 0) through `base`.
+void reduce_words(const std::vector<std::uint64_t>& splat, std::size_t arity,
+                  const std::vector<const std::uint64_t*>& columns,
+                  std::size_t word_begin, std::size_t word_end,
+                  std::size_t base, std::size_t n_rows, std::uint64_t* out) {
+  std::vector<std::uint64_t> scratch(splat.size() / 2 + 1);
+  std::vector<std::uint64_t> in(arity);
+  const std::size_t last_word = BitVector::words_needed(n_rows);
+  for (std::size_t w = word_begin; w < word_end; ++w) {
+    for (std::size_t j = 0; j < arity; ++j) in[j] = columns[j][w - base];
+    std::uint64_t word = shannon_reduce(splat.data(), arity, in.data(),
+                                        scratch.data());
+    if (w + 1 == last_word) word &= tail_mask(n_rows);
+    out[w - word_begin] = word;
+  }
+}
+
+}  // namespace
+
+void eval_lut_words(const Lut& lut, const BitMatrix& features,
+                    std::size_t word_begin, std::size_t word_end,
+                    std::uint64_t* out) {
+  POETBIN_CHECK(word_begin <= word_end);
+  POETBIN_CHECK(word_end <= features.word_count());
+  const std::size_t arity = lut.arity();
+  std::vector<const std::uint64_t*> columns(arity);
+  for (std::size_t j = 0; j < arity; ++j) {
+    POETBIN_CHECK(lut.inputs()[j] < features.cols());
+    columns[j] = features.column_words(lut.inputs()[j]).data();
+  }
+  reduce_words(splat_table(lut.table()), arity, columns, word_begin, word_end,
+               /*base=*/0, features.rows(), out);
+}
+
+void eval_rinc_words(const RincModule& module, const BitMatrix& features,
+                     std::size_t word_begin, std::size_t word_end,
+                     std::uint64_t* out) {
+  if (module.is_leaf()) {
+    eval_lut_words(module.leaf_lut(), features, word_begin, word_end, out);
+    return;
+  }
+  const auto& children = module.children();
+  const std::size_t n_words = word_end - word_begin;
+  std::vector<std::vector<std::uint64_t>> child_words(children.size());
+  std::vector<const std::uint64_t*> columns(children.size());
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    child_words[c].resize(n_words);
+    eval_rinc_words(children[c], features, word_begin, word_end,
+                    child_words[c].data());
+    columns[c] = child_words[c].data();
+  }
+  // Child buffers are rebased to the chunk, hence base = word_begin.
+  reduce_words(splat_table(module.mat_lut().table()), children.size(), columns,
+               word_begin, word_end, word_begin, features.rows(), out);
+}
+
+BitVector Lut::eval_dataset_bitsliced(const BitMatrix& features) const {
+  BitVector out(features.rows());
+  eval_lut_words(*this, features, 0, features.word_count(), out.words());
+  return out;
+}
+
+BitVector RincModule::eval_dataset_batched(const BitMatrix& features) const {
+  BitVector out(features.rows());
+  eval_rinc_words(*this, features, 0, features.word_count(), out.words());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BatchEngine
+// ---------------------------------------------------------------------------
+
+// Persistent worker pool. Each parallel_for publishes a job function and a
+// shared atomic job counter; workers (and the calling thread) drain it,
+// and the caller blocks until every worker has gone back to sleep.
+class BatchEngine::ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_workers) {
+    threads_.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& thread : threads_) thread.join();
+  }
+
+  void run(std::size_t n_jobs, const std::function<void(std::size_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      n_jobs_ = n_jobs;
+      next_job_.store(0, std::memory_order_relaxed);
+      workers_active_ = threads_.size();
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return workers_active_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void drain() {
+    for (;;) {
+      const std::size_t job = next_job_.fetch_add(1, std::memory_order_relaxed);
+      if (job >= n_jobs_) return;
+      (*job_)(job);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--workers_active_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t n_jobs_ = 0;
+  std::atomic<std::size_t> next_job_{0};
+  std::size_t workers_active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+BatchEngine::BatchEngine(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads_ = n_threads;
+  if (n_threads_ > 1) {
+    // The calling thread participates in every parallel_for, so spawn one
+    // fewer worker than the requested parallelism.
+    pool_ = std::make_unique<ThreadPool>(n_threads_ - 1);
+  }
+}
+
+BatchEngine::~BatchEngine() = default;
+
+void BatchEngine::parallel_for(
+    std::size_t n_jobs, const std::function<void(std::size_t)>& fn) const {
+  if (pool_ == nullptr || n_jobs <= 1) {
+    for (std::size_t job = 0; job < n_jobs; ++job) fn(job);
+    return;
+  }
+  pool_->run(n_jobs, fn);
+}
+
+namespace {
+
+struct WordChunks {
+  std::size_t n_words = 0;
+  std::size_t chunk_words = 0;
+  std::size_t n_chunks = 0;
+};
+
+// Word-aligned chunking of the example range: a few chunks per thread for
+// load balance, but no smaller than 16 words (1024 examples) so per-chunk
+// setup (table splatting, child buffers) stays amortized.
+WordChunks chunk_words(std::size_t n_words, std::size_t n_threads) {
+  WordChunks chunks;
+  chunks.n_words = n_words;
+  if (n_words == 0) return chunks;
+  const std::size_t target = std::max<std::size_t>(1, 4 * n_threads);
+  chunks.chunk_words = std::max<std::size_t>(16, (n_words + target - 1) / target);
+  chunks.n_chunks = (n_words + chunks.chunk_words - 1) / chunks.chunk_words;
+  return chunks;
+}
+
+}  // namespace
+
+BitVector BatchEngine::eval_dataset(const RincModule& module,
+                                    const BitMatrix& features) const {
+  BitVector out(features.rows());
+  const WordChunks chunks = chunk_words(features.word_count(), n_threads_);
+  parallel_for(chunks.n_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * chunks.chunk_words;
+    const std::size_t end = std::min(chunks.n_words, begin + chunks.chunk_words);
+    eval_rinc_words(module, features, begin, end, out.words() + begin);
+  });
+  return out;
+}
+
+BitMatrix BatchEngine::rinc_outputs(const PoetBin& model,
+                                    const BitMatrix& features) const {
+  const auto& modules = model.modules();
+  BitMatrix out(features.rows(), modules.size());
+  // One job per (module, chunk): module count alone (nc x P) can be smaller
+  // than the pool on large machines, and a single huge module should still
+  // spread across threads.
+  const WordChunks chunks = chunk_words(features.word_count(), n_threads_);
+  parallel_for(modules.size() * chunks.n_chunks, [&](std::size_t job) {
+    const std::size_t m = job / chunks.n_chunks;
+    const std::size_t chunk = job % chunks.n_chunks;
+    const std::size_t begin = chunk * chunks.chunk_words;
+    const std::size_t end = std::min(chunks.n_words, begin + chunks.chunk_words);
+    eval_rinc_words(modules[m], features, begin, end,
+                    out.column(m).words() + begin);
+  });
+  return out;
+}
+
+std::vector<int> BatchEngine::predict_dataset(const PoetBin& model,
+                                              const BitMatrix& features) const {
+  const std::size_t n = features.rows();
+  const BitMatrix bits = rinc_outputs(model, features);
+  std::vector<int> predictions(n, 0);
+  const auto& neurons = model.output_neurons();
+  const std::size_t p = model.lut_inputs();
+
+  const WordChunks chunks = chunk_words(features.word_count(), n_threads_);
+  parallel_for(chunks.n_chunks, [&](std::size_t chunk) {
+    const std::size_t word_begin = chunk * chunks.chunk_words;
+    const std::size_t word_end =
+        std::min(chunks.n_words, word_begin + chunks.chunk_words);
+    // Per class: gather the P child words, transpose them into 64 packed
+    // combos, then run the quantized-code argmax per example.
+    std::vector<std::uint32_t> combos(64);
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      const std::size_t row0 = w * 64;
+      const std::size_t rows = std::min<std::size_t>(64, n - row0);
+      std::vector<std::uint32_t> best_code(rows, 0);
+      std::vector<int> best_class(rows, 0);
+      for (std::size_t c = 0; c < neurons.size(); ++c) {
+        std::fill(combos.begin(), combos.begin() + rows, 0);
+        for (std::size_t j = 0; j < p; ++j) {
+          const std::uint64_t word =
+              bits.column_words(neurons[c].input_modules[j])[w];
+          for (std::size_t i = 0; i < rows; ++i) {
+            combos[i] |= static_cast<std::uint32_t>((word >> i) & 1) << j;
+          }
+        }
+        for (std::size_t i = 0; i < rows; ++i) {
+          const std::uint32_t code = neurons[c].codes[combos[i]];
+          // Ties resolve to the lower class index, matching the scalar
+          // comparator-tree rule.
+          if (c == 0 || code > best_code[i]) {
+            best_code[i] = code;
+            best_class[i] = static_cast<int>(c);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < rows; ++i) {
+        predictions[row0 + i] = best_class[i];
+      }
+    }
+  });
+  return predictions;
+}
+
+double BatchEngine::accuracy(const PoetBin& model, const BitMatrix& features,
+                             const std::vector<int>& labels) const {
+  const auto predictions = predict_dataset(model, features);
+  POETBIN_CHECK(predictions.size() == labels.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) / labels.size();
+}
+
+// --- PoetBin conveniences (declared in poetbin.h) --------------------------
+
+BitMatrix PoetBin::rinc_outputs_batched(const BitMatrix& features,
+                                        std::size_t n_threads) const {
+  return BatchEngine(n_threads).rinc_outputs(*this, features);
+}
+
+std::vector<int> PoetBin::predict_dataset_batched(const BitMatrix& features,
+                                                  std::size_t n_threads) const {
+  return BatchEngine(n_threads).predict_dataset(*this, features);
+}
+
+double PoetBin::accuracy_batched(const BitMatrix& features,
+                                 const std::vector<int>& labels,
+                                 std::size_t n_threads) const {
+  return BatchEngine(n_threads).accuracy(*this, features, labels);
+}
+
+}  // namespace poetbin

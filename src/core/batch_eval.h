@@ -1,0 +1,79 @@
+// Word-parallel (bitsliced) batch inference.
+//
+// BitMatrix stores a dataset feature-major as packed uint64 columns, so a
+// P-input LUT can be evaluated for 64 examples at once: Shannon-expand the
+// truth table over the P selected column *words* with pure AND/OR/XOR/NOT —
+// no per-example address assembly. A RINC/MAT hierarchy is then a DAG of
+// such word ops, and a whole dataset pass is an embarrassingly parallel
+// loop over word indices, which BatchEngine chunks across a thread pool.
+//
+// Word kernels (`eval_lut_words`, `eval_rinc_words`) are exposed for tests
+// and for callers that manage their own parallelism; everything else goes
+// through `Lut::eval_dataset_bitsliced`, `RincModule::eval_dataset_batched`
+// or a BatchEngine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "util/bit_matrix.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+// Evaluates `lut` for the 64-example blocks [64*word_begin, 64*word_end) of
+// `features`, writing one packed output word per block to `out` (which must
+// hold word_end - word_begin words). If the range covers the dataset's last
+// word, bits beyond features.rows() are zeroed.
+void eval_lut_words(const Lut& lut, const BitMatrix& features,
+                    std::size_t word_begin, std::size_t word_end,
+                    std::uint64_t* out);
+
+// Same contract for a whole RINC hierarchy: children are evaluated into
+// word buffers and the MAT LUT combines them with word ops.
+void eval_rinc_words(const RincModule& module, const BitMatrix& features,
+                     std::size_t word_begin, std::size_t word_end,
+                     std::uint64_t* out);
+
+// Multithreaded batch driver. Owns a persistent pool of worker threads and
+// chunks the example range (in whole words) across them. All eval methods
+// return bit-identical results to the scalar paths; the pool is not
+// re-entrant (one dataset pass at a time per engine).
+class BatchEngine {
+ public:
+  // 0 = std::thread::hardware_concurrency(); 1 = run inline, no workers.
+  explicit BatchEngine(std::size_t n_threads = 0);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  std::size_t n_threads() const { return n_threads_; }
+
+  // Bitsliced equivalents of the scalar dataset paths.
+  BitVector eval_dataset(const RincModule& module,
+                         const BitMatrix& features) const;
+  BitMatrix rinc_outputs(const PoetBin& model, const BitMatrix& features) const;
+  std::vector<int> predict_dataset(const PoetBin& model,
+                                   const BitMatrix& features) const;
+  double accuracy(const PoetBin& model, const BitMatrix& features,
+                  const std::vector<int>& labels) const;
+
+  // Runs fn(job) for job in [0, n_jobs) on the pool plus the calling
+  // thread. Exposed for callers with custom per-chunk work.
+  void parallel_for(std::size_t n_jobs,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  class ThreadPool;
+
+  std::size_t n_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when n_threads_ == 1
+};
+
+}  // namespace poetbin

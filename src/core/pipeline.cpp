@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "core/batch_eval.h"
 #include "nn/conv.h"
 
 namespace poetbin {
@@ -167,13 +168,16 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   result.model = PoetBin::train(result.train_bits.features,
                                 result.teacher_train_bits, train_y,
                                 config.poetbin);
-  result.a4 = result.model.accuracy(result.test_bits.features, test_y);
+  // All student-side dataset passes go through the bitsliced batch engine
+  // (bit-identical to the scalar path, 64 examples per word op).
+  BatchEngine engine(config.poetbin.threads);
+  result.a4 = engine.accuracy(result.model, result.test_bits.features, test_y);
 
   result.fidelity_train = PoetBin::intermediate_fidelity(
-      result.model.rinc_outputs(result.train_bits.features),
+      engine.rinc_outputs(result.model, result.train_bits.features),
       result.teacher_train_bits);
   result.fidelity_test = PoetBin::intermediate_fidelity(
-      result.model.rinc_outputs(result.test_bits.features),
+      engine.rinc_outputs(result.model, result.test_bits.features),
       result.teacher_test_bits);
   return result;
 }

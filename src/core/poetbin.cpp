@@ -65,7 +65,10 @@ PoetBin PoetBin::train(const BitMatrix& features,
     }
   }
 
-  const BitMatrix rinc_bits = model.rinc_outputs(features);
+  // The output layer retrains on the RINC bank's outputs; produce them with
+  // the bitsliced batch engine (bit-identical to the scalar path).
+  const BitMatrix rinc_bits =
+      model.rinc_outputs_batched(features, config.threads);
   model.retrain_output_layer(rinc_bits, labels);
   return model;
 }

@@ -85,6 +85,17 @@ class PoetBin {
   std::vector<int> predict_dataset(const BitMatrix& features) const;
   double accuracy(const BitMatrix& features, const std::vector<int>& labels) const;
 
+  // Word-parallel (bitsliced + threaded) equivalents, bit-identical to the
+  // scalar paths above. n_threads: 0 = hardware concurrency, 1 = single
+  // thread. Implemented by the batch engine in core/batch_eval.{h,cpp}.
+  BitMatrix rinc_outputs_batched(const BitMatrix& features,
+                                 std::size_t n_threads = 0) const;
+  std::vector<int> predict_dataset_batched(const BitMatrix& features,
+                                           std::size_t n_threads = 0) const;
+  double accuracy_batched(const BitMatrix& features,
+                          const std::vector<int>& labels,
+                          std::size_t n_threads = 0) const;
+
   // Fraction of intermediate bits where RINC output matches the teacher
   // target (diagnostic for distillation quality).
   static double intermediate_fidelity(const BitMatrix& rinc_bits,

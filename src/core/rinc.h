@@ -64,6 +64,12 @@ class RincModule {
   bool eval(const BitVector& example_bits) const;
   BitVector eval_dataset(const BitMatrix& features) const;
 
+  // Bitsliced dataset pass (64 examples per word op, the whole hierarchy
+  // evaluated as a DAG of word muxes). Bit-identical to eval_dataset;
+  // defined in core/batch_eval.cpp. Use a BatchEngine for the threaded
+  // version.
+  BitVector eval_dataset_batched(const BitMatrix& features) const;
+
   // --- structural queries used by the hardware model and tests ---
 
   // Total number of LUTs (leaf DTs + all MAT modules), before any 8->6

@@ -36,6 +36,11 @@ class Lut {
   // Evaluates all rows of a feature-major dataset in one pass per input.
   BitVector eval_dataset(const BitMatrix& features) const;
 
+  // Word-parallel evaluation: Shannon-expands the truth table over the P
+  // packed column words, processing 64 examples per step with pure word
+  // logic. Bit-identical to eval_dataset. Defined in core/batch_eval.cpp.
+  BitVector eval_dataset_bitsliced(const BitMatrix& features) const;
+
   // Per-example addresses for a whole dataset (used by the sparse output
   // layer, whose LUT output is multi-bit).
   std::vector<std::size_t> addresses(const BitMatrix& features) const;

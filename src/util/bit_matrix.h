@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/bitvector.h"
@@ -38,6 +39,16 @@ class BitMatrix {
     POETBIN_CHECK(col < cols_.size());
     return cols_[col];
   }
+
+  // Packed words of one feature column; word w holds examples
+  // [64w, 64w + 64). This is the batch engine's unit of access.
+  std::span<const std::uint64_t> column_words(std::size_t col) const {
+    POETBIN_CHECK(col < cols_.size());
+    return cols_[col].word_span();
+  }
+
+  // Words per column (shared by every column).
+  std::size_t word_count() const { return BitVector::words_needed(n_rows_); }
 
   BitVector& column(std::size_t col) {
     POETBIN_CHECK(col < cols_.size());

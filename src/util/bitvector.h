@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,19 @@ class BitVector {
   const std::uint64_t* words() const { return words_.data(); }
   std::uint64_t* words() { return words_.data(); }
   std::size_t word_count() const { return words_.size(); }
+
+  // Span view over the packed words (the unit of the bitsliced batch
+  // engine: one word = 64 examples of one feature).
+  std::span<const std::uint64_t> word_span() const { return words_; }
+
+  // Writers of raw words must re-establish the invariant that bits beyond
+  // size() are zero; calling this after the last word is written does so.
+  void mask_tail_word() { mask_tail(); }
+
+  static constexpr std::size_t kWordBits = 64;
+  static constexpr std::size_t words_needed(std::size_t n_bits) {
+    return (n_bits + kWordBits - 1) / kWordBits;
+  }
 
   // "0101..." with bit 0 first; for tests and debugging.
   std::string to_string() const;

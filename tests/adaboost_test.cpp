@@ -139,7 +139,7 @@ TEST(Adaboost, ReweightingFocusesOnMistakes) {
 
   std::vector<std::vector<double>> seen_weights;
   std::vector<Lut> store;
-  auto probe = [&](std::span<const double> weights, std::size_t round) {
+  auto probe = [&](std::span<const double> weights, std::size_t /*round*/) {
     seen_weights.emplace_back(weights.begin(), weights.end());
     const LevelDtResult fit =
         train_level_dt(features, targets, weights, {.n_inputs = 1});

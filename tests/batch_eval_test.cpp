@@ -1,0 +1,236 @@
+// The batch engine's contract is exact: bitsliced and threaded paths must be
+// bit-identical to the scalar eval_dataset/predict_dataset paths on any
+// model and any dataset shape, including ragged tails (rows % 64 != 0) and
+// empty inputs.
+#include "core/batch_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "nn/quantize.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace poetbin {
+namespace {
+
+Lut random_lut(std::size_t arity, std::size_t n_features, Rng& rng) {
+  std::vector<std::size_t> inputs(arity);
+  for (auto& input : inputs) input = rng.next_index(n_features);
+  BitVector table(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < table.size(); ++a) {
+    table.set(a, rng.next_bool());
+  }
+  return Lut(std::move(inputs), std::move(table));
+}
+
+// Random RINC hierarchy of the given level with `fanin` children per node.
+RincModule random_rinc(std::size_t level, std::size_t fanin,
+                       std::size_t n_features, Rng& rng) {
+  if (level == 0) return RincModule::make_leaf(random_lut(fanin, n_features, rng));
+  std::vector<RincModule> children;
+  for (std::size_t c = 0; c < fanin; ++c) {
+    children.push_back(random_rinc(level - 1, fanin, n_features, rng));
+  }
+  std::vector<double> alphas(fanin);
+  for (auto& alpha : alphas) alpha = rng.next_double() + 0.1;
+  return RincModule::make_internal(std::move(children), MatModule(alphas));
+}
+
+TEST(EvalLutWords, MatchesScalarAcrossAritiesAndShapes) {
+  Rng rng(17);
+  for (const std::size_t arity : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{6}, std::size_t{8}}) {
+    for (const std::size_t rows :
+         {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+          std::size_t{100}, std::size_t{128}, std::size_t{1000}}) {
+      const BitMatrix features = testing::random_bits(rows, 32, rng.next_u64());
+      const Lut lut = random_lut(arity, features.cols(), rng);
+      EXPECT_EQ(lut.eval_dataset_bitsliced(features), lut.eval_dataset(features))
+          << "arity " << arity << ", rows " << rows;
+    }
+  }
+}
+
+TEST(EvalLutWords, EmptyDataset) {
+  Rng rng(18);
+  const BitMatrix features(0, 16);
+  const Lut lut = random_lut(4, 16, rng);
+  const BitVector out = lut.eval_dataset_bitsliced(features);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(out, lut.eval_dataset(features));
+}
+
+TEST(EvalLutWords, ConstantTablesMaskTheTail) {
+  // A constant-1 LUT exercises the ragged-tail masking: without it, the
+  // output's popcount would count garbage bits beyond rows().
+  const BitMatrix features = testing::random_bits(70, 8, 3);
+  const Lut one({0, 1}, BitVector(4, true));
+  const BitVector out = one.eval_dataset_bitsliced(features);
+  EXPECT_EQ(out.popcount(), 70u);
+}
+
+TEST(EvalLutWords, PartialWordRange) {
+  Rng rng(19);
+  const BitMatrix features = testing::random_bits(400, 24, 21);
+  const Lut lut = random_lut(6, features.cols(), rng);
+  const BitVector full = lut.eval_dataset(features);
+  // Evaluate words [2, 5) only and compare against the matching slice.
+  std::vector<std::uint64_t> words(3);
+  eval_lut_words(lut, features, 2, 5, words.data());
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(words[w], full.words()[2 + w]) << "word " << w;
+  }
+}
+
+TEST(EvalRincWords, MatchesScalarOnRandomHierarchies) {
+  Rng rng(23);
+  for (const std::size_t level : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t rows : {std::size_t{65}, std::size_t{500}}) {
+      const BitMatrix features = testing::random_bits(rows, 40, rng.next_u64());
+      const RincModule module = random_rinc(level, 4, features.cols(), rng);
+      EXPECT_EQ(module.eval_dataset_batched(features),
+                module.eval_dataset(features))
+          << "level " << level << ", rows " << rows;
+    }
+  }
+}
+
+TEST(EvalRincWords, MatchesScalarOnTrainedModule) {
+  // A trained module exercises realistic (non-random) tables and repeated
+  // feature selections.
+  const BitMatrix features = testing::random_bits(300, 24, 31);
+  const BitVector targets = testing::targets_from(
+      features, [](const BitVector& row) { return row.get(3) ^ row.get(17); },
+      /*noise=*/0.05);
+  RincConfig config;
+  config.lut_inputs = 4;
+  config.levels = 1;
+  config.total_dts = 4;
+  const RincModule module =
+      RincModule::train(features, targets, /*weights=*/{}, config);
+  EXPECT_EQ(module.eval_dataset_batched(features), module.eval_dataset(features));
+}
+
+TEST(BatchEngine, ThreadCountsAgreeWithScalar) {
+  Rng rng(29);
+  const BitMatrix features = testing::random_bits(3000, 32, 37);
+  const RincModule module = random_rinc(2, 3, features.cols(), rng);
+  const BitVector scalar = module.eval_dataset(features);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    const BatchEngine engine(threads);
+    EXPECT_EQ(engine.eval_dataset(module, features), scalar)
+        << threads << " threads";
+  }
+}
+
+TEST(BatchEngine, EngineIsReusableAcrossCalls) {
+  Rng rng(31);
+  const BatchEngine engine(4);
+  for (int pass = 0; pass < 3; ++pass) {
+    const BitMatrix features = testing::random_bits(700, 20, rng.next_u64());
+    const RincModule module = random_rinc(1, 5, features.cols(), rng);
+    EXPECT_EQ(engine.eval_dataset(module, features),
+              module.eval_dataset(features));
+  }
+}
+
+TEST(BatchEngine, EmptyDataset) {
+  Rng rng(37);
+  const RincModule module = random_rinc(1, 3, 16, rng);
+  const BatchEngine engine(2);
+  const BitMatrix features(0, 16);
+  EXPECT_EQ(engine.eval_dataset(module, features).size(), 0u);
+}
+
+// A full PoetBin assembled from random parts: rinc_outputs / predict /
+// accuracy must match the scalar paths exactly.
+class BatchEnginePoetBin : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(41);
+    config_.rinc.lut_inputs = 4;
+    config_.rinc.levels = 1;
+    config_.rinc.total_dts = 4;
+    config_.n_classes = 5;
+    config_.output.quant_bits = 6;
+
+    const std::size_t n_modules = config_.n_classes * config_.rinc.lut_inputs;
+    std::vector<RincModule> modules;
+    for (std::size_t m = 0; m < n_modules; ++m) {
+      modules.push_back(random_rinc(1, config_.rinc.lut_inputs, 32, rng));
+    }
+
+    const std::size_t n_combos = std::size_t{1} << config_.rinc.lut_inputs;
+    Matrix activations(config_.n_classes, n_combos);
+    std::vector<SparseOutputNeuron> neurons(config_.n_classes);
+    for (std::size_t c = 0; c < config_.n_classes; ++c) {
+      neurons[c].input_modules.resize(config_.rinc.lut_inputs);
+      neurons[c].weights.resize(config_.rinc.lut_inputs);
+      for (std::size_t j = 0; j < config_.rinc.lut_inputs; ++j) {
+        neurons[c].input_modules[j] = c * config_.rinc.lut_inputs + j;
+        neurons[c].weights[j] = static_cast<float>(rng.gaussian(0.0, 1.0));
+      }
+      neurons[c].bias = static_cast<float>(rng.gaussian(0.0, 0.5));
+      for (std::size_t combo = 0; combo < n_combos; ++combo) {
+        activations(c, combo) = neurons[c].activation(combo);
+      }
+    }
+    const QuantizerParams quantizer =
+        fit_quantizer(activations, config_.output.quant_bits);
+    for (std::size_t c = 0; c < config_.n_classes; ++c) {
+      neurons[c].codes.resize(n_combos);
+      for (std::size_t combo = 0; combo < n_combos; ++combo) {
+        neurons[c].codes[combo] =
+            quantize_value(activations(c, combo), quantizer);
+      }
+    }
+    model_ = PoetBin::from_parts(config_, std::move(modules),
+                                 std::move(neurons), quantizer);
+  }
+
+  PoetBinConfig config_;
+  PoetBin model_;
+};
+
+TEST_F(BatchEnginePoetBin, RincOutputsMatchScalar) {
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{64},
+                                 std::size_t{129}, std::size_t{777}}) {
+    const BitMatrix features = testing::random_bits(rows, 32, 43 + rows);
+    EXPECT_EQ(model_.rinc_outputs_batched(features, /*n_threads=*/2),
+              model_.rinc_outputs(features))
+        << rows << " rows";
+  }
+}
+
+TEST_F(BatchEnginePoetBin, PredictionsMatchScalarIncludingTies) {
+  const BitMatrix features = testing::random_bits(1017, 32, 47);
+  const std::vector<int> scalar = model_.predict_dataset(features);
+  EXPECT_EQ(model_.predict_dataset_batched(features, /*n_threads=*/1), scalar);
+  EXPECT_EQ(model_.predict_dataset_batched(features, /*n_threads=*/4), scalar);
+}
+
+TEST_F(BatchEnginePoetBin, AccuracyMatchesScalar) {
+  const BitMatrix features = testing::random_bits(501, 32, 53);
+  Rng rng(59);
+  std::vector<int> labels(features.rows());
+  for (auto& label : labels) {
+    label = static_cast<int>(rng.next_index(config_.n_classes));
+  }
+  EXPECT_DOUBLE_EQ(model_.accuracy_batched(features, labels, /*n_threads=*/3),
+                   model_.accuracy(features, labels));
+}
+
+TEST_F(BatchEnginePoetBin, EmptyDataset) {
+  const BitMatrix features(0, 32);
+  EXPECT_TRUE(model_.predict_dataset_batched(features).empty());
+  EXPECT_EQ(model_.accuracy_batched(features, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace poetbin
