@@ -81,6 +81,7 @@ void report(const char* label, double seconds, std::size_t n_examples,
 int main() {
   bench::print_header("Batch inference: scalar vs bitsliced vs threaded",
                       "batch engine acceptance: bitsliced 1-thread >= 8x scalar");
+  bench::JsonResults json("batch_eval");
 
   const std::size_t n_examples =
       static_cast<std::size_t>(10000 * bench::bench_scale());
@@ -127,7 +128,17 @@ int main() {
     std::printf("  -> single-thread bitsliced speedup: %.2fx (target 8x)\n\n",
                 speedup);
     if (speedup < 8.0) pass = false;
+    char key[64];
+    std::snprintf(key, sizeof key, "eval_p%zu_scalar_ms", p);
+    json.add(key, 1e3 * scalar_s);
+    std::snprintf(key, sizeof key, "eval_p%zu_bitsliced_ms", p);
+    json.add(key, 1e3 * sliced_s);
+    std::snprintf(key, sizeof key, "eval_p%zu_threaded_ms", p);
+    json.add(key, 1e3 * threaded_s);
+    std::snprintf(key, sizeof key, "eval_p%zu_speedup_1t", p);
+    json.add(key, speedup);
   }
+  json.add("acceptance_pass", pass ? 1.0 : 0.0);
 
   // Only gate at full scale: small runs (CI smoke at 0.25) are too noisy
   // for a hard threshold.

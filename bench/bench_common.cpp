@@ -36,6 +36,32 @@ std::vector<DatasetRun> run_all_pipelines(bool verbose) {
 
 std::string pct(double accuracy) { return TablePrinter::fmt(100.0 * accuracy, 2); }
 
+JsonResults::JsonResults(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void JsonResults::add(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+JsonResults::~JsonResults() {
+  const char* path = std::getenv("POETBIN_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "POETBIN_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"%s\",\n  \"scale\": %.4f,\n  \"metrics\": {",
+               name_.c_str(), bench_scale());
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    std::fprintf(out, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                 metrics_[i].first.c_str(), metrics_[i].second);
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+}
+
 void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.h"
 
@@ -35,5 +37,25 @@ std::vector<DatasetRun> run_all_pipelines(bool verbose = false);
 std::string pct(double accuracy);
 
 void print_header(const std::string& title, const std::string& paper_ref);
+
+// Collects named metrics and, when POETBIN_BENCH_JSON names a path, writes
+// them there as one JSON object on destruction:
+//   {"bench": "<name>", "scale": <s>, "metrics": {"<key>": <value>, ...}}
+// CI merges the per-bench files into the bench_results.json artifact — the
+// raw material of the perf-regression record. No env var, no file.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string bench_name);
+  ~JsonResults();
+
+  JsonResults(const JsonResults&) = delete;
+  JsonResults& operator=(const JsonResults&) = delete;
+
+  void add(const std::string& key, double value);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace poetbin::bench

@@ -1,0 +1,240 @@
+// Scalar vs word-parallel *training*: LevelDT entropy scans, the Adaboost
+// error/reweight loops, and an end-to-end RINC-2 fit.
+//
+// The acceptance bar for the training engine: the single-threaded bitsliced
+// LevelDT candidate scan must be >= 4x the scalar scan throughput on a
+// 10k-example dataset at the default P=6 arity, with bit-identical selected
+// features, LUT contents and Adaboost alphas. P=8 is gated at >= 3x: its
+// deepest levels are bound by the per-node entropy math (paid identically
+// by both paths, so it caps the ratio), not by the scan itself. Gated only
+// at full scale (POETBIN_BENCH_SCALE >= 1).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "boost/adaboost.h"
+#include "core/batch_eval.h"
+#include "core/rinc.h"
+#include "dt/level_dt.h"
+#include "util/bit_matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace poetbin;
+using Clock = std::chrono::steady_clock;
+
+BitMatrix random_bits(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix bits(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    BitVector& column = bits.column(c);
+    for (std::size_t w = 0; w < column.word_count(); ++w) {
+      column.words()[w] = rng.next_u64();
+    }
+    column.mask_tail_word();
+  }
+  return bits;
+}
+
+// Mid-boosting weight profile: log-normal mass, normalised. Uniform weights
+// would flatter neither path; this is what LevelDT actually sees from
+// Adaboost after a few rounds.
+std::vector<double> boosted_weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = std::exp(rng.gaussian(0.0, 1.0));
+    total += w;
+  }
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+template <typename Fn>
+double time_best_of(std::size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void report(const char* label, double seconds, std::size_t n_examples,
+            double baseline_seconds) {
+  std::printf("  %-28s %10.3f ms  %12.0f ex/s  %6.2fx\n", label,
+              1e3 * seconds, n_examples / seconds, baseline_seconds / seconds);
+}
+
+bool same_fit(const LevelDtResult& a, const LevelDtResult& b) {
+  return a.lut == b.lut && a.final_entropy == b.final_entropy &&
+         a.weighted_error == b.weighted_error;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Training: scalar vs word-parallel LevelDT scans + Adaboost loops",
+      "training engine acceptance: bitsliced LevelDT scans, P=6 >= 4x scalar");
+  bench::JsonResults json("train_batch");
+
+  const std::size_t n_examples =
+      static_cast<std::size_t>(10000 * bench::bench_scale());
+  const std::size_t n_features = 512;
+  const BitMatrix features = random_bits(n_examples, n_features, 1234);
+  const std::vector<double> weights = boosted_weights(n_examples, 77);
+  Rng rng(99);
+  BitVector targets(n_examples);
+  for (std::size_t w = 0; w < targets.word_count(); ++w) {
+    targets.words()[w] = rng.next_u64();
+  }
+  targets.mask_tail_word();
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("dataset: %zu examples x %zu features, %u hardware threads\n\n",
+              n_examples, n_features, static_cast<unsigned>(hw));
+
+  bool pass = true;
+
+  // --- LevelDT candidate scans, P=6 (S1 arity) and P=8 (M1/C1) ------------
+  for (const std::size_t p : {std::size_t{6}, std::size_t{8}}) {
+    const double target = p == 6 ? 4.0 : 3.0;
+    std::printf("LevelDT, P=%zu (%zu-level scan over %zu candidates):\n", p, p,
+                n_features);
+    LevelDtConfig scalar_config{.n_inputs = p, .word_parallel = false};
+    LevelDtConfig sliced_config{.n_inputs = p, .word_parallel = true};
+
+    LevelDtResult scalar_fit, sliced_fit, threaded_fit;
+    const double scalar_s = time_best_of(3, [&] {
+      scalar_fit = train_level_dt(features, targets, weights, scalar_config);
+    });
+    const double sliced_s = time_best_of(5, [&] {
+      sliced_fit = train_level_dt(features, targets, weights, sliced_config);
+    });
+    const BatchEngine engine(hw);
+    const double threaded_s = time_best_of(5, [&] {
+      threaded_fit =
+          train_level_dt(features, targets, weights, sliced_config, &engine);
+    });
+
+    if (!same_fit(scalar_fit, sliced_fit) ||
+        !same_fit(scalar_fit, threaded_fit)) {
+      std::printf("  ERROR: fits disagree with the scalar path\n");
+      return 1;
+    }
+    report("scalar scan", scalar_s, n_examples, scalar_s);
+    report("bitsliced (1 thread)", sliced_s, n_examples, scalar_s);
+    char label[64];
+    std::snprintf(label, sizeof label, "bitsliced (%u threads)",
+                  static_cast<unsigned>(hw));
+    report(label, threaded_s, n_examples, scalar_s);
+
+    const double speedup = scalar_s / sliced_s;
+    std::printf(
+        "  -> single-thread bitsliced speedup: %.2fx (target %.0fx)\n\n",
+                speedup, target);
+    if (speedup < target) pass = false;
+    char key[64];
+    std::snprintf(key, sizeof key, "leveldt_p%zu_scalar_ms", p);
+    json.add(key, 1e3 * scalar_s);
+    std::snprintf(key, sizeof key, "leveldt_p%zu_bitsliced_ms", p);
+    json.add(key, 1e3 * sliced_s);
+    std::snprintf(key, sizeof key, "leveldt_p%zu_threaded_ms", p);
+    json.add(key, 1e3 * threaded_s);
+    std::snprintf(key, sizeof key, "leveldt_p%zu_speedup_1t", p);
+    json.add(key, speedup);
+  }
+
+  // --- Adaboost error/reweight loops (weak learning held constant) --------
+  {
+    const std::size_t n_rounds = 16;  // MAT LUT range caps arity at 20
+    std::vector<BitVector> round_preds;
+    for (std::size_t r = 0; r < n_rounds; ++r) {
+      BitVector preds(n_examples);
+      for (std::size_t w = 0; w < preds.word_count(); ++w) {
+        preds.words()[w] = rng.next_u64();
+      }
+      preds.mask_tail_word();
+      round_preds.push_back(std::move(preds));
+    }
+    auto canned = [&](std::span<const double>, std::size_t round) {
+      return round_preds[round];
+    };
+
+    std::printf("Adaboost, %zu rounds (canned weak learner):\n", n_rounds);
+    AdaboostResult scalar_boost, word_boost;
+    const double scalar_s = time_best_of(3, [&] {
+      scalar_boost = run_adaboost(
+          targets, canned, {.n_rounds = n_rounds, .word_parallel = false});
+    });
+    const double word_s = time_best_of(5, [&] {
+      word_boost = run_adaboost(
+          targets, canned, {.n_rounds = n_rounds, .word_parallel = true});
+    });
+    for (std::size_t r = 0; r < n_rounds; ++r) {
+      if (scalar_boost.rounds[r].alpha != word_boost.rounds[r].alpha) {
+        std::printf("  ERROR: alphas disagree at round %zu\n", r);
+        return 1;
+      }
+    }
+    report("scalar loops", scalar_s, n_examples * n_rounds, scalar_s);
+    report("word-parallel loops", word_s, n_examples * n_rounds, scalar_s);
+    std::printf("  -> Adaboost loop speedup: %.2fx\n\n", scalar_s / word_s);
+    json.add("adaboost_scalar_ms", 1e3 * scalar_s);
+    json.add("adaboost_word_parallel_ms", 1e3 * word_s);
+    json.add("adaboost_speedup", scalar_s / word_s);
+  }
+
+  // --- End-to-end RINC-2 fit ----------------------------------------------
+  {
+    RincConfig scalar_config{
+        .lut_inputs = 6, .levels = 2, .total_dts = 36,
+        .word_parallel_training = false};
+    RincConfig word_config = scalar_config;
+    word_config.word_parallel_training = true;
+
+    std::printf("RINC-2 train (P=6, 36 DTs):\n");
+    RincModule scalar_module, word_module;
+    const double scalar_s = time_best_of(1, [&] {
+      scalar_module =
+          RincModule::train(features, targets, weights, scalar_config);
+    });
+    const double word_s = time_best_of(2, [&] {
+      word_module = RincModule::train(features, targets, weights, word_config);
+    });
+    if (!(scalar_module.eval_dataset(features) ==
+          word_module.eval_dataset(features)) ||
+        scalar_module.train_error() != word_module.train_error()) {
+      std::printf("  ERROR: trained modules disagree\n");
+      return 1;
+    }
+    report("scalar train", scalar_s, n_examples, scalar_s);
+    report("word-parallel train", word_s, n_examples, scalar_s);
+    std::printf("  -> end-to-end training speedup: %.2fx\n\n",
+                scalar_s / word_s);
+    json.add("rinc2_train_scalar_ms", 1e3 * scalar_s);
+    json.add("rinc2_train_word_parallel_ms", 1e3 * word_s);
+    json.add("rinc2_train_speedup", scalar_s / word_s);
+  }
+
+  json.add("acceptance_pass", pass ? 1.0 : 0.0);
+
+  // Only gate at full scale: small runs (CI smoke at 0.25) are too noisy
+  // for a hard threshold.
+  if (bench::bench_scale() < 1.0) {
+    std::printf("acceptance check skipped (scale < 1.0); measured %s target\n",
+                pass ? "above" : "below");
+    return 0;
+  }
+  std::printf(
+      "acceptance (bitsliced LevelDT 1-thread: P=6 >= 4x, P=8 >= 3x): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

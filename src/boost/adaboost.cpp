@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/check.h"
 
@@ -13,12 +14,23 @@ AdaboostResult run_adaboost(const BitVector& targets, WeakTrainFn train_weak,
   const std::size_t n = targets.size();
   POETBIN_CHECK(n > 0);
   POETBIN_CHECK(config.n_rounds >= 1);
+  POETBIN_CHECK_MSG(config.n_rounds <= 64,
+                    "n_rounds > 64 would overflow the 64-bit combo bitmask of "
+                    "the combined prediction; use at most 64 rounds per MAT");
 
   std::vector<double> weights;
   if (initial_weights.empty()) {
     weights.assign(n, 1.0 / static_cast<double>(n));
   } else {
     POETBIN_CHECK(initial_weights.size() == n);
+    double initial_total = 0.0;
+    for (const double w : initial_weights) {
+      POETBIN_CHECK_MSG(w >= 0.0, "initial_weights must be non-negative");
+      initial_total += w;
+    }
+    POETBIN_CHECK_MSG(initial_total > 0.0,
+                      "initial_weights must carry positive total mass; an "
+                      "all-zero distribution cannot be boosted");
     weights.assign(initial_weights.begin(), initial_weights.end());
   }
 
@@ -28,15 +40,26 @@ AdaboostResult run_adaboost(const BitVector& targets, WeakTrainFn train_weak,
   alphas.reserve(config.n_rounds);
   round_predictions.reserve(config.n_rounds);
 
+  BitVector disagreement;  // preds ^ targets, reused across rounds
+
   for (std::size_t round = 0; round < config.n_rounds; ++round) {
     BitVector predictions = train_weak(weights, round);
     POETBIN_CHECK(predictions.size() == n);
 
     double epsilon = 0.0;
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += weights[i];
-      if (predictions.get(i) != targets.get(i)) epsilon += weights[i];
+    if (config.word_parallel) {
+      // One xor pass gives the disagreement mask; epsilon is then a masked
+      // weighted sum over its words. Both accumulators add the same terms in
+      // the same order as the scalar loop, so the doubles are identical.
+      predictions.xor_into(targets, disagreement);
+      total = std::accumulate(weights.begin(), weights.end(), 0.0);
+      epsilon = disagreement.masked_weighted_sum(weights);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        total += weights[i];
+        if (predictions.get(i) != targets.get(i)) epsilon += weights[i];
+      }
     }
     POETBIN_CHECK(total > 0.0);
     epsilon /= total;
@@ -52,10 +75,27 @@ AdaboostResult run_adaboost(const BitVector& targets, WeakTrainFn train_weak,
     // Reweight: w_i *= exp(-alpha * y_i * h_i), then renormalise.
     const BitVector& preds = round_predictions.back();
     double new_total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double agreement = (preds.get(i) == targets.get(i)) ? 1.0 : -1.0;
-      weights[i] *= std::exp(-alpha * agreement);
-      new_total += weights[i];
+    if (config.word_parallel) {
+      // agreement is +-1, so exp(-alpha * agreement) takes only two values;
+      // the whole pass becomes a branchless multiply steered by the
+      // disagreement bit (exp(-alpha * +-1.0) == exp(-+alpha) exactly).
+      const double factor[2] = {std::exp(-alpha), std::exp(alpha)};
+      const std::uint64_t* mask = disagreement.words();
+      for (std::size_t w = 0; w < disagreement.word_count(); ++w) {
+        const std::uint64_t bits = mask[w];
+        const std::size_t row0 = w * 64;
+        const std::size_t rows = std::min<std::size_t>(64, n - row0);
+        for (std::size_t k = 0; k < rows; ++k) {
+          weights[row0 + k] *= factor[(bits >> k) & 1];
+          new_total += weights[row0 + k];
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double agreement = (preds.get(i) == targets.get(i)) ? 1.0 : -1.0;
+        weights[i] *= std::exp(-alpha * agreement);
+        new_total += weights[i];
+      }
     }
     POETBIN_CHECK(new_total > 0.0);
     for (auto& w : weights) w /= new_total;

@@ -18,10 +18,18 @@
 namespace poetbin {
 
 struct AdaboostConfig {
+  // Per-MAT round count; at most 64 (the combined prediction packs one bit
+  // per round into a 64-bit combo mask).
   std::size_t n_rounds = 6;
   // epsilon is clamped to [clamp, 1 - clamp] before computing alpha, which
   // caps |alpha| and keeps perfect weak learners from collapsing weights.
   double epsilon_clamp = 1e-6;
+  // Word-parallel error/reweight loops: the round's disagreement mask is one
+  // preds ^ targets pass, epsilon is a masked weighted sum over the mask
+  // words, and the exp-reweight collapses to two precomputed factors chosen
+  // per bit — no per-example exp(). Bit-identical to the scalar loops,
+  // which remain as the test reference.
+  bool word_parallel = true;
 };
 
 struct AdaboostRoundStats {

@@ -1,11 +1,10 @@
 #include "core/poetbin.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <thread>
 
+#include "core/batch_eval.h"
 #include "util/rng.h"
 
 namespace poetbin {
@@ -34,30 +33,16 @@ PoetBin PoetBin::train(const BitMatrix& features,
   model.modules_.assign(n_intermediate, RincModule{});
 
   // Distil one RINC module per intermediate neuron. The problems are
-  // independent, so a static partition over worker threads is deterministic.
-  std::size_t n_threads = config.threads;
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  n_threads = std::min(n_threads, n_intermediate);
-
-  std::atomic<std::size_t> next_module{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t j = next_module.fetch_add(1);
-      if (j >= n_intermediate) return;
-      model.modules_[j] = RincModule::train(
-          features, intermediate_targets.column(j), /*weights=*/{}, config.rinc);
-    }
-  };
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
-  }
+  // independent, so one pool job per module is deterministic at any thread
+  // count. Module-level parallelism already saturates the pool, so each
+  // module trains with the single-thread word-parallel scans (engine
+  // nullptr inside RincModule::train); the same engine is then reused for
+  // the bitsliced rinc-output pass below.
+  const BatchEngine engine(config.threads);
+  engine.parallel_for(n_intermediate, [&](std::size_t j) {
+    model.modules_[j] = RincModule::train(
+        features, intermediate_targets.column(j), /*weights=*/{}, config.rinc);
+  });
   if (config.verbose) {
     for (std::size_t j = 0; j < n_intermediate; ++j) {
       std::printf("  RINC %zu/%zu train_err=%.4f\n", j + 1, n_intermediate,
@@ -67,8 +52,7 @@ PoetBin PoetBin::train(const BitMatrix& features,
 
   // The output layer retrains on the RINC bank's outputs; produce them with
   // the bitsliced batch engine (bit-identical to the scalar path).
-  const BitMatrix rinc_bits =
-      model.rinc_outputs_batched(features, config.threads);
+  const BitMatrix rinc_bits = engine.rinc_outputs(model, features);
   model.retrain_output_layer(rinc_bits, labels);
   return model;
 }

@@ -53,27 +53,32 @@ RincModule RincModule::make_internal(std::vector<RincModule> children,
 
 RincModule RincModule::train(const BitMatrix& features, const BitVector& targets,
                              std::span<const double> weights,
-                             const RincConfig& config) {
+                             const RincConfig& config,
+                             const BatchEngine* engine) {
   POETBIN_CHECK(config.lut_inputs >= 2);
   const std::size_t max_dts = ipow(config.lut_inputs, config.levels);
   std::size_t budget = config.total_dts == 0 ? max_dts : config.total_dts;
   POETBIN_CHECK_MSG(budget <= max_dts,
                     "total_dts exceeds P^L; increase levels or lut_inputs");
-  return train_impl(features, targets, weights, config, config.levels, budget);
+  return train_impl(features, targets, weights, config, config.levels, budget,
+                    engine);
 }
 
 RincModule RincModule::train_impl(const BitMatrix& features,
                                   const BitVector& targets,
                                   std::span<const double> weights,
                                   const RincConfig& config, std::size_t level,
-                                  std::size_t dt_budget) {
+                                  std::size_t dt_budget,
+                                  const BatchEngine* engine) {
   RincModule module;
   const std::size_t n = features.rows();
 
   if (level == 0) {
     LevelDtConfig dt_config;
     dt_config.n_inputs = config.lut_inputs;
-    LevelDtResult fit = train_level_dt(features, targets, weights, dt_config);
+    dt_config.word_parallel = config.word_parallel_training;
+    LevelDtResult fit =
+        train_level_dt(features, targets, weights, dt_config, engine);
     module.leaf_ = std::move(fit.lut);
     module.train_error_ = fit.weighted_error;
     return module;
@@ -87,6 +92,7 @@ RincModule RincModule::train_impl(const BitMatrix& features,
 
   AdaboostConfig boost_config = config.adaboost;
   boost_config.n_rounds = n_children;
+  boost_config.word_parallel = config.word_parallel_training;
 
   std::size_t remaining = dt_budget;
   auto train_weak = [&](std::span<const double> round_weights,
@@ -96,8 +102,12 @@ RincModule RincModule::train_impl(const BitMatrix& features,
     POETBIN_CHECK(child_budget >= 1);
     remaining -= child_budget;
     RincModule child = train_impl(features, targets, round_weights, config,
-                                  level - 1, child_budget);
-    BitVector predictions = child.eval_dataset(features);
+                                  level - 1, child_budget, engine);
+    // The weak learner's dataset pass rides the bitsliced inference path
+    // when word-parallel training is on (bit-identical per PR 1's tests).
+    BitVector predictions = config.word_parallel_training
+                                ? child.eval_dataset_batched(features)
+                                : child.eval_dataset(features);
     module.children_.push_back(std::move(child));
     return predictions;
   };

@@ -26,11 +26,18 @@
 
 namespace poetbin {
 
+class BatchEngine;  // core/batch_eval.h
+
 struct RincConfig {
   std::size_t lut_inputs = 6;  // P: LUT arity (tree depth and max MAT fanin)
   std::size_t levels = 2;      // L: 0 = bare LevelDT, 1 = one Adaboost layer...
   std::size_t total_dts = 36;  // leaf DT budget; clamped to P^L
   AdaboostConfig adaboost;     // epsilon clamping etc. (n_rounds is derived)
+  // Word-parallel training: bitsliced LevelDT entropy scans, word-parallel
+  // Adaboost error/reweight loops and bitsliced weak-learner dataset passes.
+  // The same toggle the inference side exposes as the batch engine; results
+  // are bit-identical to the scalar paths (see LevelDtConfig/AdaboostConfig).
+  bool word_parallel_training = true;
 };
 
 class RincModule {
@@ -40,9 +47,13 @@ class RincModule {
   // Trains a RINC-`config.levels` on binary `features` against the binary
   // `targets`, starting from `weights` (empty = uniform). The weights thread
   // through the recursive Adaboost exactly as Algorithm 2 prescribes.
+  // `engine`, when non-null, parallelises the LevelDT candidate scans over
+  // its thread pool (identical results at any thread count); leave it null
+  // when modules are already trained in parallel, as PoetBin::train does.
   static RincModule train(const BitMatrix& features, const BitVector& targets,
                           std::span<const double> weights,
-                          const RincConfig& config);
+                          const RincConfig& config,
+                          const BatchEngine* engine = nullptr);
 
   // Reconstruction from stored artefacts (deserialization, hand-built
   // modules in tests). Children must all have the same level.
@@ -99,7 +110,8 @@ class RincModule {
   static RincModule train_impl(const BitMatrix& features, const BitVector& targets,
                                std::span<const double> weights,
                                const RincConfig& config, std::size_t level,
-                               std::size_t dt_budget);
+                               std::size_t dt_budget,
+                               const BatchEngine* engine);
 };
 
 // Closed-form LUT count of a *full* RINC-L: (P^(L+1)-1)/(P-1), the formula

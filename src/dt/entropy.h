@@ -1,16 +1,34 @@
 // Weighted entropy utilities shared by the level-wise and classic DTs.
+//
+// Defined inline: the level-wise DT's candidate scans call these once per
+// tree node per candidate (hundreds of thousands of calls per trained LUT),
+// so the call overhead is measurable on both the scalar and word-parallel
+// training paths.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 
+#include "util/check.h"
+
 namespace poetbin {
+
+// Plain H(p) for p in [0,1], in bits.
+inline double binary_entropy(double p) {
+  POETBIN_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
 
 // Binary Shannon entropy of the distribution (w0, w1) in bits, scaled by
 // the node's total weight: (w0+w1) * H(w1/(w0+w1)). Zero-weight nodes
 // contribute zero. This is the quantity Algorithm 1 accumulates per level.
-double weighted_node_entropy(double weight_class0, double weight_class1);
-
-// Plain H(p) for p in [0,1], in bits.
-double binary_entropy(double p);
+inline double weighted_node_entropy(double weight_class0,
+                                    double weight_class1) {
+  POETBIN_CHECK(weight_class0 >= 0.0 && weight_class1 >= 0.0);
+  const double total = weight_class0 + weight_class1;
+  if (total <= 0.0) return 0.0;
+  return total * binary_entropy(weight_class1 / total);
+}
 
 }  // namespace poetbin

@@ -20,12 +20,26 @@
 
 namespace poetbin {
 
+class BatchEngine;  // core/batch_eval.h; optional candidate-scan parallelism
+
 struct LevelDtConfig {
   // P: number of inputs of the target LUT (= tree depth).
   std::size_t n_inputs = 6;
-  // Optional candidate restriction; empty means "all features". Features
-  // already used by this tree are always excluded, per Algorithm 1.
+  // Optional candidate restriction; empty means "all features". Duplicate
+  // entries are deduplicated (first occurrence wins the tie-break order) and
+  // features already used by this tree are always excluded, per Algorithm 1.
   std::vector<std::size_t> candidate_features;
+  // Word-parallel entropy scan: per-bucket class masses are gathered from
+  // the packed candidate-column words (64 examples per word op) instead of
+  // extracting one bit per example. Per-candidate scores agree with the
+  // scalar scan to accumulated rounding (masses are derived subtractively
+  // and carried across levels), so feature selection matches the scalar
+  // path unless two candidates score within a few ulps of each other —
+  // exact duplicates still tie exactly and resolve identically. Once
+  // selection matches, LUT contents, reported entropy and weighted error
+  // are bit-identical (they come from exact in-order rebuilds). The scalar
+  // path remains as the test reference.
+  bool word_parallel = true;
 };
 
 struct LevelDtResult {
@@ -38,9 +52,14 @@ struct LevelDtResult {
 
 // Trains Algorithm 1. `targets` holds the binary class per example;
 // `weights` must sum to something positive (Adaboost passes a distribution).
-// If `weights` is empty, uniform weights are used.
+// If `weights` is empty, uniform weights are used. When `engine` is non-null
+// and the word-parallel path is enabled, the per-level scan over candidate
+// features is spread across the engine's thread pool (results are identical
+// at any thread count: each candidate's score is computed independently and
+// the argmin keeps the scalar tie-break order).
 LevelDtResult train_level_dt(const BitMatrix& features, const BitVector& targets,
                              std::span<const double> weights,
-                             const LevelDtConfig& config);
+                             const LevelDtConfig& config,
+                             const BatchEngine* engine = nullptr);
 
 }  // namespace poetbin

@@ -88,6 +88,23 @@ bool BitVector::operator==(const BitVector& other) const {
   return n_bits_ == other.n_bits_ && words_ == other.words_;
 }
 
+void BitVector::xor_into(const BitVector& other, BitVector& dst) const {
+  POETBIN_CHECK(n_bits_ == other.n_bits_);
+  dst.n_bits_ = n_bits_;
+  dst.words_.resize(words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    dst.words_[i] = words_[i] ^ other.words_[i];
+  }
+  // Both operands keep zero tails, so the xor does too; re-masking costs one
+  // AND and keeps the invariant independent of the operands' history.
+  dst.mask_tail();
+}
+
+double BitVector::masked_weighted_sum(std::span<const double> weights) const {
+  POETBIN_CHECK(weights.size() == n_bits_);
+  return masked_weighted_sum_words(words_, weights, n_bits_);
+}
+
 std::size_t BitVector::xnor_popcount(const BitVector& other) const {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
   return n_bits_ - hamming(other);
@@ -109,11 +126,27 @@ std::string BitVector::to_string() const {
   return s;
 }
 
-void BitVector::mask_tail() {
-  const std::size_t rem = n_bits_ & 63;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (1ULL << rem) - 1;
+double masked_weighted_sum_words(std::span<const std::uint64_t> words,
+                                 std::span<const double> weights,
+                                 std::size_t n_bits) {
+  POETBIN_CHECK(weights.size() >= n_bits);
+  const std::size_t n_words = BitVector::words_needed(n_bits);
+  POETBIN_CHECK(words.size() >= n_words);
+  double total = 0.0;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t mask = words[w];
+    if (w + 1 == n_words) mask &= BitVector::tail_word_mask(n_bits);
+    const std::size_t row0 = w * 64;
+    while (mask != 0) {
+      total += weights[row0 + static_cast<std::size_t>(std::countr_zero(mask))];
+      mask &= mask - 1;
+    }
   }
+  return total;
+}
+
+void BitVector::mask_tail() {
+  if (!words_.empty()) words_.back() &= tail_word_mask(n_bits_);
 }
 
 }  // namespace poetbin

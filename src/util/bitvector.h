@@ -60,6 +60,16 @@ class BitVector {
 
   bool operator==(const BitVector& other) const;
 
+  // dst = *this ^ other, reusing dst's storage (Adaboost recomputes the
+  // disagreement mask every round; this keeps the round loop allocation-free
+  // after the first call). Operands must have equal size.
+  void xor_into(const BitVector& other, BitVector& dst) const;
+
+  // Sum of weights[i] over the set bits, accumulated in ascending bit order —
+  // exactly the order of a scalar `if (get(i)) acc += weights[i]` loop, so
+  // results are bit-identical to it. weights.size() must equal size().
+  double masked_weighted_sum(std::span<const double> weights) const;
+
   // XNOR-popcount: number of positions where the two vectors agree.
   // This is the binary "dot product" used by BinaryNet-style neurons.
   std::size_t xnor_popcount(const BitVector& other) const;
@@ -84,6 +94,13 @@ class BitVector {
   static constexpr std::size_t words_needed(std::size_t n_bits) {
     return (n_bits + kWordBits - 1) / kWordBits;
   }
+  // All-ones over the positions a vector of n_bits occupies within its last
+  // word (all-ones when the last word is full). The single source of truth
+  // for tail handling — word-level consumers AND their last word with this.
+  static constexpr std::uint64_t tail_word_mask(std::size_t n_bits) {
+    const std::size_t rem = n_bits % kWordBits;
+    return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  }
 
   // "0101..." with bit 0 first; for tests and debugging.
   std::string to_string() const;
@@ -94,5 +111,12 @@ class BitVector {
   std::size_t n_bits_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+// Masked weighted sum over a raw word span: sum of weights[i] for every set
+// bit i < n_bits, ascending. Bits beyond n_bits in the last word are ignored,
+// so raw-word writers that have not re-masked their tail are still safe.
+double masked_weighted_sum_words(std::span<const std::uint64_t> words,
+                                 std::span<const double> weights,
+                                 std::size_t n_bits);
 
 }  // namespace poetbin

@@ -129,6 +129,42 @@ TEST(Adaboost, InitialWeightsRespected) {
   EXPECT_EQ(store[0].inputs()[0], 1u);
 }
 
+TEST(Adaboost, RejectsMoreThan64Rounds) {
+  // The combined prediction packs one bit per round into a 64-bit combo
+  // mask; round 65 would shift out of range (undefined behavior before the
+  // guard existed).
+  const BitMatrix features = random_bits(50, 4, 9);
+  const BitVector targets =
+      targets_from(features, [](const BitVector& x) { return x.get(0); });
+  std::vector<Lut> store;
+  EXPECT_DEATH(run_adaboost(targets, stump_trainer(features, targets, store),
+                            {.n_rounds = 65}),
+               "overflow the 64-bit combo");
+}
+
+TEST(Adaboost, RejectsAllZeroInitialWeights) {
+  const BitMatrix features = random_bits(50, 4, 10);
+  const BitVector targets =
+      targets_from(features, [](const BitVector& x) { return x.get(1); });
+  std::vector<Lut> store;
+  const std::vector<double> zeros(targets.size(), 0.0);
+  EXPECT_DEATH(run_adaboost(targets, stump_trainer(features, targets, store),
+                            {.n_rounds = 2}, zeros),
+               "positive total mass");
+}
+
+TEST(Adaboost, RejectsNegativeInitialWeights) {
+  const BitMatrix features = random_bits(50, 4, 11);
+  const BitVector targets =
+      targets_from(features, [](const BitVector& x) { return x.get(2); });
+  std::vector<Lut> store;
+  std::vector<double> weights(targets.size(), 1.0 / targets.size());
+  weights[17] = -0.25;
+  EXPECT_DEATH(run_adaboost(targets, stump_trainer(features, targets, store),
+                            {.n_rounds = 2}, weights),
+               "non-negative");
+}
+
 TEST(Adaboost, ReweightingFocusesOnMistakes) {
   // After round 1 the misclassified examples' weights must have grown;
   // verify via a probe trainer that records the weights it sees.

@@ -46,6 +46,42 @@ TEST(BitVector, TailBitsStayMasked) {
   EXPECT_EQ(inverted.popcount(), 0u);
 }
 
+TEST(BitVector, XorIntoMatchesOperatorXor) {
+  Rng rng(5);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 200u}) {
+    BitVector a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.set(i, rng.next_bool());
+      b.set(i, rng.next_bool());
+    }
+    BitVector dst;
+    a.xor_into(b, dst);
+    EXPECT_TRUE(dst == (a ^ b)) << "n=" << n;
+    // Reuse with stale larger contents must still come out exact.
+    BitVector stale(512, true);
+    a.xor_into(b, stale);
+    EXPECT_TRUE(stale == (a ^ b)) << "n=" << n;
+  }
+}
+
+TEST(BitVector, MaskedWeightedSumMatchesScalarLoop) {
+  Rng rng(6);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 300u}) {
+    BitVector mask(n);
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mask.set(i, rng.next_bool());
+      weights[i] = rng.next_double();
+    }
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask.get(i)) expected += weights[i];
+    }
+    // Identical accumulation order, so the comparison is exact.
+    EXPECT_EQ(mask.masked_weighted_sum(weights), expected) << "n=" << n;
+  }
+}
+
 TEST(BitVector, LogicOps) {
   BitVector a(8);
   BitVector b(8);

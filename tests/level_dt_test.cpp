@@ -208,6 +208,50 @@ TEST_P(LevelDtAritySweep, LutHasExactlyPInputsAndFullTable) {
 INSTANTIATE_TEST_SUITE_P(Arities, LevelDtAritySweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(LevelDt, DuplicateCandidatesAreDeduplicated) {
+  // Duplicated entries used to satisfy the candidate-count check yet run the
+  // per-level scan out of unique features mid-way, dying on the opaque
+  // sentinel check. Dedup keeps them harmless.
+  const BitMatrix features = random_bits(300, 16, 12);
+  const BitVector targets =
+      targets_from(features, [](const BitVector& x) { return x.get(9); });
+  LevelDtConfig config;
+  config.n_inputs = 3;
+  config.candidate_features = {8, 8, 9, 9, 10, 10};
+  const LevelDtResult fit = train_level_dt(features, targets, {}, config);
+  std::vector<std::size_t> selected = fit.lut.inputs();
+  std::sort(selected.begin(), selected.end());
+  EXPECT_EQ(selected, (std::vector<std::size_t>{8, 9, 10}));
+}
+
+TEST(LevelDt, DuplicateCandidatesMatchUniqueCandidateRuns) {
+  const BitMatrix features = random_bits(400, 12, 13);
+  const BitVector targets = targets_from(
+      features, [](const BitVector& x) { return x.get(2) != x.get(7); }, 0.1,
+      14);
+  LevelDtConfig with_dups;
+  with_dups.n_inputs = 4;
+  with_dups.candidate_features = {2, 7, 2, 5, 7, 9, 5, 11, 9};
+  LevelDtConfig unique = with_dups;
+  unique.candidate_features = {2, 7, 5, 9, 11};
+  const LevelDtResult a = train_level_dt(features, targets, {}, with_dups);
+  const LevelDtResult b = train_level_dt(features, targets, {}, unique);
+  EXPECT_EQ(a.lut, b.lut);
+}
+
+TEST(LevelDt, RefusesTooFewUniqueCandidates) {
+  // Six entries but only three unique features cannot fill four levels; the
+  // entry check must fire with an actionable message instead of the scan
+  // dying mid-level.
+  const BitMatrix features = random_bits(50, 16, 15);
+  const BitVector targets(50);
+  LevelDtConfig config;
+  config.n_inputs = 4;
+  config.candidate_features = {8, 8, 9, 9, 10, 10};
+  EXPECT_DEATH(train_level_dt(features, targets, {}, config),
+               "not enough candidate features");
+}
+
 TEST(LevelDt, RefusesOversizedArity) {
   const BitMatrix features = random_bits(10, 3, 11);
   const BitVector targets(10);
