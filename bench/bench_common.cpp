@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/table.h"
+#include "util/word_backend.h"
 
 namespace poetbin::bench {
 
@@ -71,6 +72,17 @@ void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("absolute accuracies differ from the paper, shapes should hold)\n");
   std::printf("================================================================\n\n");
   std::fflush(stdout);
+}
+
+void report_word_backends(JsonResults& json) {
+  std::printf("word backends:");
+  double backends_mask = 0.0;
+  for (const auto b : available_word_backends()) {
+    std::printf(" %s", word_backend_name(b));
+    backends_mask += static_cast<double>(1u << static_cast<unsigned>(b));
+  }
+  std::printf(" (default %s)\n\n", word_backend_name(active_word_backend()));
+  json.add("backends_mask", backends_mask);
 }
 
 }  // namespace poetbin::bench

@@ -58,4 +58,10 @@ class JsonResults {
   std::vector<std::pair<std::string, double>> metrics_;
 };
 
+// Prints the available SIMD word backends (and the default dispatch) and
+// records "backends_mask" (sum of 1 << backend) in `json` — the key
+// tools/bench_diff.py uses to detect runner-hardware changes between CI
+// runs. Call once per bench, after the header.
+void report_word_backends(JsonResults& json);
+
 }  // namespace poetbin::bench

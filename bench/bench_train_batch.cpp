@@ -20,6 +20,7 @@
 #include "dt/level_dt.h"
 #include "util/bit_matrix.h"
 #include "util/rng.h"
+#include "util/word_backend.h"
 
 namespace {
 
@@ -98,8 +99,11 @@ int main() {
   targets.mask_tail_word();
 
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("dataset: %zu examples x %zu features, %u hardware threads\n\n",
+  const WordBackend default_backend = active_word_backend();
+  const auto backends = available_word_backends();
+  std::printf("dataset: %zu examples x %zu features, %u hardware threads\n",
               n_examples, n_features, static_cast<unsigned>(hw));
+  bench::report_word_backends(json);
 
   bool pass = true;
 
@@ -115,23 +119,37 @@ int main() {
     const double scalar_s = time_best_of(3, [&] {
       scalar_fit = train_level_dt(features, targets, weights, scalar_config);
     });
-    const double sliced_s = time_best_of(5, [&] {
-      sliced_fit = train_level_dt(features, targets, weights, sliced_config);
-    });
+    report("scalar scan", scalar_s, n_examples, scalar_s);
+    char label[64], key[64];
+    double sliced_s = 0.0;
+    for (const auto backend : backends) {
+      set_word_backend(backend);
+      const double backend_s = time_best_of(5, [&] {
+        sliced_fit = train_level_dt(features, targets, weights, sliced_config);
+      });
+      if (!same_fit(scalar_fit, sliced_fit)) {
+        std::printf("  ERROR: %s fit disagrees with the scalar path\n",
+                    word_backend_name(backend));
+        return 1;
+      }
+      if (backend == default_backend) sliced_s = backend_s;
+      std::snprintf(label, sizeof label, "bitsliced (1t, %s)",
+                    word_backend_name(backend));
+      report(label, backend_s, n_examples, scalar_s);
+      std::snprintf(key, sizeof key, "leveldt_p%zu_bitsliced_%s_ms", p,
+                    word_backend_name(backend));
+      json.add(key, 1e3 * backend_s);
+    }
+    set_word_backend(default_backend);
     const BatchEngine engine(hw);
     const double threaded_s = time_best_of(5, [&] {
       threaded_fit =
           train_level_dt(features, targets, weights, sliced_config, &engine);
     });
-
-    if (!same_fit(scalar_fit, sliced_fit) ||
-        !same_fit(scalar_fit, threaded_fit)) {
-      std::printf("  ERROR: fits disagree with the scalar path\n");
+    if (!same_fit(scalar_fit, threaded_fit)) {
+      std::printf("  ERROR: threaded fit disagrees with the scalar path\n");
       return 1;
     }
-    report("scalar scan", scalar_s, n_examples, scalar_s);
-    report("bitsliced (1 thread)", sliced_s, n_examples, scalar_s);
-    char label[64];
     std::snprintf(label, sizeof label, "bitsliced (%u threads)",
                   static_cast<unsigned>(hw));
     report(label, threaded_s, n_examples, scalar_s);
@@ -141,7 +159,6 @@ int main() {
         "  -> single-thread bitsliced speedup: %.2fx (target %.0fx)\n\n",
                 speedup, target);
     if (speedup < target) pass = false;
-    char key[64];
     std::snprintf(key, sizeof key, "leveldt_p%zu_scalar_ms", p);
     json.add(key, 1e3 * scalar_s);
     std::snprintf(key, sizeof key, "leveldt_p%zu_bitsliced_ms", p);
@@ -174,20 +191,33 @@ int main() {
       scalar_boost = run_adaboost(
           targets, canned, {.n_rounds = n_rounds, .word_parallel = false});
     });
-    const double word_s = time_best_of(5, [&] {
-      word_boost = run_adaboost(
-          targets, canned, {.n_rounds = n_rounds, .word_parallel = true});
-    });
-    for (std::size_t r = 0; r < n_rounds; ++r) {
-      if (scalar_boost.rounds[r].alpha != word_boost.rounds[r].alpha) {
-        std::printf("  ERROR: alphas disagree at round %zu\n", r);
-        return 1;
-      }
-    }
     report("scalar loops", scalar_s, n_examples * n_rounds, scalar_s);
-    report("word-parallel loops", word_s, n_examples * n_rounds, scalar_s);
-    std::printf("  -> Adaboost loop speedup: %.2fx\n\n", scalar_s / word_s);
     json.add("adaboost_scalar_ms", 1e3 * scalar_s);
+    double word_s = 0.0;
+    for (const auto backend : backends) {
+      set_word_backend(backend);
+      const double backend_s = time_best_of(5, [&] {
+        word_boost = run_adaboost(
+            targets, canned, {.n_rounds = n_rounds, .word_parallel = true});
+      });
+      for (std::size_t r = 0; r < n_rounds; ++r) {
+        if (scalar_boost.rounds[r].alpha != word_boost.rounds[r].alpha) {
+          std::printf("  ERROR: %s alphas disagree at round %zu\n",
+                      word_backend_name(backend), r);
+          return 1;
+        }
+      }
+      if (backend == default_backend) word_s = backend_s;
+      char label[64], key[64];
+      std::snprintf(label, sizeof label, "word-parallel (%s)",
+                    word_backend_name(backend));
+      report(label, backend_s, n_examples * n_rounds, scalar_s);
+      std::snprintf(key, sizeof key, "adaboost_word_parallel_%s_ms",
+                    word_backend_name(backend));
+      json.add(key, 1e3 * backend_s);
+    }
+    set_word_backend(default_backend);
+    std::printf("  -> Adaboost loop speedup: %.2fx\n\n", scalar_s / word_s);
     json.add("adaboost_word_parallel_ms", 1e3 * word_s);
     json.add("adaboost_speedup", scalar_s / word_s);
   }

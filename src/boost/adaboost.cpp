@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/word_backend.h"
 
 namespace poetbin {
 
@@ -79,17 +80,13 @@ AdaboostResult run_adaboost(const BitVector& targets, WeakTrainFn train_weak,
       // agreement is +-1, so exp(-alpha * agreement) takes only two values;
       // the whole pass becomes a branchless multiply steered by the
       // disagreement bit (exp(-alpha * +-1.0) == exp(-+alpha) exactly).
-      const double factor[2] = {std::exp(-alpha), std::exp(alpha)};
-      const std::uint64_t* mask = disagreement.words();
-      for (std::size_t w = 0; w < disagreement.word_count(); ++w) {
-        const std::uint64_t bits = mask[w];
-        const std::size_t row0 = w * 64;
-        const std::size_t rows = std::min<std::size_t>(64, n - row0);
-        for (std::size_t k = 0; k < rows; ++k) {
-          weights[row0 + k] *= factor[(bits >> k) & 1];
-          new_total += weights[row0 + k];
-        }
-      }
+      // The multiplies are elementwise and therefore exact at any SIMD
+      // width; the renormalisation total is summed afterwards in ascending
+      // index order — the same terms in the same order as the scalar loop,
+      // so the doubles are identical.
+      word_ops().scale_by_mask(disagreement.words(), n, std::exp(-alpha),
+                               std::exp(alpha), weights.data());
+      for (const double w : weights) new_total += w;
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         const double agreement = (preds.get(i) == targets.get(i)) ? 1.0 : -1.0;

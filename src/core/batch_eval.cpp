@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "util/aligned_vector.h"
 #include "util/check.h"
+#include "util/word_backend.h"
 
 namespace poetbin {
 
@@ -29,51 +32,22 @@ std::vector<std::uint64_t> splat_table(const BitVector& table) {
   return splat;
 }
 
-// One word of LUT output from P input words: iteratively Shannon-reduce the
-// splatted table over address bit 0, then 1, ... Each step is the bitwise
-// mux f0 ^ ((f0 ^ f1) & x) applied to adjacent half-tables, so the whole
-// evaluation is 2^P - 1 word muxes and touches no per-example state.
-// `scratch` must hold at least 2^(P-1) words (unused when P == 0).
-std::uint64_t shannon_reduce(const std::uint64_t* splat, std::size_t arity,
-                             const std::uint64_t* in, std::uint64_t* scratch) {
-  if (arity == 0) return splat[0];
-  std::size_t half = std::size_t{1} << (arity - 1);
-  const std::uint64_t x0 = in[0];
-  for (std::size_t k = 0; k < half; ++k) {
-    const std::uint64_t f0 = splat[2 * k];
-    const std::uint64_t f1 = splat[2 * k + 1];
-    scratch[k] = f0 ^ ((f0 ^ f1) & x0);
-  }
-  for (std::size_t j = 1; j < arity; ++j) {
-    half >>= 1;
-    const std::uint64_t x = in[j];
-    for (std::size_t k = 0; k < half; ++k) {
-      const std::uint64_t f0 = scratch[2 * k];
-      const std::uint64_t f1 = scratch[2 * k + 1];
-      scratch[k] = f0 ^ ((f0 ^ f1) & x);
-    }
-  }
-  return scratch[0];
-}
-
 // Shared guts of the public word kernels once the splat table and the input
 // word streams are resolved. `columns[j]` must expose words
 // [word_begin, word_end) of address bit j at offsets word_begin..; the
 // kernels pass either BitMatrix column words (absolute indexing) or child
-// scratch buffers (rebased to 0) through `base`.
+// scratch buffers (rebased to 0) through `base`. The Shannon reduction
+// itself — the 2^P - 1 word muxes per output word — runs on the active SIMD
+// word backend; only the dataset's last word needs the tail re-masked.
 void reduce_words(const std::vector<std::uint64_t>& splat, std::size_t arity,
                   const std::vector<const std::uint64_t*>& columns,
                   std::size_t word_begin, std::size_t word_end,
                   std::size_t base, std::size_t n_rows, std::uint64_t* out) {
-  std::vector<std::uint64_t> scratch(splat.size() / 2 + 1);
-  std::vector<std::uint64_t> in(arity);
+  word_ops().lut_reduce(splat.data(), arity, columns.data(), base, word_begin,
+                        word_end, out);
   const std::size_t last_word = BitVector::words_needed(n_rows);
-  for (std::size_t w = word_begin; w < word_end; ++w) {
-    for (std::size_t j = 0; j < arity; ++j) in[j] = columns[j][w - base];
-    std::uint64_t word = shannon_reduce(splat.data(), arity, in.data(),
-                                        scratch.data());
-    if (w + 1 == last_word) word &= tail_mask(n_rows);
-    out[w - word_begin] = word;
+  if (word_begin < word_end && word_end == last_word) {
+    out[word_end - 1 - word_begin] &= tail_mask(n_rows);
   }
 }
 
@@ -103,7 +77,7 @@ void eval_rinc_words(const RincModule& module, const BitMatrix& features,
   }
   const auto& children = module.children();
   const std::size_t n_words = word_end - word_begin;
-  std::vector<std::vector<std::uint64_t>> child_words(children.size());
+  std::vector<WordVec> child_words(children.size());
   std::vector<const std::uint64_t*> columns(children.size());
   for (std::size_t c = 0; c < children.size(); ++c) {
     child_words[c].resize(n_words);
@@ -229,6 +203,18 @@ void BatchEngine::parallel_for(
     for (std::size_t job = 0; job < n_jobs; ++job) fn(job);
     return;
   }
+  // The pool has one job slot; dispatching a second parallel_for while one
+  // is in flight (from a job, or from another user thread) would corrupt it
+  // silently. Fail fast instead. The flag is cleared by RAII so a throwing
+  // job doesn't poison the engine for later (legal, sequential) calls.
+  POETBIN_CHECK_MSG(!busy_.exchange(true, std::memory_order_acquire),
+                    "BatchEngine is not re-entrant: parallel_for called while "
+                    "another parallel_for on the same engine is in flight; "
+                    "use one engine per concurrent dataset pass");
+  struct BusyReset {
+    std::atomic<bool>* flag;
+    ~BusyReset() { flag->store(false, std::memory_order_release); }
+  } reset{&busy_};  // busy_ is mutable, so &busy_ is non-const here
   pool_->run(n_jobs, fn);
 }
 
@@ -289,45 +275,116 @@ BitMatrix BatchEngine::rinc_outputs(const PoetBin& model,
 std::vector<int> BatchEngine::predict_dataset(const PoetBin& model,
                                               const BitMatrix& features) const {
   const std::size_t n = features.rows();
-  const BitMatrix bits = rinc_outputs(model, features);
-  std::vector<int> predictions(n, 0);
   const auto& neurons = model.output_neurons();
-  const std::size_t p = model.lut_inputs();
+  std::vector<int> predictions(n, 0);
+  // With zero or one output neuron every example is class 0 (the scalar
+  // argmax initializes to class 0), and there is nothing to compare.
+  if (n == 0 || neurons.size() <= 1) return predictions;
 
+  const auto& modules = model.modules();
+  const std::size_t p = model.lut_inputs();
+  const std::size_t n_combos = std::size_t{1} << p;
+
+  // Code bit-planes: enough planes for the largest quantized code anywhere
+  // in the output layer (quant_bits in practice, but derived from the data
+  // so reconstructed models with wider codes stay exact).
+  std::uint32_t max_code = 1;
+  for (const auto& neuron : neurons) {
+    POETBIN_CHECK(neuron.input_modules.size() == p);
+    POETBIN_CHECK(neuron.codes.size() == n_combos);
+    for (const auto code : neuron.codes) max_code = std::max(max_code, code);
+  }
+  const std::size_t n_planes =
+      static_cast<std::size_t>(std::bit_width(max_code));
+  const std::size_t n_class_planes =
+      static_cast<std::size_t>(std::bit_width(neurons.size() - 1));
+
+  // splat[c * n_planes + plane][a]: all-ones when bit `plane` of neuron c's
+  // code for combo `a` is set. Each plane of each neuron's code is a boolean
+  // function of its P input bits, so it Shannon-reduces with the same word
+  // kernel as the LUT layers — the argmax becomes pure word ops.
+  std::vector<std::vector<std::uint64_t>> plane_splat(neurons.size() *
+                                                      n_planes);
+  for (std::size_t c = 0; c < neurons.size(); ++c) {
+    for (std::size_t plane = 0; plane < n_planes; ++plane) {
+      auto& splat = plane_splat[c * n_planes + plane];
+      splat.resize(n_combos);
+      for (std::size_t a = 0; a < n_combos; ++a) {
+        splat[a] = (neurons[c].codes[a] >> plane) & 1u ? ~0ULL : 0ULL;
+      }
+    }
+  }
+
+  const WordOps& ops = word_ops();
   const WordChunks chunks = chunk_words(features.word_count(), n_threads_);
   parallel_for(chunks.n_chunks, [&](std::size_t chunk) {
     const std::size_t word_begin = chunk * chunks.chunk_words;
     const std::size_t word_end =
         std::min(chunks.n_words, word_begin + chunks.chunk_words);
-    // Per class: gather the P child words, transpose them into 64 packed
-    // combos, then run the quantized-code argmax per example.
-    std::vector<std::uint32_t> combos(64);
-    for (std::size_t w = word_begin; w < word_end; ++w) {
-      const std::size_t row0 = w * 64;
-      const std::size_t rows = std::min<std::size_t>(64, n - row0);
-      std::vector<std::uint32_t> best_code(rows, 0);
-      std::vector<int> best_class(rows, 0);
-      for (std::size_t c = 0; c < neurons.size(); ++c) {
-        std::fill(combos.begin(), combos.begin() + rows, 0);
-        for (std::size_t j = 0; j < p; ++j) {
-          const std::uint64_t word =
-              bits.column_words(neurons[c].input_modules[j])[w];
-          for (std::size_t i = 0; i < rows; ++i) {
-            combos[i] |= static_cast<std::uint32_t>((word >> i) & 1) << j;
-          }
-        }
-        for (std::size_t i = 0; i < rows; ++i) {
-          const std::uint32_t code = neurons[c].codes[combos[i]];
-          // Ties resolve to the lower class index, matching the scalar
-          // comparator-tree rule.
-          if (c == 0 || code > best_code[i]) {
-            best_code[i] = code;
-            best_class[i] = static_cast<int>(c);
-          }
-        }
+    const std::size_t n_chunk = word_end - word_begin;
+
+    // Chunk-sized word buffers, reused across chunks per worker thread: the
+    // RINC bank's outputs, the candidate/best code planes and the class
+    // index planes all stay cache-resident — predict never materializes an
+    // n-row intermediate matrix.
+    static thread_local WordVec module_words, cand, best, cls;
+    static thread_local std::vector<const std::uint64_t*> columns;
+    static thread_local std::vector<std::uint64_t*> cand_ptrs, best_ptrs,
+        cls_ptrs;
+    module_words.resize(modules.size() * n_chunk);
+    cand.resize(n_planes * n_chunk);
+    best.resize(n_planes * n_chunk);
+    cls.assign(n_class_planes * n_chunk, 0);
+    columns.resize(p);
+    cand_ptrs.resize(n_planes);
+    best_ptrs.resize(n_planes);
+    cls_ptrs.resize(n_class_planes);
+    for (std::size_t plane = 0; plane < n_planes; ++plane) {
+      cand_ptrs[plane] = cand.data() + plane * n_chunk;
+      best_ptrs[plane] = best.data() + plane * n_chunk;
+    }
+    for (std::size_t q = 0; q < n_class_planes; ++q) {
+      cls_ptrs[q] = cls.data() + q * n_chunk;
+    }
+
+    for (std::size_t m = 0; m < modules.size(); ++m) {
+      eval_rinc_words(modules[m], features, word_begin, word_end,
+                      module_words.data() + m * n_chunk);
+    }
+
+    for (std::size_t c = 0; c < neurons.size(); ++c) {
+      for (std::size_t j = 0; j < p; ++j) {
+        columns[j] =
+            module_words.data() + neurons[c].input_modules[j] * n_chunk;
       }
-      for (std::size_t i = 0; i < rows; ++i) {
-        predictions[row0 + i] = best_class[i];
+      // Class 0 seeds the running best directly; later classes reduce into
+      // the candidate planes and run the bitsliced comparator. Bits beyond
+      // n in the dataset's last word carry garbage codes, but the
+      // extraction below never reads them.
+      std::uint64_t* const* out_ptrs = c == 0 ? best_ptrs.data()
+                                              : cand_ptrs.data();
+      for (std::size_t plane = 0; plane < n_planes; ++plane) {
+        ops.lut_reduce(plane_splat[c * n_planes + plane].data(), p,
+                       columns.data(), word_begin, word_begin, word_end,
+                       out_ptrs[plane]);
+      }
+      if (c != 0) {
+        ops.argmax_update(cand_ptrs.data(), best_ptrs.data(), n_planes,
+                          cls_ptrs.data(), n_class_planes,
+                          static_cast<std::uint32_t>(c), n_chunk);
+      }
+    }
+
+    // Un-slice the class-index planes into per-example predictions.
+    for (std::size_t w = 0; w < n_chunk; ++w) {
+      const std::size_t row0 = (word_begin + w) * 64;
+      const std::size_t rows = std::min<std::size_t>(64, n - row0);
+      for (std::size_t q = 0; q < n_class_planes; ++q) {
+        const std::uint64_t plane_bits = cls[q * n_chunk + w];
+        for (std::size_t i = 0; i < rows; ++i) {
+          predictions[row0 + i] |=
+              static_cast<int>((plane_bits >> i) & 1u) << q;
+        }
       }
     }
   });

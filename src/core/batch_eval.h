@@ -13,6 +13,7 @@
 // or a BatchEngine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,7 +44,15 @@ void eval_rinc_words(const RincModule& module, const BitMatrix& features,
 // Multithreaded batch driver. Owns a persistent pool of worker threads and
 // chunks the example range (in whole words) across them. All eval methods
 // return bit-identical results to the scalar paths; the pool is not
-// re-entrant (one dataset pass at a time per engine).
+// re-entrant (one dataset pass at a time per engine — enforced by a cheap
+// in-use check that aborts on overlapping parallel_for calls).
+//
+// predict_dataset fuses the output-layer argmax into the word pass: per
+// chunk it evaluates the RINC bank into cache-resident word buffers,
+// Shannon-reduces each output neuron's quantized code into bit-planes, and
+// runs a bitsliced MSB-first comparator across classes — no per-example
+// combo assembly, no materialized rinc_outputs matrix. Word kernels run on
+// the active SIMD backend (util/word_backend.h).
 class BatchEngine {
  public:
   // 0 = std::thread::hardware_concurrency(); 1 = run inline, no workers.
@@ -74,6 +83,9 @@ class BatchEngine {
 
   std::size_t n_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when n_threads_ == 1
+  // Set while a parallel_for is dispatched to the pool; overlapping use
+  // (from a job or from another thread) is a contract violation and aborts.
+  mutable std::atomic<bool> busy_{false};
 };
 
 }  // namespace poetbin

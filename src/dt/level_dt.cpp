@@ -7,7 +7,9 @@
 
 #include "core/batch_eval.h"
 #include "dt/entropy.h"
+#include "util/aligned_vector.h"
 #include "util/check.h"
+#include "util/word_backend.h"
 
 namespace poetbin {
 
@@ -148,8 +150,19 @@ void gather_masked_weights(const std::uint64_t* a, const std::uint64_t* b,
                            std::size_t stride) {
   const std::size_t n_words = BitVector::words_needed(n_bits);
   const std::uint64_t tail = BitVector::tail_word_mask(n_bits);
+  // The only word-level op in the scan — cand AND winner — runs at SIMD
+  // width on the active backend into a per-thread buffer; the weighted
+  // gather itself must stay scalar (FP adds in ascending bit order is the
+  // bit-identity contract). With no winner mask the source is read directly.
+  const std::uint64_t* src = a;
+  if (b != nullptr) {
+    static thread_local WordVec masked;
+    if (masked.size() < n_words) masked.resize(n_words);
+    word_ops().and_words(a, b, masked.data(), n_words);
+    src = masked.data();
+  }
   auto load = [&](std::size_t w) {
-    std::uint64_t m = b != nullptr ? (a[w] & b[w]) : a[w];
+    std::uint64_t m = src[w];
     if (w + 1 == n_words) m &= tail;
     return m;
   };

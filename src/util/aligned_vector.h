@@ -1,0 +1,54 @@
+// 64-byte-aligned word storage.
+//
+// BitVector/BitMatrix columns and every word scratch buffer the kernels
+// allocate use WordVec so that AVX2/AVX-512 loads in the word backends are
+// unconditionally safe at full width — no scalar prologue peeling, no
+// split-cache-line penalty on the 512-bit paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace poetbin {
+
+inline constexpr std::size_t kWordAlignment = 64;  // one cache line
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+// The storage type for packed bit words throughout the library.
+using WordVec =
+    std::vector<std::uint64_t, AlignedAllocator<std::uint64_t, kWordAlignment>>;
+
+}  // namespace poetbin

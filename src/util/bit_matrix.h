@@ -5,6 +5,9 @@
 // level-wise decision tree (Algorithm 1) fast: scoring a candidate feature
 // is one linear scan over that feature's packed column, and evaluating a
 // trained LUT over the whole dataset touches only the P selected columns.
+// Column words are 64-byte-aligned (BitVector uses WordVec storage), so the
+// SIMD word backends can run full-width loads over any column
+// unconditionally.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "util/word_backend.h"
+
 namespace poetbin {
 
 namespace {
@@ -39,9 +41,7 @@ void BitVector::push_back(bool value) {
 }
 
 std::size_t BitVector::popcount() const {
-  std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return word_ops().popcount_words(words_.data(), words_.size());
 }
 
 std::size_t BitVector::popcount_prefix(std::size_t prefix_bits) const {
@@ -61,25 +61,29 @@ std::size_t BitVector::popcount_prefix(std::size_t prefix_bits) const {
 
 BitVector& BitVector::operator&=(const BitVector& other) {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  word_ops().and_words(words_.data(), other.words_.data(), words_.data(),
+                       words_.size());
   return *this;
 }
 
 BitVector& BitVector::operator|=(const BitVector& other) {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  word_ops().or_words(words_.data(), other.words_.data(), words_.data(),
+                      words_.size());
   return *this;
 }
 
 BitVector& BitVector::operator^=(const BitVector& other) {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  word_ops().xor_words(words_.data(), other.words_.data(), words_.data(),
+                       words_.size());
   return *this;
 }
 
 BitVector BitVector::operator~() const {
   BitVector result = *this;
-  for (auto& w : result.words_) w = ~w;
+  word_ops().not_words(result.words_.data(), result.words_.data(),
+                       result.words_.size());
   result.mask_tail();
   return result;
 }
@@ -92,9 +96,8 @@ void BitVector::xor_into(const BitVector& other, BitVector& dst) const {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
   dst.n_bits_ = n_bits_;
   dst.words_.resize(words_.size());
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    dst.words_[i] = words_[i] ^ other.words_[i];
-  }
+  word_ops().xor_words(words_.data(), other.words_.data(), dst.words_.data(),
+                       words_.size());
   // Both operands keep zero tails, so the xor does too; re-masking costs one
   // AND and keeps the invariant independent of the operands' history.
   dst.mask_tail();
@@ -112,11 +115,8 @@ std::size_t BitVector::xnor_popcount(const BitVector& other) const {
 
 std::size_t BitVector::hamming(const BitVector& other) const {
   POETBIN_CHECK(n_bits_ == other.n_bits_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return total;
+  return word_ops().hamming_words(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 std::string BitVector::to_string() const {

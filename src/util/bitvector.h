@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned_vector.h"
 #include "util/check.h"
 
 namespace poetbin {
@@ -109,7 +110,9 @@ class BitVector {
   void mask_tail();  // zero bits beyond n_bits_ in the last word
 
   std::size_t n_bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  // 64-byte-aligned so the SIMD word backends (util/word_backend.h) can use
+  // full-width loads unconditionally.
+  WordVec words_;
 };
 
 // Masked weighted sum over a raw word span: sum of weights[i] for every set

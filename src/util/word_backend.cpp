@@ -1,0 +1,145 @@
+// Runtime backend dispatch: CPUID probe + POETBIN_FORCE_BACKEND override.
+#include "util/word_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace poetbin {
+
+// Defined in word_backend_scalar.cpp / word_backend_avx2.cpp /
+// word_backend_avx512.cpp. The SIMD definitions exist only when the build
+// enabled them (POETBIN_HAVE_* come from CMake after a compiler-flag probe).
+const WordOps& scalar64_word_ops();
+#if defined(POETBIN_HAVE_AVX2)
+const WordOps& avx2_word_ops();
+#endif
+#if defined(POETBIN_HAVE_AVX512)
+const WordOps& avx512_word_ops();
+#endif
+
+namespace {
+
+struct Registry {
+  const WordOps* slots[3] = {nullptr, nullptr, nullptr};
+  const WordOps* initial = nullptr;
+};
+
+const WordOps* probe(WordBackend backend) {
+  switch (backend) {
+    case WordBackend::kScalar64:
+      return &scalar64_word_ops();
+    case WordBackend::kAvx2:
+#if defined(POETBIN_HAVE_AVX2)
+      if (__builtin_cpu_supports("avx2")) return &avx2_word_ops();
+#endif
+      return nullptr;
+    case WordBackend::kAvx512:
+#if defined(POETBIN_HAVE_AVX512)
+      if (__builtin_cpu_supports("avx512f") &&
+          __builtin_cpu_supports("avx512bw") &&
+          __builtin_cpu_supports("avx512vl")) {
+        return &avx512_word_ops();
+      }
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Registry build_registry() {
+  Registry reg;
+  for (const WordBackend backend :
+       {WordBackend::kScalar64, WordBackend::kAvx2, WordBackend::kAvx512}) {
+    reg.slots[static_cast<std::size_t>(backend)] = probe(backend);
+  }
+  // Default to the widest available backend...
+  reg.initial = reg.slots[static_cast<std::size_t>(WordBackend::kScalar64)];
+  for (const WordBackend backend : {WordBackend::kAvx2, WordBackend::kAvx512}) {
+    const WordOps* ops = reg.slots[static_cast<std::size_t>(backend)];
+    if (ops != nullptr) reg.initial = ops;
+  }
+  // ...unless POETBIN_FORCE_BACKEND pins one; an unknown or unavailable name
+  // aborts rather than silently benchmarking the wrong kernels.
+  if (const char* forced = std::getenv("POETBIN_FORCE_BACKEND");
+      forced != nullptr && forced[0] != '\0') {
+    const auto backend = word_backend_from_name(forced);
+    POETBIN_CHECK_MSG(backend.has_value(),
+                      "POETBIN_FORCE_BACKEND must be one of scalar64, avx2, "
+                      "avx512");
+    const WordOps* ops = reg.slots[static_cast<std::size_t>(*backend)];
+    POETBIN_CHECK_MSG(ops != nullptr,
+                      "POETBIN_FORCE_BACKEND names a backend this build or "
+                      "CPU does not support");
+    reg.initial = ops;
+  }
+  return reg;
+}
+
+const Registry& registry() {
+  static const Registry reg = build_registry();
+  return reg;
+}
+
+std::atomic<const WordOps*>& active_slot() {
+  static std::atomic<const WordOps*> active{registry().initial};
+  return active;
+}
+
+}  // namespace
+
+const WordOps& word_ops() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+const WordOps* word_ops_for(WordBackend backend) {
+  return registry().slots[static_cast<std::size_t>(backend)];
+}
+
+WordBackend active_word_backend() { return word_ops().kind; }
+
+void set_word_backend(WordBackend backend) {
+  const WordOps* ops = word_ops_for(backend);
+  POETBIN_CHECK_MSG(ops != nullptr,
+                    "requested word backend is not available on this build "
+                    "or CPU (check available_word_backends())");
+  active_slot().store(ops, std::memory_order_relaxed);
+}
+
+std::vector<WordBackend> available_word_backends() {
+  std::vector<WordBackend> backends;
+  for (const WordBackend backend :
+       {WordBackend::kScalar64, WordBackend::kAvx2, WordBackend::kAvx512}) {
+    if (word_ops_for(backend) != nullptr) backends.push_back(backend);
+  }
+  return backends;
+}
+
+const char* word_backend_name(WordBackend backend) {
+  switch (backend) {
+    case WordBackend::kScalar64:
+      return "scalar64";
+    case WordBackend::kAvx2:
+      return "avx2";
+    case WordBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<WordBackend> word_backend_from_name(std::string_view name) {
+  std::string lowered(name);
+  for (char& ch : lowered) {
+    if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+  }
+  if (lowered == "scalar64" || lowered == "scalar") {
+    return WordBackend::kScalar64;
+  }
+  if (lowered == "avx2") return WordBackend::kAvx2;
+  if (lowered == "avx512" || lowered == "avx-512") return WordBackend::kAvx512;
+  return std::nullopt;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,113 @@
+// Pluggable SIMD word backend.
+//
+// Every hot kernel in the library is word-parallel: it walks packed uint64
+// words (one word = 64 examples of one bit) and applies pure bitwise logic
+// plus a few bit-steered float ops. WordOps abstracts the *width* of those
+// walks: the scalar64 backend processes one 64-bit word per step, the AVX2
+// backend four, the AVX-512 backend eight. All backends are bit-identical —
+// the operations are exact (integer logic and elementwise IEEE multiplies),
+// so widening the word never changes a result, and the scalar64 backend
+// stays in-tree as the test oracle.
+//
+// Dispatch: the first call to word_ops() probes CPUID for the widest backend
+// this build and this machine both support. POETBIN_FORCE_BACKEND
+// (= scalar64 | avx2 | avx512) overrides the probe — aborting loudly if the
+// forced backend is unavailable — and set_word_backend() does the same
+// programmatically (used by tests and the per-backend bench loops).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace poetbin {
+
+enum class WordBackend { kScalar64, kAvx2, kAvx512 };
+
+// The kernel table one backend provides. All ranges are in 64-bit words; a
+// backend is free to process them in wider blocks internally, finishing any
+// ragged remainder at scalar width. No function masks dataset tails — bits
+// beyond the logical size are the caller's contract, exactly as with the
+// raw scalar loops these replace.
+struct WordOps {
+  WordBackend kind;
+  const char* name;          // "scalar64" / "avx2" / "avx512"
+  std::size_t block_words;   // native block width in 64-bit words (1 / 4 / 8)
+
+  // Shannon-reduced LUT evaluation, the batch-inference inner loop:
+  //   out[w - word_begin] =
+  //       table(columns[0][w - base], ..., columns[arity-1][w - base])
+  // for w in [word_begin, word_end), where `splat` holds the 2^arity truth
+  // table entries splatted to full words (~0 for 1, 0 for 0). Arity 0 writes
+  // the constant splat[0].
+  void (*lut_reduce)(const std::uint64_t* splat, std::size_t arity,
+                     const std::uint64_t* const* columns, std::size_t base,
+                     std::size_t word_begin, std::size_t word_end,
+                     std::uint64_t* out);
+
+  // dst[w] = a[w] OP b[w] (dst may alias either operand).
+  void (*and_words)(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst, std::size_t n_words);
+  void (*or_words)(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* dst, std::size_t n_words);
+  void (*xor_words)(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* dst, std::size_t n_words);
+  void (*not_words)(const std::uint64_t* a, std::uint64_t* dst,
+                    std::size_t n_words);
+
+  std::size_t (*popcount_words)(const std::uint64_t* a, std::size_t n_words);
+  // popcount(a ^ b) without materializing the xor.
+  std::size_t (*hamming_words)(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n_words);
+
+  // Bitsliced argmax step (the fused output layer): candidate and best codes
+  // are stored as n_planes bit-planes (plane p, word w holds bit p of 64
+  // examples' codes). Computes gt = (cand > best) per example with a
+  // bitwise MSB-first comparator, blends the winning candidate planes into
+  // best, and records class_index in the n_class_planes class-index planes
+  // wherever gt is set. Strictly-greater ties resolve to the incumbent
+  // (lower class index), matching the scalar comparator-tree rule.
+  void (*argmax_update)(const std::uint64_t* const* cand_planes,
+                        std::uint64_t* const* best_planes, std::size_t n_planes,
+                        std::uint64_t* const* class_planes,
+                        std::size_t n_class_planes, std::uint32_t class_index,
+                        std::size_t n_words);
+
+  // weights[i] *= (bit i of `bits` ? factor1 : factor0) for i in [0, n_bits).
+  // Elementwise IEEE multiplies — exact at any vector width (the Adaboost
+  // reweight kernel).
+  void (*scale_by_mask)(const std::uint64_t* bits, std::size_t n_bits,
+                        double factor0, double factor1, double* weights);
+};
+
+// The active backend's kernel table (never null).
+const WordOps& word_ops();
+
+// Kernel table for a specific backend, or nullptr when that backend was not
+// compiled in or this CPU lacks the instructions.
+const WordOps* word_ops_for(WordBackend backend);
+
+inline bool word_backend_available(WordBackend backend) {
+  return word_ops_for(backend) != nullptr;
+}
+
+WordBackend active_word_backend();
+
+// Switches the active backend; aborts with a clear message when it is
+// unavailable. Not synchronized against kernels already in flight — switch
+// between dataset passes (tests and benches do this single-threaded).
+void set_word_backend(WordBackend backend);
+
+// Backends usable on this build + CPU, widest last. Always contains
+// kScalar64.
+std::vector<WordBackend> available_word_backends();
+
+const char* word_backend_name(WordBackend backend);
+
+// "scalar64" / "avx2" / "avx512" (case-insensitive) -> backend; nullopt for
+// anything else. The parser behind POETBIN_FORCE_BACKEND.
+std::optional<WordBackend> word_backend_from_name(std::string_view name);
+
+}  // namespace poetbin

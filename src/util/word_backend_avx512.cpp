@@ -1,0 +1,216 @@
+// AVX-512 backend: eight 64-bit words (512 examples) per step.
+//
+// The Shannon mux collapses to a single vpternlogq per table level, and the
+// Adaboost reweight blend uses the native 8-bit lane masks. As with AVX2,
+// everything is exact bitwise logic or elementwise IEEE multiplies, so the
+// results are bit-identical to scalar64; ragged tails fall through to the
+// shared scalar bodies. Compiled with -mavx512f -mavx512bw -mavx512vl and
+// dispatched at runtime in word_backend.cpp.
+#include "util/word_backend.h"
+
+#if defined(POETBIN_HAVE_AVX512)
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's _mm512_undefined_epi32() is self-initialized (__Y = __Y), which
+// trips -Wmaybe-uninitialized through _mm512_andnot_si512 (GCC PR105593).
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <vector>
+
+#include "util/word_backend_impl.h"
+
+namespace poetbin {
+
+namespace {
+
+constexpr std::size_t kBlock = 8;  // 64-bit words per __m512i
+
+// vpternlogq imm for "x ? f1 : f0" with operands (f0, f1, x): the index is
+// (f0_bit << 2) | (f1_bit << 1) | x_bit, so the truth table is 0b11011000.
+constexpr int kMuxImm = 0xD8;
+
+inline __m512i mux(__m512i f0, __m512i f1, __m512i x) {
+  return _mm512_ternarylogic_epi64(f0, f1, x, kMuxImm);
+}
+
+void lut_reduce_avx512(const std::uint64_t* splat, std::size_t arity,
+                       const std::uint64_t* const* columns, std::size_t base,
+                       std::size_t word_begin, std::size_t word_end,
+                       std::uint64_t* out) {
+  const std::size_t n_words = word_end - word_begin;
+  const std::size_t blocks = n_words / kBlock;
+  if (blocks == 0) {
+    word_impl::lut_reduce(splat, arity, columns, base, word_begin, word_end,
+                          out);
+    return;
+  }
+  // 64-byte-aligned WordVec storage (vector<__m512i> would trip
+  // -Wignored-attributes) with one vector per kBlock words.
+  static thread_local WordVec vsplat;
+  static thread_local WordVec scratch;
+  const std::size_t table_size = std::size_t{1} << arity;
+  if (vsplat.size() < table_size * kBlock) vsplat.resize(table_size * kBlock);
+  for (std::size_t a = 0; a < table_size; ++a) {
+    for (std::size_t l = 0; l < kBlock; ++l) {
+      vsplat[a * kBlock + l] = splat[a];
+    }
+  }
+  const std::size_t half = arity == 0 ? 0 : table_size / 2;
+  if (scratch.size() < half * kBlock) scratch.resize(half * kBlock);
+  auto at = [](WordVec& v, std::size_t k) {
+    return _mm512_load_si512(v.data() + k * kBlock);
+  };
+
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t w = word_begin + blk * kBlock;
+    if (arity == 0) {
+      _mm512_storeu_si512(out + blk * kBlock, at(vsplat, 0));
+      continue;
+    }
+    std::size_t h = half;
+    const __m512i x0 = _mm512_loadu_si512(columns[0] + (w - base));
+    for (std::size_t k = 0; k < h; ++k) {
+      _mm512_store_si512(scratch.data() + k * kBlock,
+                         mux(at(vsplat, 2 * k), at(vsplat, 2 * k + 1), x0));
+    }
+    for (std::size_t j = 1; j < arity; ++j) {
+      h >>= 1;
+      const __m512i x = _mm512_loadu_si512(columns[j] + (w - base));
+      for (std::size_t k = 0; k < h; ++k) {
+        _mm512_store_si512(scratch.data() + k * kBlock,
+                           mux(at(scratch, 2 * k), at(scratch, 2 * k + 1), x));
+      }
+    }
+    _mm512_storeu_si512(out + blk * kBlock, at(scratch, 0));
+  }
+  word_impl::lut_reduce(splat, arity, columns, base,
+                        word_begin + blocks * kBlock, word_end,
+                        out + blocks * kBlock);
+}
+
+void and_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* dst, std::size_t n_words) {
+  std::size_t w = 0;
+  for (; w + kBlock <= n_words; w += kBlock) {
+    _mm512_storeu_si512(dst + w,
+                        _mm512_and_si512(_mm512_loadu_si512(a + w),
+                                         _mm512_loadu_si512(b + w)));
+  }
+  word_impl::and_words(a + w, b + w, dst + w, n_words - w);
+}
+
+void or_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                     std::uint64_t* dst, std::size_t n_words) {
+  std::size_t w = 0;
+  for (; w + kBlock <= n_words; w += kBlock) {
+    _mm512_storeu_si512(dst + w,
+                        _mm512_or_si512(_mm512_loadu_si512(a + w),
+                                        _mm512_loadu_si512(b + w)));
+  }
+  word_impl::or_words(a + w, b + w, dst + w, n_words - w);
+}
+
+void xor_words_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* dst, std::size_t n_words) {
+  std::size_t w = 0;
+  for (; w + kBlock <= n_words; w += kBlock) {
+    _mm512_storeu_si512(dst + w,
+                        _mm512_xor_si512(_mm512_loadu_si512(a + w),
+                                         _mm512_loadu_si512(b + w)));
+  }
+  word_impl::xor_words(a + w, b + w, dst + w, n_words - w);
+}
+
+void not_words_avx512(const std::uint64_t* a, std::uint64_t* dst,
+                      std::size_t n_words) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t w = 0;
+  for (; w + kBlock <= n_words; w += kBlock) {
+    _mm512_storeu_si512(dst + w,
+                        _mm512_xor_si512(_mm512_loadu_si512(a + w), ones));
+  }
+  word_impl::not_words(a + w, dst + w, n_words - w);
+}
+
+void argmax_update_avx512(const std::uint64_t* const* cand_planes,
+                          std::uint64_t* const* best_planes,
+                          std::size_t n_planes,
+                          std::uint64_t* const* class_planes,
+                          std::size_t n_class_planes,
+                          std::uint32_t class_index, std::size_t n_words) {
+  std::size_t w = 0;
+  for (; w + kBlock <= n_words; w += kBlock) {
+    __m512i gt = _mm512_setzero_si512();
+    __m512i eq = _mm512_set1_epi64(-1);
+    for (std::size_t p = n_planes; p-- > 0;) {
+      const __m512i c = _mm512_loadu_si512(cand_planes[p] + w);
+      const __m512i b = _mm512_loadu_si512(best_planes[p] + w);
+      gt = _mm512_or_si512(
+          gt, _mm512_and_si512(eq, _mm512_andnot_si512(b, c)));
+      eq = _mm512_andnot_si512(_mm512_xor_si512(c, b), eq);
+    }
+    for (std::size_t p = 0; p < n_planes; ++p) {
+      const __m512i c = _mm512_loadu_si512(cand_planes[p] + w);
+      const __m512i b = _mm512_loadu_si512(best_planes[p] + w);
+      // b ^ ((b ^ c) & gt): select c where gt — the same mux as the LUT path.
+      _mm512_storeu_si512(best_planes[p] + w, mux(b, c, gt));
+    }
+    for (std::size_t q = 0; q < n_class_planes; ++q) {
+      const __m512i v = _mm512_loadu_si512(class_planes[q] + w);
+      const __m512i updated = ((class_index >> q) & 1u) != 0
+                                  ? _mm512_or_si512(v, gt)
+                                  : _mm512_andnot_si512(gt, v);
+      _mm512_storeu_si512(class_planes[q] + w, updated);
+    }
+  }
+  word_impl::argmax_update_tail(cand_planes, best_planes, n_planes,
+                                class_planes, n_class_planes, class_index, w,
+                                n_words);
+}
+
+void scale_by_mask_avx512(const std::uint64_t* bits, std::size_t n_bits,
+                          double factor0, double factor1, double* weights) {
+  const __m512d f0v = _mm512_set1_pd(factor0);
+  const __m512d f1v = _mm512_set1_pd(factor1);
+  const std::size_t full_words = n_bits / 64;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint64_t word = bits[w];
+    for (std::size_t g = 0; g < 8; ++g) {
+      const __mmask8 m = static_cast<__mmask8>(word >> (g * 8));
+      const __m512d f = _mm512_mask_blend_pd(m, f0v, f1v);
+      double* p = weights + w * 64 + g * 8;
+      _mm512_storeu_pd(p, _mm512_mul_pd(_mm512_loadu_pd(p), f));
+    }
+  }
+  word_impl::scale_by_mask(bits + full_words, n_bits - full_words * 64,
+                           factor0, factor1, weights + full_words * 64);
+}
+
+}  // namespace
+
+const WordOps& avx512_word_ops() {
+  static const WordOps ops = {
+      .kind = WordBackend::kAvx512,
+      .name = "avx512",
+      .block_words = kBlock,
+      .lut_reduce = lut_reduce_avx512,
+      .and_words = and_words_avx512,
+      .or_words = or_words_avx512,
+      .xor_words = xor_words_avx512,
+      .not_words = not_words_avx512,
+      // Scalar bodies (hardware popcnt); vpopcntdq would need yet another
+      // ISA gate and these ops are not on the gated hot paths.
+      .popcount_words = word_impl::popcount_words,
+      .hamming_words = word_impl::hamming_words,
+      .argmax_update = argmax_update_avx512,
+      .scale_by_mask = scale_by_mask_avx512,
+  };
+  return ops;
+}
+
+}  // namespace poetbin
+
+#endif  // POETBIN_HAVE_AVX512

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "core/poetbin.h"
@@ -230,6 +231,32 @@ TEST_F(BatchEnginePoetBin, EmptyDataset) {
   const BitMatrix features(0, 32);
   EXPECT_TRUE(model_.predict_dataset_batched(features).empty());
   EXPECT_EQ(model_.accuracy_batched(features, {}), 0.0);
+}
+
+// The engine documents "one dataset pass at a time"; since PR 3 that
+// contract is enforced. Dispatching a parallel_for from inside a job of the
+// same engine must abort with a clear message instead of corrupting the
+// pool's single job slot.
+TEST(BatchEngineDeathTest, RejectsReentrantParallelFor) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const BatchEngine engine(2);
+  EXPECT_DEATH(engine.parallel_for(
+                   8,
+                   [&](std::size_t) {
+                     engine.parallel_for(8, [](std::size_t) {});
+                   }),
+               "not re-entrant");
+}
+
+// Sequential reuse (the supported pattern) must stay untouched by the
+// in-use check, including after many passes.
+TEST(BatchEngine, SequentialReuseAfterGuardedPasses) {
+  const BatchEngine engine(3);
+  for (int pass = 0; pass < 5; ++pass) {
+    std::atomic<int> hits{0};
+    engine.parallel_for(16, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 16);
+  }
 }
 
 }  // namespace

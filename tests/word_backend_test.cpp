@@ -1,0 +1,342 @@
+// Backend dispatch and cross-backend bit-identity.
+//
+// Every available backend (scalar64 always; avx2/avx512 when the build and
+// CPU support them) must produce results bit-identical to the scalar64
+// reference on ragged dataset sizes, and the fused output-layer argmax must
+// match predict_dataset exactly, ties included. Tests that switch the
+// active backend restore it on exit.
+#include "util/word_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_eval.h"
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "nn/quantize.h"
+#include "test_util.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace poetbin {
+namespace {
+
+constexpr std::size_t kRaggedSizes[] = {1, 63, 64, 65, 129, 1000};
+
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(active_word_backend()) {}
+  ~BackendGuard() { set_word_backend(saved_); }
+
+ private:
+  WordBackend saved_;
+};
+
+BitVector random_vector(std::size_t n, Rng& rng) {
+  BitVector v(n);
+  for (std::size_t w = 0; w < v.word_count(); ++w) {
+    v.words()[w] = rng.next_u64();
+  }
+  v.mask_tail_word();
+  return v;
+}
+
+Lut random_lut(std::size_t arity, std::size_t n_features, Rng& rng) {
+  std::vector<std::size_t> inputs(arity);
+  for (auto& input : inputs) input = rng.next_index(n_features);
+  BitVector table(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < table.size(); ++a) table.set(a, rng.next_bool());
+  return Lut(std::move(inputs), std::move(table));
+}
+
+RincModule random_rinc(std::size_t level, std::size_t fanin,
+                       std::size_t n_features, Rng& rng) {
+  if (level == 0) {
+    return RincModule::make_leaf(random_lut(fanin, n_features, rng));
+  }
+  std::vector<RincModule> children;
+  for (std::size_t c = 0; c < fanin; ++c) {
+    children.push_back(random_rinc(level - 1, fanin, n_features, rng));
+  }
+  std::vector<double> alphas(fanin);
+  for (auto& alpha : alphas) alpha = rng.next_double() + 0.1;
+  return RincModule::make_internal(std::move(children), MatModule(alphas));
+}
+
+// nc-class model over RINC-1 modules with caller-supplied codes (or random
+// 8-bit codes when `codes_for` is null).
+PoetBin make_model(std::size_t n_classes, std::size_t p, Rng& rng,
+                   const std::vector<std::uint32_t>* shared_codes = nullptr) {
+  PoetBinConfig config;
+  config.rinc.lut_inputs = p;
+  config.n_classes = n_classes;
+  std::vector<RincModule> modules;
+  for (std::size_t m = 0; m < n_classes * p; ++m) {
+    modules.push_back(random_rinc(1, p, 32, rng));
+  }
+  const QuantizerParams quantizer;  // 8-bit codes
+  const std::size_t n_combos = std::size_t{1} << p;
+  std::vector<SparseOutputNeuron> neurons(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    neurons[c].input_modules.resize(p);
+    neurons[c].weights.assign(p, 0.0f);
+    for (std::size_t j = 0; j < p; ++j) {
+      // With a shared code table the classes must also share wiring, so
+      // their codes genuinely tie on every example.
+      neurons[c].input_modules[j] = shared_codes != nullptr ? j : c * p + j;
+    }
+    if (shared_codes != nullptr) {
+      neurons[c].codes = *shared_codes;
+    } else {
+      neurons[c].codes.resize(n_combos);
+      for (std::size_t a = 0; a < n_combos; ++a) {
+        neurons[c].codes[a] = rng.next_index(quantizer.levels());
+      }
+    }
+  }
+  return PoetBin::from_parts(config, std::move(modules), std::move(neurons),
+                             quantizer);
+}
+
+TEST(WordBackendDispatch, Scalar64IsAlwaysAvailable) {
+  EXPECT_TRUE(word_backend_available(WordBackend::kScalar64));
+  const auto backends = available_word_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), WordBackend::kScalar64);
+}
+
+TEST(WordBackendDispatch, ActiveBackendIsAvailable) {
+  EXPECT_TRUE(word_backend_available(active_word_backend()));
+  EXPECT_EQ(word_ops().kind, active_word_backend());
+  EXPECT_GE(word_ops().block_words, 1u);
+}
+
+TEST(WordBackendDispatch, SetBackendSwitchesAndGuardRestores) {
+  const WordBackend before = active_word_backend();
+  {
+    BackendGuard guard;
+    for (const auto backend : available_word_backends()) {
+      set_word_backend(backend);
+      EXPECT_EQ(active_word_backend(), backend);
+      EXPECT_STREQ(word_ops().name, word_backend_name(backend));
+    }
+  }
+  EXPECT_EQ(active_word_backend(), before);
+}
+
+TEST(WordBackendDispatch, NameParsing) {
+  EXPECT_EQ(word_backend_from_name("scalar64"), WordBackend::kScalar64);
+  EXPECT_EQ(word_backend_from_name("scalar"), WordBackend::kScalar64);
+  EXPECT_EQ(word_backend_from_name("AVX2"), WordBackend::kAvx2);
+  EXPECT_EQ(word_backend_from_name("avx512"), WordBackend::kAvx512);
+  EXPECT_EQ(word_backend_from_name("AVX-512"), WordBackend::kAvx512);
+  EXPECT_EQ(word_backend_from_name("sse2"), std::nullopt);
+  EXPECT_EQ(word_backend_from_name(""), std::nullopt);
+  for (const auto backend : available_word_backends()) {
+    EXPECT_EQ(word_backend_from_name(word_backend_name(backend)), backend);
+  }
+}
+
+TEST(WordBackendOps, BitVectorOpsBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(71);
+  for (const std::size_t n : kRaggedSizes) {
+    const BitVector a = random_vector(n, rng);
+    const BitVector b = random_vector(n, rng);
+    set_word_backend(WordBackend::kScalar64);
+    const BitVector ref_and = a & b;
+    const BitVector ref_or = a | b;
+    const BitVector ref_xor = a ^ b;
+    const BitVector ref_not = ~a;
+    const std::size_t ref_pop = a.popcount();
+    const std::size_t ref_ham = a.hamming(b);
+    for (const auto backend : available_word_backends()) {
+      set_word_backend(backend);
+      EXPECT_EQ(a & b, ref_and) << word_backend_name(backend) << " n=" << n;
+      EXPECT_EQ(a | b, ref_or) << word_backend_name(backend) << " n=" << n;
+      EXPECT_EQ(a ^ b, ref_xor) << word_backend_name(backend) << " n=" << n;
+      EXPECT_EQ(~a, ref_not) << word_backend_name(backend) << " n=" << n;
+      EXPECT_EQ(a.popcount(), ref_pop) << word_backend_name(backend);
+      EXPECT_EQ(a.hamming(b), ref_ham) << word_backend_name(backend);
+    }
+  }
+}
+
+TEST(WordBackendOps, LutEvalBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(73);
+  for (const std::size_t arity : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{6}, std::size_t{8}}) {
+    for (const std::size_t n : kRaggedSizes) {
+      const BitMatrix features = testing::random_bits(n, 32, rng.next_u64());
+      const Lut lut = random_lut(arity, features.cols(), rng);
+      // The scalar model path never touches the word backend.
+      const BitVector reference = lut.eval_dataset(features);
+      for (const auto backend : available_word_backends()) {
+        set_word_backend(backend);
+        EXPECT_EQ(lut.eval_dataset_bitsliced(features), reference)
+            << word_backend_name(backend) << " arity=" << arity << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(WordBackendOps, RincEvalBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(79);
+  for (const std::size_t n : kRaggedSizes) {
+    const BitMatrix features = testing::random_bits(n, 40, rng.next_u64());
+    const RincModule module = random_rinc(2, 4, features.cols(), rng);
+    const BitVector reference = module.eval_dataset(features);
+    for (const auto backend : available_word_backends()) {
+      set_word_backend(backend);
+      EXPECT_EQ(module.eval_dataset_batched(features), reference)
+          << word_backend_name(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(WordBackendOps, ScaleByMaskExactAcrossBackends) {
+  // Elementwise multiplies must be IEEE-exact at any vector width: every
+  // backend produces the same doubles, bit for bit.
+  BackendGuard guard;
+  Rng rng(83);
+  for (const std::size_t n : kRaggedSizes) {
+    const BitVector bits = random_vector(n, rng);
+    std::vector<double> initial(n);
+    for (auto& w : initial) w = rng.next_double() + 1e-3;
+    const double f0 = 0.8705505632961241;   // exp(-alpha)-like values
+    const double f1 = 1.1487038401803204;
+    std::vector<double> reference = initial;
+    set_word_backend(WordBackend::kScalar64);
+    word_ops().scale_by_mask(bits.words(), n, f0, f1, reference.data());
+    for (const auto backend : available_word_backends()) {
+      set_word_backend(backend);
+      std::vector<double> weights = initial;
+      word_ops().scale_by_mask(bits.words(), n, f0, f1, weights.data());
+      EXPECT_EQ(weights, reference) << word_backend_name(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(FusedArgmax, MatchesScalarPredictOnRaggedSizes) {
+  BackendGuard guard;
+  Rng rng(89);
+  const PoetBin model = make_model(/*n_classes=*/7, /*p=*/4, rng);
+  for (const std::size_t n : kRaggedSizes) {
+    const BitMatrix features = testing::random_bits(n, 32, 101 + n);
+    const std::vector<int> reference = model.predict_dataset(features);
+    for (const auto backend : available_word_backends()) {
+      set_word_backend(backend);
+      EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
+                reference)
+          << word_backend_name(backend) << " n=" << n;
+      EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/3),
+                reference)
+          << word_backend_name(backend) << " threaded, n=" << n;
+    }
+  }
+}
+
+TEST(FusedArgmax, TieBreaksToLowestClassLikePredictDataset) {
+  // All classes share one code table, so every example's codes tie across
+  // all 6 classes; the scalar comparator-tree rule keeps the lowest class.
+  BackendGuard guard;
+  Rng rng(97);
+  const std::size_t p = 4;
+  std::vector<std::uint32_t> shared(std::size_t{1} << p);
+  for (auto& code : shared) code = rng.next_index(256);
+  const PoetBin model = make_model(/*n_classes=*/6, p, rng, &shared);
+  const BitMatrix features = testing::random_bits(321, 32, 103);
+  const std::vector<int> reference = model.predict_dataset(features);
+  for (const int prediction : reference) EXPECT_EQ(prediction, 0);
+  for (const auto backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
+              reference)
+        << word_backend_name(backend);
+  }
+}
+
+TEST(FusedArgmax, PartialTiesMatchScalar) {
+  // Classes 0/1 and 2/3 are pairwise identical: winners must come from the
+  // lower index of each tied pair, exactly as predict_dataset decides.
+  BackendGuard guard;
+  Rng rng(107);
+  const std::size_t p = 4;
+  const std::size_t n_combos = std::size_t{1} << p;
+  PoetBinConfig config;
+  config.rinc.lut_inputs = p;
+  config.n_classes = 4;
+  std::vector<RincModule> modules;
+  for (std::size_t m = 0; m < config.n_classes * p; ++m) {
+    modules.push_back(random_rinc(1, p, 32, rng));
+  }
+  std::vector<SparseOutputNeuron> neurons(config.n_classes);
+  std::vector<std::uint32_t> codes_a(n_combos), codes_b(n_combos);
+  for (auto& code : codes_a) code = rng.next_index(256);
+  for (auto& code : codes_b) code = rng.next_index(256);
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    neurons[c].input_modules.resize(p);
+    neurons[c].weights.assign(p, 0.0f);
+    // Tied pairs also share input wiring so their codes collide per example.
+    const std::size_t block = (c / 2) * 2;
+    for (std::size_t j = 0; j < p; ++j) {
+      neurons[c].input_modules[j] = block * p + j;
+    }
+    neurons[c].codes = c < 2 ? codes_a : codes_b;
+  }
+  const PoetBin model = PoetBin::from_parts(config, std::move(modules),
+                                            std::move(neurons),
+                                            QuantizerParams{});
+  const BitMatrix features = testing::random_bits(500, 32, 109);
+  const std::vector<int> reference = model.predict_dataset(features);
+  for (const int prediction : reference) {
+    EXPECT_TRUE(prediction == 0 || prediction == 2) << prediction;
+  }
+  for (const auto backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
+              reference)
+        << word_backend_name(backend);
+  }
+}
+
+TEST(FusedArgmax, DegenerateClassCounts) {
+  BackendGuard guard;
+  Rng rng(113);
+  const PoetBin one_class = make_model(/*n_classes=*/1, /*p=*/3, rng);
+  const BitMatrix features = testing::random_bits(130, 32, 127);
+  const std::vector<int> reference = one_class.predict_dataset(features);
+  for (const auto backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(one_class.predict_dataset_batched(features, /*n_threads=*/1),
+              reference)
+        << word_backend_name(backend);
+  }
+  // Empty dataset: no predictions, no crash.
+  const BitMatrix empty(0, 32);
+  EXPECT_TRUE(one_class.predict_dataset_batched(empty).empty());
+}
+
+TEST(FusedArgmax, AccuracyMatchesScalar) {
+  BackendGuard guard;
+  Rng rng(131);
+  const PoetBin model = make_model(/*n_classes=*/5, /*p=*/4, rng);
+  const BitMatrix features = testing::random_bits(777, 32, 137);
+  std::vector<int> labels(features.rows());
+  for (auto& label : labels) label = static_cast<int>(rng.next_index(5));
+  const double reference = model.accuracy(features, labels);
+  for (const auto backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(model.accuracy_batched(features, labels, /*n_threads=*/2),
+              reference)
+        << word_backend_name(backend);
+  }
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff two bench_results.json artifacts and fail on throughput regression.
+
+Usage: bench_diff.py PREVIOUS CURRENT [--threshold 0.15]
+
+Each file is the CI artifact: a JSON array of per-bench objects
+  {"bench": "batch_eval", "scale": 0.25, "metrics": {"<key>": <value>, ...}}
+
+Only *_ms metrics are compared (wall-clock of a timed section; larger is
+worse). A metric regresses when current > previous * (1 + threshold).
+Metrics present in only one file are reported but never fail the gate, so
+adding or renaming bench rows doesn't break CI; speedup/ratio keys are
+informational and skipped. If the two runs used different scales the
+comparison is skipped entirely (the numbers are not comparable).
+
+Backend-suffixed keys (*_scalar64_ms / *_avx2_ms / *_avx512_ms) time one
+specific backend, so they are comparable whenever both runs have them.
+Unsuffixed keys time whatever backend the runner dispatched to by default:
+when the two runs report different `backends_mask` values (shared CI
+runners with different CPUs), the unsuffixed keys are skipped instead of
+failing the gate on a hardware change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    metrics = {}
+    scales = {}
+    for entry in entries:
+        bench = entry.get("bench", "?")
+        scales[bench] = entry.get("scale")
+        for key, value in entry.get("metrics", {}).items():
+            metrics[f"{bench}.{key}"] = value
+    return metrics, scales
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional slowdown that fails the gate")
+    args = parser.parse_args()
+
+    prev, prev_scales = load_metrics(args.previous)
+    curr, curr_scales = load_metrics(args.current)
+
+    for bench, scale in curr_scales.items():
+        if bench in prev_scales and prev_scales[bench] != scale:
+            print(f"scale changed for '{bench}' "
+                  f"({prev_scales[bench]} -> {scale}); skipping comparison")
+            return 0
+
+    backend_suffixes = ("_scalar64_ms", "_avx2_ms", "_avx512_ms")
+    hardware_changed = set()
+    for bench in curr_scales:
+        mask_key = f"{bench}.backends_mask"
+        if (mask_key in prev and mask_key in curr
+                and prev[mask_key] != curr[mask_key]):
+            hardware_changed.add(bench)
+            print(f"runner backend set changed for '{bench}' "
+                  f"({prev[mask_key]:.0f} -> {curr[mask_key]:.0f}); "
+                  f"comparing only backend-suffixed keys")
+
+    regressions = []
+    print(f"{'metric':<48} {'prev':>10} {'curr':>10} {'delta':>8}")
+    for key in sorted(curr):
+        if not key.endswith("_ms"):
+            continue
+        if (key.split(".", 1)[0] in hardware_changed
+                and not key.endswith(backend_suffixes)):
+            continue
+        if key not in prev:
+            print(f"{key:<48} {'-':>10} {curr[key]:>10.3f}   (new)")
+            continue
+        old, new = prev[key], curr[key]
+        delta = (new - old) / old if old > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, old, new, delta))
+        print(f"{key:<48} {old:>10.3f} {new:>10.3f} {delta:>+7.1%}{flag}")
+
+    dropped = [k for k in sorted(prev) if k.endswith("_ms") and k not in curr]
+    for key in dropped:
+        print(f"{key:<48} {prev[key]:>10.3f} {'-':>10}   (removed)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) slowed down more than "
+              f"{args.threshold:.0%} vs the previous run:")
+        for key, old, new, delta in regressions:
+            print(f"  {key}: {old:.3f} ms -> {new:.3f} ms ({delta:+.1%})")
+        return 1
+    print(f"\nOK: no *_ms metric regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
