@@ -1,11 +1,14 @@
 #include "core/poetbin.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
 #include "core/batch_eval.h"
+#include "util/aligned_vector.h"
 #include "util/rng.h"
+#include "util/word_backend.h"
 
 namespace poetbin {
 
@@ -17,6 +20,23 @@ float SparseOutputNeuron::activation(std::size_t combo) const {
   return acc;
 }
 
+namespace {
+
+// Every class label must name one of the nc output neurons. A negative or
+// >= nc label used to flow through a std::size_t cast unvalidated, so the
+// example silently trained against target -1 for *every* class (and a
+// pathological label could never match); fail loudly instead, and before
+// any distillation time is spent.
+void check_labels(const std::vector<int>& labels, std::size_t n_classes) {
+  for (const int label : labels) {
+    POETBIN_CHECK_MSG(
+        label >= 0 && static_cast<std::size_t>(label) < n_classes,
+        "class label out of range [0, n_classes)");
+  }
+}
+
+}  // namespace
+
 PoetBin PoetBin::train(const BitMatrix& features,
                        const BitMatrix& intermediate_targets,
                        const std::vector<int>& labels,
@@ -24,6 +44,7 @@ PoetBin PoetBin::train(const BitMatrix& features,
   const std::size_t n = features.rows();
   POETBIN_CHECK(intermediate_targets.rows() == n);
   POETBIN_CHECK(labels.size() == n);
+  check_labels(labels, config.n_classes);
   const std::size_t n_intermediate = intermediate_targets.cols();
   POETBIN_CHECK_MSG(n_intermediate == config.n_classes * config.rinc.lut_inputs,
                     "intermediate layer must have nc x P neurons");
@@ -51,9 +72,10 @@ PoetBin PoetBin::train(const BitMatrix& features,
   }
 
   // The output layer retrains on the RINC bank's outputs; produce them with
-  // the bitsliced batch engine (bit-identical to the scalar path).
+  // the bitsliced batch engine (bit-identical to the scalar path), and
+  // reuse the same engine to spread retraining across classes.
   const BitMatrix rinc_bits = engine.rinc_outputs(model, features);
-  model.retrain_output_layer(rinc_bits, labels);
+  model.retrain_output_layer(rinc_bits, labels, &engine);
   return model;
 }
 
@@ -92,27 +114,37 @@ BitMatrix PoetBin::rinc_outputs(const BitMatrix& features) const {
   return out;
 }
 
-void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
-                                   const std::vector<int>& labels) {
-  const std::size_t n = rinc_bits.rows();
-  const std::size_t n_classes = config_.n_classes;
-  const std::size_t p = config_.rinc.lut_inputs;
-  const OutputLayerConfig& ocfg = config_.output;
+namespace {
 
-  // Block wiring: output neuron c reads modules [c*P, (c+1)*P).
-  output_.assign(n_classes, SparseOutputNeuron{});
-  Rng rng(ocfg.seed);
-  for (std::size_t c = 0; c < n_classes; ++c) {
-    SparseOutputNeuron& neuron = output_[c];
-    neuron.input_modules.resize(p);
-    neuron.weights.resize(p);
-    for (std::size_t j = 0; j < p; ++j) {
-      neuron.input_modules[j] = c * p + j;
-      neuron.weights[j] =
-          static_cast<float>(rng.gaussian(0.0, std::sqrt(2.0 / p)));
-    }
-    neuron.bias = 0.0f;
+// One class's momentum update for an epoch. Shared by the scalar and
+// word-parallel paths — and kept out of line — so both compile to one
+// instruction sequence: separately inlined copies could contract the
+// multiply-adds differently and silently break their bit-identity.
+[[gnu::noinline]] void momentum_step(SparseOutputNeuron& neuron,
+                                     float* weight_velocity,
+                                     float& bias_velocity,
+                                     const float* weight_grad, float bias_grad,
+                                     float momentum, float flr) {
+  for (std::size_t j = 0; j < neuron.weights.size(); ++j) {
+    float& vel = weight_velocity[j];
+    vel = momentum * vel - flr * weight_grad[j];
+    neuron.weights[j] += vel;
   }
+  bias_velocity = momentum * bias_velocity - flr * bias_grad;
+  neuron.bias += bias_velocity;
+}
+
+// Reference path: full-batch gradient descent on the multi-class squared
+// hinge, one (example, class) pair at a time over pre-packed uint32 combos,
+// with momentum and exponential LR decay. Each logit depends only on its
+// own P weights, so gradients stay block-local (the sparse wiring). Kept
+// verbatim as the oracle the word-parallel path must reproduce bit for bit
+// (tests compare the trained neurons exactly).
+void train_output_scalar(std::vector<SparseOutputNeuron>& output,
+                         const BitMatrix& rinc_bits,
+                         const std::vector<int>& labels, std::size_t n_classes,
+                         std::size_t p, const OutputLayerConfig& ocfg) {
+  const std::size_t n = rinc_bits.rows();
 
   // Pre-pack each example's P-bit combo per class (bits don't change during
   // output-layer training).
@@ -126,9 +158,6 @@ void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
     }
   }
 
-  // Full-batch gradient descent on the multi-class squared hinge, with
-  // momentum and exponential LR decay. Each logit depends only on its own
-  // P weights, so gradients stay block-local (the sparse wiring).
   std::vector<float> weight_velocity(n_classes * p, 0.0f);
   std::vector<float> bias_velocity(n_classes, 0.0f);
   double lr = ocfg.learning_rate;
@@ -142,7 +171,7 @@ void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t c = 0; c < n_classes; ++c) {
         const std::uint32_t combo = combos[i * n_classes + c];
-        const float logit = output_[c].activation(combo);
+        const float logit = output[c].activation(combo);
         const float target = (static_cast<std::size_t>(labels[i]) == c) ? 1.0f
                                                                         : -1.0f;
         const float hinge = 1.0f - target * logit;
@@ -157,16 +186,206 @@ void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
 
     const float flr = static_cast<float>(lr);
     for (std::size_t c = 0; c < n_classes; ++c) {
-      for (std::size_t j = 0; j < p; ++j) {
-        float& vel = weight_velocity[c * p + j];
-        vel = momentum * vel - flr * weight_grad[c * p + j];
-        output_[c].weights[j] += vel;
-      }
-      float& bias_vel = bias_velocity[c];
-      bias_vel = momentum * bias_vel - flr * bias_grad[c];
-      output_[c].bias += bias_vel;
+      momentum_step(output[c], weight_velocity.data() + c * p,
+                    bias_velocity[c], weight_grad.data() + c * p, bias_grad[c],
+                    momentum, flr);
     }
     lr *= ocfg.lr_decay;
+  }
+}
+
+// Word-parallel output-layer retraining, bit-identical to the scalar
+// oracle above. Three observations make that possible:
+//
+//  1. An example's logit, hinge and gradient for class c are functions of
+//     its P-bit combo and its +-1 target alone, so the per-example float
+//     math collapses into per-(combo, target) tables computed once per
+//     class per epoch with the scalar path's exact expressions. Every
+//     intermediate multiply is by +-1 or 2 — exact — so the rounding
+//     points cannot shift between the two computation shapes.
+//  2. "Is this example's hinge active" is therefore a boolean function of
+//     the P input bits (one function per target sign), which
+//     Shannon-reduces over the class's packed RINC columns with the same
+//     ops.lut_reduce kernel the LUT layers use: the whole
+//     activation/compare stage runs 64 examples per word op on the active
+//     SIMD backend, and saturated examples cost nothing — late epochs
+//     touch only the shrinking active set.
+//  3. The gradient adds themselves are order-dependent float sums, so they
+//     are NOT reassociated into popcount-weighted partial sums (the
+//     backend bit-identity rule: only exact ops widen). The countr_zero
+//     gather performs the table-gradient adds in ascending example order —
+//     exactly the scalar accumulation sequence, minus the examples the
+//     scalar loop also skips.
+//
+// Parallelism is across classes, not example chunks: gradients, velocities
+// and weights are block-local per class (the sparse wiring), so per-class
+// jobs share no float state and any thread count is bit-identical.
+// Example-chunk partials would have to be reduced in float and could not
+// match the scalar order.
+void train_output_word_parallel(std::vector<SparseOutputNeuron>& output,
+                                const BitMatrix& rinc_bits,
+                                const std::vector<int>& labels,
+                                std::size_t n_classes, std::size_t p,
+                                const OutputLayerConfig& ocfg,
+                                const BatchEngine* engine) {
+  const std::size_t n = rinc_bits.rows();
+  const std::size_t n_words = BitVector::words_needed(n);
+  const std::uint64_t tail = BitVector::tail_word_mask(n);
+  const std::size_t n_combos = std::size_t{1} << p;
+
+  // Fixed for the whole retrain: each class's label mask words and packed
+  // per-example table key — combo bits, plus the target sign at bit P so
+  // one lookup resolves the gradient.
+  std::vector<std::vector<std::uint32_t>> class_keys(n_classes);
+  std::vector<WordVec> label_words(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    auto& keys = class_keys[c];
+    keys.assign(n, 0u);
+    label_words[c].assign(n_words, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(labels[i]) == c) {
+        keys[i] = static_cast<std::uint32_t>(n_combos);
+        label_words[c][i >> 6] |= 1ULL << (i & 63);
+      }
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      const std::uint64_t* col = rinc_bits.column(c * p + j).words();
+      const std::uint32_t bit = 1u << j;
+      for (std::size_t w = 0; w < n_words; ++w) {
+        std::uint64_t m = col[w];
+        if (w + 1 == n_words) m &= tail;  // tolerate dirty column tails
+        const std::size_t row0 = w * 64;
+        while (m != 0) {
+          keys[row0 + static_cast<std::size_t>(std::countr_zero(m))] |= bit;
+          m &= m - 1;
+        }
+      }
+    }
+  }
+
+  std::vector<float> weight_velocity(n_classes * p, 0.0f);
+  std::vector<float> bias_velocity(n_classes, 0.0f);
+  double lr = ocfg.learning_rate;
+  const float momentum = 0.9f;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const std::uint32_t combo_mask = static_cast<std::uint32_t>(n_combos - 1);
+  const WordOps& ops = word_ops();
+
+  for (std::size_t epoch = 0; epoch < ocfg.epochs; ++epoch) {
+    const float flr = static_cast<float>(lr);
+    auto train_class = [&](std::size_t c) {
+      SparseOutputNeuron& neuron = output[c];
+      // Reused per worker thread across epochs (the engine's pool persists).
+      static thread_local std::vector<float> grad_table, weight_grad;
+      static thread_local WordVec splat_pos, splat_neg, active_pos, active_neg;
+      static thread_local std::vector<const std::uint64_t*> columns;
+      grad_table.resize(2 * n_combos);
+      splat_pos.resize(n_combos);
+      splat_neg.resize(n_combos);
+      active_pos.resize(n_words);
+      active_neg.resize(n_words);
+      columns.resize(p);
+
+      // Per-combo logits, hinges and gradients with the scalar expression
+      // sequence; `!(hinge <= 0)` mirrors the scalar `continue` predicate
+      // exactly (including its NaN behaviour).
+      for (std::size_t a = 0; a < n_combos; ++a) {
+        const float logit = neuron.activation(a);
+        const float pos_target = 1.0f;
+        const float pos_hinge = 1.0f - pos_target * logit;
+        splat_pos[a] = !(pos_hinge <= 0.0f) ? ~0ULL : 0ULL;
+        grad_table[n_combos + a] = -2.0f * pos_hinge * pos_target * inv_n;
+        const float neg_target = -1.0f;
+        const float neg_hinge = 1.0f - neg_target * logit;
+        splat_neg[a] = !(neg_hinge <= 0.0f) ? ~0ULL : 0ULL;
+        grad_table[a] = -2.0f * neg_hinge * neg_target * inv_n;
+      }
+
+      for (std::size_t j = 0; j < p; ++j) {
+        columns[j] = rinc_bits.column_words(c * p + j).data();
+      }
+      ops.lut_reduce(splat_pos.data(), p, columns.data(), /*base=*/0, 0,
+                     n_words, active_pos.data());
+      ops.lut_reduce(splat_neg.data(), p, columns.data(), /*base=*/0, 0,
+                     n_words, active_neg.data());
+
+      weight_grad.assign(p, 0.0f);
+      float bias_grad = 0.0f;
+      const std::uint32_t* keys = class_keys[c].data();
+      const std::uint64_t* lbl = label_words[c].data();
+      for (std::size_t w = 0; w < n_words; ++w) {
+        // Active word for this class: positive-target activity where the
+        // label matches, negative-target activity elsewhere. Tail bits
+        // carry garbage combos; mask them out of the gather.
+        std::uint64_t act =
+            (active_pos[w] & lbl[w]) | (active_neg[w] & ~lbl[w]);
+        if (w + 1 == n_words) act &= tail;
+        const std::size_t row0 = w * 64;
+        while (act != 0) {
+          const std::size_t i =
+              row0 + static_cast<std::size_t>(std::countr_zero(act));
+          const std::uint32_t key = keys[i];
+          const float g = grad_table[key];
+          bias_grad += g;
+          std::uint32_t combo = key & combo_mask;
+          while (combo != 0) {
+            weight_grad[static_cast<std::size_t>(std::countr_zero(combo))] +=
+                g;
+            combo &= combo - 1;
+          }
+          act &= act - 1;
+        }
+      }
+      momentum_step(neuron, weight_velocity.data() + c * p, bias_velocity[c],
+                    weight_grad.data(), bias_grad, momentum, flr);
+    };
+    if (engine != nullptr) {
+      engine->parallel_for(n_classes, train_class);
+    } else {
+      for (std::size_t c = 0; c < n_classes; ++c) train_class(c);
+    }
+    lr *= ocfg.lr_decay;
+  }
+}
+
+}  // namespace
+
+void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
+                                   const std::vector<int>& labels,
+                                   const BatchEngine* engine) {
+  const std::size_t n = rinc_bits.rows();
+  const std::size_t n_classes = config_.n_classes;
+  const std::size_t p = config_.rinc.lut_inputs;
+  const OutputLayerConfig& ocfg = config_.output;
+  // A short bank used to throw from deep inside BitMatrix::column mid-pack;
+  // validate the wiring contract up front with an actionable message.
+  POETBIN_CHECK_MSG(rinc_bits.cols() >= n_classes * p,
+                    "RINC output bank narrower than nc x P — output neuron c "
+                    "reads columns [c*P, (c+1)*P)");
+  POETBIN_CHECK_MSG(labels.size() == n, "one class label per RINC output row");
+  check_labels(labels, n_classes);
+
+  // Block wiring: output neuron c reads modules [c*P, (c+1)*P). Same RNG
+  // draw order in both training paths.
+  output_.assign(n_classes, SparseOutputNeuron{});
+  Rng rng(ocfg.seed);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    SparseOutputNeuron& neuron = output_[c];
+    neuron.input_modules.resize(p);
+    neuron.weights.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+      neuron.input_modules[j] = c * p + j;
+      neuron.weights[j] =
+          static_cast<float>(rng.gaussian(0.0, std::sqrt(2.0 / p)));
+    }
+    neuron.bias = 0.0f;
+  }
+
+  if (ocfg.word_parallel) {
+    train_output_word_parallel(output_, rinc_bits, labels, n_classes, p, ocfg,
+                               engine);
+  } else {
+    train_output_scalar(output_, rinc_bits, labels, n_classes, p, ocfg);
   }
 
   // Shared quantizer scale over all neurons' reachable activations so raw

@@ -20,12 +20,23 @@
 
 namespace poetbin {
 
+class BatchEngine;  // core/batch_eval.h
+
 struct OutputLayerConfig {
   int quant_bits = 8;          // q
   std::size_t epochs = 200;    // full-batch gradient steps
   double learning_rate = 0.05;
   double lr_decay = 0.99;
   std::uint64_t seed = 11;
+  // Word-parallel retraining: the squared-hinge active set is computed 64
+  // examples per word op (the per-example activation/compare disappears
+  // into per-combo tables + two lut_reduce passes on the active SIMD
+  // backend), saturated examples are skipped for free, and classes spread
+  // across the BatchEngine pool. Bit-identical weights/codes to the scalar
+  // path — the gradient adds themselves stay in ascending example order —
+  // at any thread count and on every backend; the scalar loop stays
+  // in-tree as the oracle.
+  bool word_parallel = true;
 };
 
 struct PoetBinConfig {
@@ -105,14 +116,24 @@ class PoetBin {
   // neuron (the paper's q x nc output-layer cost).
   std::size_t lut_count() const;
 
+  // (Re)fits the sparse output layer + shared quantizer on a bank of RINC
+  // output bits (n x >= nc*P; neuron c reads columns [c*P, (c+1)*P)) against
+  // the true labels, from the seeded init — the paper's A4 adaptation step,
+  // exposed so a deployed model can re-adapt to new data without
+  // re-distilling the RINC bank. Validates the label range and bank width.
+  // `engine`, when non-null, spreads classes across its pool (gradients are
+  // block-local per class, so any thread count is bit-identical);
+  // OutputLayerConfig.word_parallel picks the bitsliced or the scalar
+  // oracle path, which match bit for bit.
+  void retrain_output_layer(const BitMatrix& rinc_bits,
+                            const std::vector<int>& labels,
+                            const BatchEngine* engine = nullptr);
+
  private:
   PoetBinConfig config_;
   std::vector<RincModule> modules_;        // nc * P, module j targets column j
   std::vector<SparseOutputNeuron> output_; // nc neurons
   QuantizerParams quantizer_;              // shared scale -> comparable codes
-
-  void retrain_output_layer(const BitMatrix& rinc_bits,
-                            const std::vector<int>& labels);
 };
 
 }  // namespace poetbin

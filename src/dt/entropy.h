@@ -31,4 +31,20 @@ inline double weighted_node_entropy(double weight_class0,
   return total * binary_entropy(weight_class1 / total);
 }
 
+// Batched form over a contiguous array of (w0, w1) pairs:
+//   init + sum_k weighted_node_entropy(pairs[2k], pairs[2k + 1])
+// accumulated in ascending k — the node order of Algorithm 1's level scan,
+// so chaining calls through `init` reproduces a single long accumulation
+// exactly. This is the canonical body behind WordOps::entropy_sum: log2 is
+// not an exact operation, so no SIMD backend may widen the per-node math,
+// and every backend shares this one definition.
+inline double weighted_entropy_sum(const double* pairs, std::size_t n_pairs,
+                                   double init) {
+  double total = init;
+  for (std::size_t k = 0; k < n_pairs; ++k) {
+    total += weighted_node_entropy(pairs[2 * k], pairs[2 * k + 1]);
+  }
+  return total;
+}
+
 }  // namespace poetbin

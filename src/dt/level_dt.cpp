@@ -280,20 +280,24 @@ LevelDtResult train_bitsliced(const BitMatrix& features,
       }
       // buf[c] is the candidate-bit-1 mass of cell c; the bit-0 mass is
       // base[c] - buf[c]. Node order matches the scalar bucket order: all
-      // candidate-bit-0 nodes, then all candidate-bit-1 nodes.
-      double level_entropy = 0.0;
-      for (std::size_t b = 0; b < half_cells; b += 2) {
-        // The subtractions can land a few ulps below zero when the halves
-        // round differently; clamp before the entropy call.
-        const double mass0 = std::max(0.0, base[b] - buf[b]);
-        const double mass1 = std::max(0.0, base[b + 1] - buf[b + 1]);
-        level_entropy += weighted_node_entropy(mass0, mass1);
+      // candidate-bit-0 nodes, then all candidate-bit-1 nodes. Both halves
+      // accumulate through the backend's batched entropy kernel, chained via
+      // its `init` accumulator so the node order (and therefore the score)
+      // is exactly the old per-node loop's. The subtractions can land a few
+      // ulps below zero when the halves round differently; clamp into the
+      // pair buffer before the kernel sees them.
+      static thread_local std::vector<double> pairs;
+      pairs.resize(half_cells);
+      for (std::size_t b = 0; b < half_cells; ++b) {
+        pairs[b] = std::max(0.0, base[b] - buf[b]);
       }
-      for (std::size_t b = 0; b < half_cells; b += 2) {
-        level_entropy += weighted_node_entropy(std::max(0.0, buf[b]),
-                                               std::max(0.0, buf[b + 1]));
+      const WordOps& ops = word_ops();
+      double level_entropy = ops.entropy_sum(pairs.data(), half_cells / 2, 0.0);
+      for (std::size_t b = 0; b < half_cells; ++b) {
+        pairs[b] = std::max(0.0, buf[b]);
       }
-      entropies[k] = level_entropy;
+      entropies[k] =
+          ops.entropy_sum(pairs.data(), half_cells / 2, level_entropy);
     };
 
     if (engine != nullptr) {
@@ -334,11 +338,8 @@ LevelDtResult train_bitsliced(const BitMatrix& features,
     // `counts` array bit for bit, so the diagnostic entropy matches too.
     base.assign(half_cells * 2, 0.0);
     for (std::size_t i = 0; i < n; ++i) base[cell[i]] += weights[i];
-    double exact_entropy = 0.0;
-    for (std::size_t b = 0; b < base.size(); b += 2) {
-      exact_entropy += weighted_node_entropy(base[b], base[b + 1]);
-    }
-    best_entropy_final = exact_entropy;
+    best_entropy_final =
+        word_ops().entropy_sum(base.data(), base.size() / 2, 0.0);
   }
 
   // After the last level, base holds the per-(leaf cell, class) masses —

@@ -80,6 +80,19 @@ struct WordOps {
   // reweight kernel).
   void (*scale_by_mask)(const std::uint64_t* bits, std::size_t n_bits,
                         double factor0, double factor1, double* weights);
+
+  // Batched Algorithm-1 entropy accumulation over contiguous (w0, w1)
+  // pairs (both weights must be non-negative; callers clamp):
+  //   init + sum_k weighted_node_entropy(pairs[2k], pairs[2k + 1])
+  // in ascending k, so chained calls reproduce one long accumulation
+  // exactly. log2 is NOT an exact op, so backends must not widen the
+  // per-node math: all of them point at the single shared body
+  // (dt/entropy.h weighted_entropy_sum). The kernel exists to batch the
+  // LevelDT scan's hundreds of thousands of per-node calls into one pass
+  // per candidate behind the dispatch table, keeping the accumulation
+  // order pinned where a future backend could otherwise be tempted to
+  // tree-reduce it.
+  double (*entropy_sum)(const double* pairs, std::size_t n_pairs, double init);
 };
 
 // The active backend's kernel table (never null).

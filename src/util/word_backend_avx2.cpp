@@ -232,6 +232,8 @@ const WordOps& avx2_word_ops() {
       .hamming_words = word_impl::hamming_words,
       .argmax_update = argmax_update_avx2,
       .scale_by_mask = scale_by_mask_avx2,
+      // Shared scalar body by contract: log2 is not exact (see WordOps).
+      .entropy_sum = word_impl::entropy_sum,
   };
   return ops;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dt/entropy.h"
 #include "util/aligned_vector.h"
 
 namespace poetbin::word_impl {
@@ -164,6 +165,14 @@ inline void scale_by_mask(const std::uint64_t* bits, std::size_t n_bits,
   for (std::size_t i = 0; i < n_bits; ++i) {
     weights[i] *= factor[(bits[i >> 6] >> (i & 63)) & 1u];
   }
+}
+
+// Every backend's entropy_sum is this one body: the per-node log2 is not an
+// exact op, so widening it would break cross-backend bit-identity (see the
+// WordOps declaration).
+inline double entropy_sum(const double* pairs, std::size_t n_pairs,
+                          double init) {
+  return weighted_entropy_sum(pairs, n_pairs, init);
 }
 
 }  // namespace poetbin::word_impl

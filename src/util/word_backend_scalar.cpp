@@ -19,6 +19,7 @@ const WordOps& scalar64_word_ops() {
       .hamming_words = word_impl::hamming_words,
       .argmax_update = word_impl::argmax_update,
       .scale_by_mask = word_impl::scale_by_mask,
+      .entropy_sum = word_impl::entropy_sum,
   };
   return ops;
 }

@@ -36,6 +36,26 @@ TEST(WeightedNodeEntropy, EmptyAndPureNodes) {
   EXPECT_DOUBLE_EQ(weighted_node_entropy(0.0, 5.0), 0.0);
 }
 
+TEST(WeightedEntropySum, MatchesPerNodeAccumulation) {
+  // The batched form must be the exact per-node loop, init included —
+  // chained calls reproduce one long accumulation bit for bit.
+  const double pairs[] = {0.25, 0.75, 0.0, 0.0, 1.5, 0.5, 3.0, 3.0, 0.1, 0.0};
+  const std::size_t n_pairs = 5;
+  double expected = 0.125;
+  for (std::size_t k = 0; k < n_pairs; ++k) {
+    expected += weighted_node_entropy(pairs[2 * k], pairs[2 * k + 1]);
+  }
+  EXPECT_EQ(weighted_entropy_sum(pairs, n_pairs, 0.125), expected);
+  // Chaining: first half, then second half seeded with the first result.
+  const double head = weighted_entropy_sum(pairs, 2, 0.125);
+  EXPECT_EQ(weighted_entropy_sum(pairs + 4, 3, head), expected);
+}
+
+TEST(WeightedEntropySum, EmptyRangeReturnsInit) {
+  EXPECT_EQ(weighted_entropy_sum(nullptr, 0, 0.0), 0.0);
+  EXPECT_EQ(weighted_entropy_sum(nullptr, 0, 2.5), 2.5);
+}
+
 TEST(WeightedNodeEntropy, SplitNeverIncreasesEntropy) {
   // Concavity: H(parent) >= H(left) + H(right) for any split of the mass.
   const double parent = weighted_node_entropy(4.0, 6.0);

@@ -10,8 +10,23 @@
 #include "util/bit_matrix.h"
 #include "util/bitvector.h"
 #include "util/rng.h"
+#include "util/word_backend.h"
 
 namespace poetbin::testing {
+
+// Restores the active SIMD word backend on scope exit; tests that call
+// set_word_backend() must not leak the switch into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(active_word_backend()) {}
+  ~BackendGuard() { set_word_backend(saved_); }
+
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  WordBackend saved_;
+};
 
 // Random binary feature matrix.
 inline BitMatrix random_bits(std::size_t n_rows, std::size_t n_cols,

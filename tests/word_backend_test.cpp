@@ -15,6 +15,7 @@
 #include "core/batch_eval.h"
 #include "core/poetbin.h"
 #include "core/rinc.h"
+#include "dt/entropy.h"
 #include "dt/lut.h"
 #include "nn/quantize.h"
 #include "test_util.h"
@@ -26,14 +27,7 @@ namespace {
 
 constexpr std::size_t kRaggedSizes[] = {1, 63, 64, 65, 129, 1000};
 
-class BackendGuard {
- public:
-  BackendGuard() : saved_(active_word_backend()) {}
-  ~BackendGuard() { set_word_backend(saved_); }
-
- private:
-  WordBackend saved_;
-};
+using testing::BackendGuard;
 
 BitVector random_vector(std::size_t n, Rng& rng) {
   BitVector v(n);
@@ -219,6 +213,33 @@ TEST(WordBackendOps, ScaleByMaskExactAcrossBackends) {
       word_ops().scale_by_mask(bits.words(), n, f0, f1, weights.data());
       EXPECT_EQ(weights, reference) << word_backend_name(backend) << " n=" << n;
     }
+  }
+}
+
+TEST(WordBackendOps, EntropySumIdenticalAcrossBackends) {
+  // log2 is not an exact op, so every backend is contractually bound to the
+  // one shared scalar body: identical results, init chaining included.
+  BackendGuard guard;
+  Rng rng(87);
+  std::vector<double> pairs(2 * 37);
+  for (auto& w : pairs) w = rng.next_double() * 3.0;
+  pairs[4] = 0.0;  // exercise empty / pure nodes
+  pairs[5] = 0.0;
+  pairs[10] = 0.0;
+  set_word_backend(WordBackend::kScalar64);
+  const double reference = word_ops().entropy_sum(pairs.data(), 37, 0.5);
+  double expected = 0.5;
+  for (std::size_t k = 0; k < 37; ++k) {
+    expected += weighted_node_entropy(pairs[2 * k], pairs[2 * k + 1]);
+  }
+  EXPECT_EQ(reference, expected);
+  for (const auto backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(word_ops().entropy_sum(pairs.data(), 37, 0.5), reference)
+        << word_backend_name(backend);
+    const double head = word_ops().entropy_sum(pairs.data(), 20, 0.5);
+    EXPECT_EQ(word_ops().entropy_sum(pairs.data() + 40, 17, head), reference)
+        << word_backend_name(backend);
   }
 }
 
