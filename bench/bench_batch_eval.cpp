@@ -10,7 +10,9 @@
 // regression diff covers all of them; the unsuffixed keys are the default
 // backend, matching older artifacts. The fused output-layer argmax
 // (predict_dataset_batched) is benchmarked against the scalar
-// predict_dataset on a 10-class model.
+// predict_dataset on a 10-class model, and the serving section times
+// MicroBatcher predict_one traffic (window 64) against the scalar
+// one-example-at-a-time loop (gate: >= 5x at P=6, serve_microbatch_* rows).
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -22,6 +24,8 @@
 #include "core/rinc.h"
 #include "dt/lut.h"
 #include "nn/quantize.h"
+#include "serve/micro_batcher.h"
+#include "serve/runtime.h"
 #include "util/bit_matrix.h"
 #include "util/rng.h"
 #include "util/word_backend.h"
@@ -121,7 +125,8 @@ void report(const char* label, double seconds, std::size_t n_examples,
 int main() {
   bench::print_header(
       "Batch inference: scalar vs bitsliced per word backend",
-      "acceptance: default backend >= 8x scalar; avx2 >= 1.5x scalar64 (P=6)");
+      "acceptance: default >= 8x scalar; avx2 >= 1.5x scalar64 (P=6); "
+      "micro-batch serve >= 5x single (P=6)");
   bench::JsonResults json("batch_eval");
 
   const std::size_t n_examples =
@@ -249,6 +254,62 @@ int main() {
     std::printf("\n");
   }
 
+  // --- Serving: micro-batched predict_one vs one example at a time ----------
+  // The MicroBatcher packs single-example requests into 64-wide windows and
+  // dispatches each window as one fused bitsliced pass on the Runtime's
+  // persistent engine (single thread here, so the row isolates the
+  // batching win, not thread parallelism). Gate: >= 5x the scalar
+  // one-example-at-a-time loop at P=6, window 64.
+  for (const std::size_t p : {std::size_t{6}, std::size_t{8}}) {
+    const PoetBin model = random_model(p, n_features, rng);
+    std::printf("PoET-BiN serving, 10 classes, P=%zu, window 64:\n", p);
+    std::vector<BitVector> rows;
+    rows.reserve(n_examples);
+    for (std::size_t i = 0; i < n_examples; ++i) {
+      rows.push_back(features.row(i));
+    }
+    std::vector<int> single_pred(n_examples), served_pred(n_examples);
+    const double single_s = time_best_of(3, [&] {
+      for (std::size_t i = 0; i < n_examples; ++i) {
+        single_pred[i] = model.predict(rows[i]);
+      }
+    });
+    report("one example at a time", single_s, n_examples, single_s);
+
+    const Runtime runtime(model, {.threads = 1});
+    const double serve_s = time_best_of(5, [&] {
+      MicroBatcher batcher(runtime, {.max_batch = 64});
+      std::vector<MicroBatcher::Ticket> tickets;
+      tickets.reserve(n_examples);
+      for (std::size_t i = 0; i < n_examples; ++i) {
+        tickets.push_back(batcher.submit(rows[i]));
+      }
+      batcher.flush();
+      for (std::size_t i = 0; i < n_examples; ++i) {
+        served_pred[i] = tickets[i].get();
+      }
+    });
+    if (served_pred != single_pred) {
+      std::printf("  ERROR: micro-batched serving disagrees with scalar\n");
+      return 1;
+    }
+    report("micro-batched (window 64, 1t)", serve_s, n_examples, single_s);
+    const double serve_speedup = single_s / serve_s;
+    char key[64];
+    std::snprintf(key, sizeof key, "serve_single_p%zu_ms", p);
+    json.add(key, 1e3 * single_s);
+    std::snprintf(key, sizeof key, "serve_microbatch_p%zu_ms", p);
+    json.add(key, 1e3 * serve_s);
+    std::snprintf(key, sizeof key, "serve_microbatch_p%zu_speedup", p);
+    json.add(key, serve_speedup);
+    if (p == 6) {
+      std::printf("  -> micro-batching speedup: %.2fx (target 5x)\n",
+                  serve_speedup);
+      if (serve_speedup < 5.0) pass = false;
+    }
+    std::printf("\n");
+  }
+
   json.add("acceptance_pass", pass ? 1.0 : 0.0);
 
   // Only gate at full scale: small runs (CI smoke at 0.25) are too noisy
@@ -259,7 +320,8 @@ int main() {
     return 0;
   }
   std::printf(
-      "acceptance (default >= 8x scalar; avx2 >= 1.5x scalar64 at P=6): %s\n",
+      "acceptance (default >= 8x scalar; avx2 >= 1.5x scalar64 at P=6; "
+      "micro-batch >= 5x single at P=6): %s\n",
       pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

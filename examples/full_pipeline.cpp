@@ -13,6 +13,9 @@
 #include "core/pipeline.h"
 #include "hw/lut_decompose.h"
 #include "hw/power_model.h"
+#include "serve/micro_batcher.h"
+#include "serve/runtime.h"
+#include "util/word_backend.h"
 
 using namespace poetbin;
 
@@ -79,5 +82,36 @@ int main(int argc, char** argv) {
               poetbin_latency_ns(spec), spec.clock_mhz);
   std::printf("  modelled energy/inference : %.2e J\n",
               poetbin_energy_joules(spec));
-  return 0;
+
+  // --- serving: the trained student behind the runtime layer ---
+  // One persistent engine owns the request path; concurrent predict_one
+  // traffic would go through a MicroBatcher, which packs requests into
+  // 64-wide bitsliced words — here it serves the whole test set through
+  // the one-example-at-a-time API and must agree with the batch pass.
+  const Runtime runtime(result.model, {});
+  MicroBatcher batcher(runtime, {.max_batch = 64});
+  const BitMatrix& test_features = result.test_bits.features;
+  std::vector<MicroBatcher::Ticket> tickets;
+  std::vector<BitVector> rows;
+  rows.reserve(test_features.rows());
+  tickets.reserve(test_features.rows());
+  for (std::size_t i = 0; i < test_features.rows(); ++i) {
+    rows.push_back(test_features.row(i));
+    tickets.push_back(batcher.submit(rows.back()));
+  }
+  batcher.flush();
+  const std::vector<int> batch_preds = runtime.predict(test_features);
+  std::size_t serve_mismatches = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    if (tickets[i].get() != batch_preds[i]) ++serve_mismatches;
+  }
+  std::printf("\n--- serving runtime ---\n");
+  std::printf("  engine                    : %zu threads, %s backend\n",
+              runtime.threads(), word_backend_name(runtime.backend()));
+  std::printf("  micro-batched requests    : %zu served in %zu batches, "
+              "%zu mismatches vs batch pass %s\n",
+              batcher.examples_served(), batcher.batches_dispatched(),
+              serve_mismatches, serve_mismatches == 0 ? "(bit-exact)"
+                                                      : "(BUG!)");
+  return serve_mismatches == 0 ? 0 : 1;
 }

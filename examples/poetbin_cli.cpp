@@ -3,9 +3,17 @@
 //
 //   $ ./poetbin_cli train model.txt [digits|house_numbers|textures]
 //   $ ./poetbin_cli eval model.txt  [digits|house_numbers|textures]
-//                   [--batch[=threads]]   # bitsliced batch engine + timing
+//                   [--threads=N] [--scalar]   # serving runtime options
 //   $ ./poetbin_cli export model.txt out_dir
+//
+// Common flags: --scale=<f> scales the dataset/teacher preset (default
+// 0.5; CI smoke uses smaller) — eval regenerates the dataset, so pass the
+// SAME --scale at train and eval time. `eval` loads the saved model into a
+// poetbin::Runtime (persistent engine + fused bitsliced argmax) and times
+// the pass; --scalar runs the scalar reference path instead, and
+// --batch[=threads] is accepted as a deprecated alias for --threads.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,12 +22,13 @@
 #include <string>
 #include <vector>
 
-#include "core/batch_eval.h"
 #include "core/pipeline.h"
 #include "core/serialize.h"
 #include "hw/netlist_builder.h"
 #include "hw/verilog.h"
 #include "hw/vhdl.h"
+#include "serve/runtime.h"
+#include "util/word_backend.h"
 
 using namespace poetbin;
 
@@ -33,17 +42,22 @@ SyntheticFamily parse_family(const char* name) {
   return SyntheticFamily::kDigits;
 }
 
-PipelineConfig family_config(SyntheticFamily family) {
+PipelineConfig family_config(SyntheticFamily family, double scale) {
+  PipelineConfig config;
   switch (family) {
-    case SyntheticFamily::kTextures: return preset_c1(0.5);
-    case SyntheticFamily::kHouseNumbers: return preset_s1(0.5);
-    case SyntheticFamily::kDigits: default: return preset_m1(0.5);
+    case SyntheticFamily::kTextures: config = preset_c1(scale); break;
+    case SyntheticFamily::kHouseNumbers: config = preset_s1(scale); break;
+    case SyntheticFamily::kDigits: default: config = preset_m1(scale); break;
   }
+  // The deploy loop trains only what ships: the teacher (A3) and the
+  // student (A4). A1/A2 are paper baselines.
+  config.train_a1_network = false;
+  config.train_a2_network = false;
+  return config;
 }
 
-int cmd_train(const std::string& path, SyntheticFamily family) {
-  PipelineConfig config = family_config(family);
-  config.train_a2_network = false;
+int cmd_train(const std::string& path, SyntheticFamily family, double scale) {
+  const PipelineConfig config = family_config(family, scale);
   std::printf("training PoET-BiN on '%s'...\n", family_name(family));
   const PipelineResult result = run_pipeline(config);
   std::printf("teacher %.2f%%, PoET-BiN %.2f%%\n", 100 * result.a3,
@@ -56,41 +70,49 @@ int cmd_train(const std::string& path, SyntheticFamily family) {
   return 0;
 }
 
-int cmd_eval(const std::string& path, SyntheticFamily family, bool batch,
-             std::size_t batch_threads) {
-  PoetBin model;
-  if (!load_model_file(model, path)) {
+int cmd_eval(const std::string& path, SyntheticFamily family, double scale,
+             std::size_t threads, bool scalar) {
+  // The scalar reference path never touches the engine; don't spin up a
+  // hardware-concurrency pool it won't use.
+  std::optional<Runtime> runtime =
+      Runtime::load(path, {.threads = scalar ? 1 : threads});
+  if (!runtime.has_value()) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
     return 1;
   }
   // Regenerate the family's features through a freshly trained teacher at a
   // matching scale; the saved model is evaluated on the resulting test bits.
-  PipelineConfig config = family_config(family);
-  config.train_a2_network = false;
-  const PipelineResult result = run_pipeline(config);
+  const PipelineResult result = run_pipeline(family_config(family, scale));
   const BitMatrix& test_features = result.test_bits.features;
-  std::printf("loaded model: %zu modules, %zu LUTs\n", model.n_modules(),
-              model.lut_count());
+  std::printf("loaded model: %zu modules, %zu LUTs\n",
+              runtime->model().n_modules(), runtime->model().lut_count());
 
-  double accuracy = 0.0;
-  if (batch) {
-    const BatchEngine engine(batch_threads);
-    using Clock = std::chrono::steady_clock;
-    const auto t0 = Clock::now();
-    accuracy = engine.accuracy(model, test_features, result.test_bits.labels);
-    const auto t1 = Clock::now();
-    const double seconds = std::chrono::duration<double>(t1 - t0).count();
-    std::printf("batch engine (%zu threads): %zu examples in %.3f ms "
-                "(%.0f examples/s)\n",
-                engine.n_threads(), test_features.rows(), 1e3 * seconds,
-                test_features.rows() / seconds);
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const double accuracy =
+      scalar ? runtime->model().accuracy(test_features,
+                                         result.test_bits.labels)
+             : runtime->accuracy(test_features, result.test_bits.labels);
+  const auto t1 = Clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (scalar) {
+    std::printf("scalar reference: ");
   } else {
-    accuracy = model.accuracy(test_features, result.test_bits.labels);
+    std::printf("runtime (%zu threads, %s backend): ", runtime->threads(),
+                word_backend_name(runtime->backend()));
   }
+  std::printf("%zu examples in %.3f ms (%.0f examples/s)\n",
+              test_features.rows(), 1e3 * seconds,
+              test_features.rows() / seconds);
   std::printf("accuracy on regenerated '%s' test bits: %.2f%%\n",
               family_name(family), 100 * accuracy);
-  std::printf("(note: features come from a re-trained teacher, so this\n"
-              " measures transfer across feature extractors)\n");
+  std::printf("(note: features come from a re-trained teacher at "
+              "--scale=%g, so this\n"
+              " measures transfer across feature extractors; pass the same "
+              "--scale used\n"
+              " at train time or the regenerated dataset will not match the "
+              "model)\n",
+              scale);
   return 0;
 }
 
@@ -119,24 +141,64 @@ int cmd_export(const std::string& path, const std::string& out_dir) {
 
 }  // namespace
 
+namespace {
+
+// Parses the value of a `--flag=<value>` argument as a positive finite
+// number; exits with a usage error on malformed input ("nan"/"inf" parse as
+// doubles but would flow into float-to-size_t casts downstream, which is
+// undefined behavior — reject them here).
+double parse_flag_value(const char* arg, const char* value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(parsed) ||
+      parsed <= 0.0) {
+    std::fprintf(stderr, "error: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+// Thread counts are whole numbers: reject fractions and anything strtoul
+// would quietly wrap (a double-then-cast parse would truncate 2.9 and make
+// 1e300 undefined behavior).
+std::size_t parse_thread_count(const char* arg, const char* value) {
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-') {
+    std::fprintf(stderr, "error: bad thread count in '%s'\n", arg);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  // Peel off --batch[=threads] wherever it appears.
-  bool batch = false;
-  std::size_t batch_threads = 0;
+  // Peel off flags wherever they appear: --threads=N (serving runtime
+  // threads; --batch[=N] is the deprecated spelling), --scalar (scalar
+  // reference path) and --scale=<f> (dataset/teacher preset scale).
+  std::size_t threads = 0;
+  bool scalar = false;
+  double scale = 0.5;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch", 7) == 0 &&
         (argv[i][7] == '\0' || argv[i][7] == '=')) {
-      batch = true;
       if (argv[i][7] == '=') {
-        char* end = nullptr;
-        const unsigned long threads = std::strtoul(argv[i] + 8, &end, 10);
-        if (end == argv[i] + 8 || *end != '\0' || argv[i][8] == '-') {
-          std::fprintf(stderr, "error: bad thread count in '%s'\n", argv[i]);
-          return 2;
-        }
-        batch_threads = static_cast<std::size_t>(threads);
+        threads = parse_thread_count(argv[i], argv[i] + 8);
       }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = parse_thread_count(argv[i], argv[i] + 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--scalar") == 0) {
+      scalar = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = parse_flag_value(argv[i], argv[i] + 8);
       continue;
     }
     args.push_back(argv[i]);
@@ -144,20 +206,22 @@ int main(int argc, char** argv) {
   const int n_args = static_cast<int>(args.size());
 
   if (n_args >= 3 && std::strcmp(args[1], "train") == 0) {
-    return cmd_train(args[2], parse_family(n_args > 3 ? args[3] : "digits"));
+    return cmd_train(args[2], parse_family(n_args > 3 ? args[3] : "digits"),
+                     scale);
   }
   if (n_args >= 3 && std::strcmp(args[1], "eval") == 0) {
     return cmd_eval(args[2], parse_family(n_args > 3 ? args[3] : "digits"),
-                    batch, batch_threads);
+                    scale, threads, scalar);
   }
   if (n_args >= 4 && std::strcmp(args[1], "export") == 0) {
     return cmd_export(args[2], args[3]);
   }
   std::fprintf(stderr,
                "usage:\n"
-               "  %s train  <model.txt> [digits|house_numbers|textures]\n"
+               "  %s train  <model.txt> [digits|house_numbers|textures]"
+               " [--scale=<f>]\n"
                "  %s eval   <model.txt> [digits|house_numbers|textures]"
-               " [--batch[=threads]]\n"
+               " [--threads=N] [--scalar] [--scale=<f>]\n"
                "  %s export <model.txt> <out_dir>\n",
                argv[0], argv[0], argv[0]);
   return 2;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <condition_variable>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -393,32 +395,78 @@ std::vector<int> BatchEngine::predict_dataset(const PoetBin& model,
 
 double BatchEngine::accuracy(const PoetBin& model, const BitMatrix& features,
                              const std::vector<int>& labels) const {
-  const auto predictions = predict_dataset(model, features);
-  POETBIN_CHECK(predictions.size() == labels.size());
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (predictions[i] == labels[i]) ++correct;
-  }
-  return labels.empty() ? 0.0
-                        : static_cast<double>(correct) / labels.size();
+  return prediction_accuracy(predict_dataset(model, features), labels);
 }
 
 // --- PoetBin conveniences (declared in poetbin.h) --------------------------
 
 BitMatrix PoetBin::rinc_outputs_batched(const BitMatrix& features,
+                                        const BatchEngine& engine) const {
+  return engine.rinc_outputs(*this, features);
+}
+
+std::vector<int> PoetBin::predict_dataset_batched(
+    const BitMatrix& features, const BatchEngine& engine) const {
+  return engine.predict_dataset(*this, features);
+}
+
+double PoetBin::accuracy_batched(const BitMatrix& features,
+                                 const std::vector<int>& labels,
+                                 const BatchEngine& engine) const {
+  return engine.accuracy(*this, features, labels);
+}
+
+namespace {
+
+// Process-shared engines for the deprecated thread-count shims below: one
+// persistent pool per resolved thread count, created on first use and kept
+// for the life of the process, so repeated shim calls reuse worker threads
+// instead of constructing (and joining) a pool per call. Each engine
+// carries a mutex because BatchEngine is not re-entrant: concurrent shim
+// calls at the same thread count (legal before the engines were shared,
+// when every call built its own) serialize instead of aborting. Serving
+// code should own its engine via a poetbin::Runtime instead.
+struct SharedEngine {
+  BatchEngine engine;
+  std::mutex in_use;
+
+  explicit SharedEngine(std::size_t n_threads) : engine(n_threads) {}
+};
+
+SharedEngine& shared_engine(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<SharedEngine>> engines;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<SharedEngine>& shared = engines[n_threads];
+  if (shared == nullptr) shared = std::make_unique<SharedEngine>(n_threads);
+  return *shared;
+}
+
+}  // namespace
+
+BitMatrix PoetBin::rinc_outputs_batched(const BitMatrix& features,
                                         std::size_t n_threads) const {
-  return BatchEngine(n_threads).rinc_outputs(*this, features);
+  SharedEngine& shared = shared_engine(n_threads);
+  std::lock_guard<std::mutex> lock(shared.in_use);
+  return shared.engine.rinc_outputs(*this, features);
 }
 
 std::vector<int> PoetBin::predict_dataset_batched(const BitMatrix& features,
                                                   std::size_t n_threads) const {
-  return BatchEngine(n_threads).predict_dataset(*this, features);
+  SharedEngine& shared = shared_engine(n_threads);
+  std::lock_guard<std::mutex> lock(shared.in_use);
+  return shared.engine.predict_dataset(*this, features);
 }
 
 double PoetBin::accuracy_batched(const BitMatrix& features,
                                  const std::vector<int>& labels,
                                  std::size_t n_threads) const {
-  return BatchEngine(n_threads).accuracy(*this, features, labels);
+  SharedEngine& shared = shared_engine(n_threads);
+  std::lock_guard<std::mutex> lock(shared.in_use);
+  return shared.engine.accuracy(*this, features, labels);
 }
 
 }  // namespace poetbin

@@ -4,8 +4,8 @@
 #include <cstdio>
 #include <limits>
 
-#include "core/batch_eval.h"
 #include "nn/conv.h"
+#include "serve/runtime.h"
 
 namespace poetbin {
 
@@ -114,17 +114,29 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   const std::vector<int>& train_y = train_set.labels;
   const std::vector<int>& test_y = test_set.labels;
 
-  // --- A1: vanilla network ---
-  if (config.verbose) std::printf("[pipeline] training A1 (vanilla)\n");
+  // Baseline init streams are drawn unconditionally: fork() advances the
+  // parent stream, so drawing them inside the skip conditionals would give
+  // the A3 teacher (and therefore the A4 student) a different stream
+  // depending on which reporting baselines are trained — and a model
+  // trained with baselines on could never be re-evaluated against
+  // regenerated features with them off.
   Rng init_a1 = rng.fork(2);
-  BuiltNetwork a1 = build_network(config, FeActivation::kRelu,
-                                  /*with_intermediate=*/false, init_a1);
-  result.a1 = train_and_score(a1.net, train_x, train_y, test_x, test_y, config);
+  Rng init_a2 = rng.fork(3);
+
+  // --- A1: vanilla network ---
+  if (config.train_a1_network) {
+    if (config.verbose) std::printf("[pipeline] training A1 (vanilla)\n");
+    BuiltNetwork a1 = build_network(config, FeActivation::kRelu,
+                                    /*with_intermediate=*/false, init_a1);
+    result.a1 =
+        train_and_score(a1.net, train_x, train_y, test_x, test_y, config);
+  } else {
+    result.a1 = std::numeric_limits<double>::quiet_NaN();
+  }
 
   // --- A2: binary feature representation network ---
   if (config.train_a2_network) {
     if (config.verbose) std::printf("[pipeline] training A2 (binary features)\n");
-    Rng init_a2 = rng.fork(3);
     BuiltNetwork a2 = build_network(config, FeActivation::kBinarySigmoid,
                                     /*with_intermediate=*/false, init_a2);
     result.a2 =
@@ -168,16 +180,17 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   result.model = PoetBin::train(result.train_bits.features,
                                 result.teacher_train_bits, train_y,
                                 config.poetbin);
-  // All student-side dataset passes go through the bitsliced batch engine
-  // (bit-identical to the scalar path, 64 examples per word op).
-  BatchEngine engine(config.poetbin.threads);
-  result.a4 = engine.accuracy(result.model, result.test_bits.features, test_y);
+  // All student-side dataset passes go through the serving runtime: one
+  // persistent engine, bitsliced word passes bit-identical to the scalar
+  // reference (64 examples per word op, fused output-layer argmax).
+  const Runtime runtime(result.model, {.threads = config.poetbin.threads});
+  result.a4 = runtime.accuracy(result.test_bits.features, test_y);
 
   result.fidelity_train = PoetBin::intermediate_fidelity(
-      engine.rinc_outputs(result.model, result.train_bits.features),
+      runtime.rinc_outputs(result.train_bits.features),
       result.teacher_train_bits);
   result.fidelity_test = PoetBin::intermediate_fidelity(
-      engine.rinc_outputs(result.model, result.test_bits.features),
+      runtime.rinc_outputs(result.test_bits.features),
       result.teacher_test_bits);
   return result;
 }

@@ -40,6 +40,11 @@ struct PipelineConfig {
   PoetBinConfig poetbin;
   std::uint64_t seed = 42;
   bool verbose = false;
+  // Skip training the A1 vanilla network (A1 is a reporting baseline; the
+  // teacher and student never read it). When skipped, `a1` is reported as
+  // NaN — deploy loops like poetbin_cli turn this off to train only what
+  // ships.
+  bool train_a1_network = true;
   // Skip training the A2-only network (A2 is diagnostic; the teacher
   // subsumes it). When skipped, `a2` is reported as NaN.
   bool train_a2_network = true;

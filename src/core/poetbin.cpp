@@ -429,10 +429,16 @@ int PoetBin::predict(const BitVector& example_bits) const {
 }
 
 std::vector<int> PoetBin::predict_dataset(const BitMatrix& features) const {
-  const std::size_t n = features.rows();
-  const BitMatrix bits = rinc_outputs(features);
-  std::vector<int> predictions(n, 0);
+  return predict_from_rinc_bits(rinc_outputs(features));
+}
+
+std::vector<int> PoetBin::predict_from_rinc_bits(
+    const BitMatrix& bits) const {
+  const std::size_t n = bits.rows();
   const std::size_t p = config_.rinc.lut_inputs;
+  POETBIN_CHECK_MSG(bits.cols() >= modules_.size(),
+                    "RINC output bank must have one column per module");
+  std::vector<int> predictions(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     std::size_t best_class = 0;
     std::uint32_t best_code = 0;
@@ -452,9 +458,8 @@ std::vector<int> PoetBin::predict_dataset(const BitMatrix& features) const {
   return predictions;
 }
 
-double PoetBin::accuracy(const BitMatrix& features,
-                         const std::vector<int>& labels) const {
-  const auto predictions = predict_dataset(features);
+double prediction_accuracy(const std::vector<int>& predictions,
+                           const std::vector<int>& labels) {
   POETBIN_CHECK(predictions.size() == labels.size());
   std::size_t correct = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -462,6 +467,11 @@ double PoetBin::accuracy(const BitMatrix& features,
   }
   return labels.empty() ? 0.0
                         : static_cast<double>(correct) / labels.size();
+}
+
+double PoetBin::accuracy(const BitMatrix& features,
+                         const std::vector<int>& labels) const {
+  return prediction_accuracy(predict_dataset(features), labels);
 }
 
 double PoetBin::intermediate_fidelity(const BitMatrix& rinc_bits,

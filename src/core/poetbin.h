@@ -22,6 +22,12 @@ namespace poetbin {
 
 class BatchEngine;  // core/batch_eval.h
 
+// Fraction of predictions matching their labels (0.0 for an empty set).
+// Sizes must agree. The single scoring convention behind PoetBin::accuracy,
+// BatchEngine::accuracy and Runtime::accuracy.
+double prediction_accuracy(const std::vector<int>& predictions,
+                           const std::vector<int>& labels);
+
 struct OutputLayerConfig {
   int quant_bits = 8;          // q
   std::size_t epochs = 200;    // full-batch gradient steps
@@ -96,9 +102,28 @@ class PoetBin {
   std::vector<int> predict_dataset(const BitMatrix& features) const;
   double accuracy(const BitMatrix& features, const std::vector<int>& labels) const;
 
+  // The scalar output-layer argmax over an already-materialized RINC bank
+  // (n x >= nc*P). predict_dataset is rinc_outputs + this; the fused word
+  // pass and the Runtime's non-fused path must both match it bit for bit.
+  std::vector<int> predict_from_rinc_bits(const BitMatrix& rinc_bits) const;
+
   // Word-parallel (bitsliced + threaded) equivalents, bit-identical to the
-  // scalar paths above. n_threads: 0 = hardware concurrency, 1 = single
-  // thread. Implemented by the batch engine in core/batch_eval.{h,cpp}.
+  // scalar paths above, running on a caller-supplied persistent engine.
+  BitMatrix rinc_outputs_batched(const BitMatrix& features,
+                                 const BatchEngine& engine) const;
+  std::vector<int> predict_dataset_batched(const BitMatrix& features,
+                                           const BatchEngine& engine) const;
+  double accuracy_batched(const BitMatrix& features,
+                          const std::vector<int>& labels,
+                          const BatchEngine& engine) const;
+
+  // DEPRECATED shims: prefer serve/runtime.h (a poetbin::Runtime owns the
+  // model and one persistent engine) or the engine overloads above. These
+  // now route through a process-shared engine per resolved thread count —
+  // repeated calls reuse worker threads instead of tearing a pool up and
+  // down per call — so concurrent calls at the same thread count serialize
+  // on that engine instead of running on private pools as they used to.
+  // n_threads: 0 = hardware concurrency, 1 = single thread.
   BitMatrix rinc_outputs_batched(const BitMatrix& features,
                                  std::size_t n_threads = 0) const;
   std::vector<int> predict_dataset_batched(const BitMatrix& features,

@@ -1,0 +1,160 @@
+#include "serve/micro_batcher.h"
+
+#include <bit>
+#include <utility>
+
+#include "util/bit_matrix.h"
+#include "util/check.h"
+
+namespace poetbin {
+
+MicroBatcher::MicroBatcher(const Runtime& runtime, MicroBatcherOptions options)
+    : runtime_(&runtime), options_(options) {
+  POETBIN_CHECK_MSG(options_.max_batch > 0, "max_batch must be positive");
+}
+
+MicroBatcher::~MicroBatcher() { flush(); }
+
+std::shared_ptr<MicroBatcher::Batch> MicroBatcher::join(
+    const BitVector& example_bits, bool blocking, std::size_t* index,
+    bool* dispatch_claimed, bool* leader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_ == nullptr) open_ = std::make_shared<Batch>();
+  std::shared_ptr<Batch> batch = open_;
+  *index = batch->examples.size();
+  batch->examples.push_back(&example_bits);
+  *dispatch_claimed =
+      batch->examples.size() >= options_.max_batch && try_close(batch);
+  *leader = false;
+  if (blocking && !*dispatch_claimed && !batch->has_leader) {
+    batch->has_leader = true;
+    *leader = true;
+  }
+  return batch;
+}
+
+bool MicroBatcher::try_close(const std::shared_ptr<Batch>& batch) {
+  if (batch->closed) return false;
+  batch->closed = true;
+  if (open_ == batch) open_.reset();
+  return true;
+}
+
+void MicroBatcher::dispatch(const std::shared_ptr<Batch>& batch) {
+  // The batch is exclusively owned by its dispatcher once try_close
+  // succeeded, so packing needs no lock — only the word pass serializes,
+  // letting window N+1 pack while window N's predict is still in flight.
+  const std::size_t k = batch->examples.size();
+  const std::size_t n_features = batch->examples[0]->size();
+  BitMatrix packed(k, n_features);
+  for (std::size_t i = 0; i < k; ++i) {
+    const BitVector& example = *batch->examples[i];
+    POETBIN_CHECK_MSG(example.size() == n_features,
+                      "all examples in a micro-batch must have the same "
+                      "feature count");
+    // Scatter the example's set bits into the feature-major columns; the
+    // per-row word/bit split supports windows wider than 64.
+    const std::uint64_t row_bit = 1ULL << (i & 63);
+    const std::size_t row_word = i >> 6;
+    const std::uint64_t* words = example.words();
+    for (std::size_t w = 0; w < example.word_count(); ++w) {
+      std::uint64_t m = words[w];
+      if (w + 1 == example.word_count()) {
+        m &= BitVector::tail_word_mask(n_features);
+      }
+      const std::size_t feature0 = w * 64;
+      while (m != 0) {
+        const std::size_t f =
+            feature0 + static_cast<std::size_t>(std::countr_zero(m));
+        packed.column(f).words()[row_word] |= row_bit;
+        m &= m - 1;
+      }
+    }
+  }
+  std::vector<int> predictions;
+  {
+    // One fused pass at a time: the Runtime's engine is not re-entrant, and
+    // a second window can close while the first is still in flight.
+    std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+    predictions = runtime_->predict(packed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->results = std::move(predictions);
+    batch->done = true;
+    batches_dispatched_ += 1;
+    examples_served_ += batch->examples.size();
+  }
+  batch->cv.notify_all();
+}
+
+int MicroBatcher::await(const std::shared_ptr<Batch>& batch, std::size_t index,
+                        bool leader) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (leader) {
+    const auto deadline = std::chrono::steady_clock::now() + options_.max_wait;
+    while (!batch->done && !batch->closed) {
+      if (batch->cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        if (!batch->done && !batch->closed && try_close(batch)) {
+          lock.unlock();
+          dispatch(batch);
+          lock.lock();
+        }
+        break;
+      }
+    }
+  }
+  batch->cv.wait(lock, [&] { return batch->done; });
+  return batch->results[index];
+}
+
+int MicroBatcher::predict_one(const BitVector& example_bits) {
+  std::size_t index = 0;
+  bool dispatch_claimed = false;
+  bool leader = false;
+  // The window's first blocking request (not necessarily its first
+  // request — submit() joins never lead) arms the max_wait timeout.
+  std::shared_ptr<Batch> batch =
+      join(example_bits, /*blocking=*/true, &index, &dispatch_claimed, &leader);
+  if (dispatch_claimed) dispatch(batch);
+  return await(batch, index, leader);
+}
+
+MicroBatcher::Ticket MicroBatcher::submit(const BitVector& example_bits) {
+  std::size_t index = 0;
+  bool dispatch_claimed = false;
+  bool leader = false;
+  std::shared_ptr<Batch> batch = join(example_bits, /*blocking=*/false, &index,
+                                      &dispatch_claimed, &leader);
+  if (dispatch_claimed) dispatch(batch);
+  return Ticket(this, std::move(batch), index);
+}
+
+int MicroBatcher::Ticket::get() {
+  // The window may still be open (submit-only traffic with no blocking
+  // leader). Act as a leader: give it max_wait to fill, then dispatch.
+  return parent_->await(batch_, index_, /*leader=*/true);
+}
+
+void MicroBatcher::flush() {
+  std::shared_ptr<Batch> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = open_;
+    if (batch == nullptr || !try_close(batch)) return;
+  }
+  dispatch(batch);
+}
+
+std::size_t MicroBatcher::examples_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return examples_served_;
+}
+
+std::size_t MicroBatcher::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_dispatched_;
+}
+
+}  // namespace poetbin

@@ -1,0 +1,139 @@
+// Micro-batching front end for concurrent single-example serving.
+//
+// The word engine evaluates 64 examples per word op, but a serving endpoint
+// receives requests one example at a time. A MicroBatcher turns the
+// offline-only batch advantage into a concurrent-serving primitive: it
+// packs in-flight predict_one requests into one bitsliced BitMatrix and
+// dispatches them through the wrapped Runtime as a single fused-argmax
+// pass, bit-identical to calling PoetBin::predict on each example.
+//
+// Two entry points share one open batch window:
+//
+//   int cls = batcher.predict_one(bits);        // blocking, many threads
+//   Ticket t = batcher.submit(bits);            // async; t.get() blocks
+//
+// Batching policy: a window closes (and dispatches) when it reaches
+// max_batch examples, or when its oldest blocking request has waited
+// max_wait. The first blocking request in a window is its *leader* — it
+// arms the timeout; later requests just wait; whichever request observes
+// the window full dispatches it inline. There is no dispatcher thread:
+// submit()-only traffic dispatches when the window fills, on flush(), or
+// at the latest when a Ticket::get() times out its window, so no request
+// can strand.
+//
+// Lifetime: the caller's example bits must stay alive until the request's
+// result is returned (predict_one) or Ticket::get() completes — the
+// batcher stores pointers, not copies. Dispatches are serialized on an
+// internal mutex (the Runtime's engine is not re-entrant), so the batcher
+// may be shared freely across producer threads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/runtime.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+struct MicroBatcherOptions {
+  // Window size in examples. 64 fills exactly one word of the bitsliced
+  // pass; larger windows trade latency for fewer dispatches.
+  std::size_t max_batch = 64;
+  // How long a blocking request may wait for the window to fill before the
+  // partial batch is dispatched anyway. 0 = dispatch immediately (blocking
+  // requests never batch; submit() traffic still packs full windows).
+  std::chrono::microseconds max_wait{200};
+};
+
+class MicroBatcher {
+ public:
+  // The Runtime must outlive the batcher (and every outstanding Ticket).
+  explicit MicroBatcher(const Runtime& runtime,
+                        MicroBatcherOptions options = {});
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Blocking: joins the open window and returns this example's class once
+  // the window dispatches (full, or max_wait elapsed).
+  int predict_one(const BitVector& example_bits);
+
+  class Ticket;
+  // Async: joins the open window and returns immediately. The window
+  // dispatches inline (on the submitting thread) when it fills; otherwise
+  // the result materializes on flush(), on a blocking request's timeout, or
+  // when get() runs out its own max_wait.
+  Ticket submit(const BitVector& example_bits);
+
+  // Dispatches the open partial window, if any. Called by the destructor.
+  void flush();
+
+  // Serving counters (monotonic; racing reads see a consistent snapshot).
+  std::size_t examples_served() const;
+  std::size_t batches_dispatched() const;
+
+ private:
+  struct Batch {
+    std::vector<const BitVector*> examples;
+    std::vector<int> results;
+    bool closed = false;      // no longer accepting joins; a dispatch is owed
+    bool done = false;        // results are valid
+    bool has_leader = false;  // a blocking request has armed max_wait
+    std::condition_variable cv;
+  };
+
+  // Joins (or opens) the current window. Returns the joined batch and the
+  // caller's slot; closes + claims the window when this join fills it
+  // (*dispatch_claimed). A `blocking` join becomes the window's leader
+  // (*leader) when it is the first blocking request — submit() joins never
+  // lead, so a blocking request arriving after async ones still arms the
+  // max_wait timeout.
+  std::shared_ptr<Batch> join(const BitVector& example_bits, bool blocking,
+                              std::size_t* index, bool* dispatch_claimed,
+                              bool* leader);
+  // Marks `batch` closed and detaches it from the open slot. Returns true
+  // when the caller claimed the (single) dispatch. Requires mu_.
+  bool try_close(const std::shared_ptr<Batch>& batch);
+  // Packs, predicts and publishes results for a closed batch.
+  void dispatch(const std::shared_ptr<Batch>& batch);
+  // Blocks until `batch` is done, dispatching it on timeout if nobody else
+  // has. Returns the result at `index`.
+  int await(const std::shared_ptr<Batch>& batch, std::size_t index,
+            bool leader);
+
+  const Runtime* runtime_;
+  MicroBatcherOptions options_;
+
+  mutable std::mutex mu_;   // guards open_, batch states and the counters
+  std::mutex dispatch_mu_;  // serializes Runtime::predict calls
+  std::shared_ptr<Batch> open_;
+  std::size_t examples_served_ = 0;
+  std::size_t batches_dispatched_ = 0;
+
+  friend class Ticket;
+};
+
+// Handle to one submitted example. get() may be called once from any
+// thread; the ticket (and the example bits it refers to) must not outlive
+// the MicroBatcher.
+class MicroBatcher::Ticket {
+ public:
+  int get();
+
+ private:
+  friend class MicroBatcher;
+  Ticket(MicroBatcher* parent, std::shared_ptr<Batch> batch, std::size_t index)
+      : parent_(parent), batch_(std::move(batch)), index_(index) {}
+
+  MicroBatcher* parent_;
+  std::shared_ptr<Batch> batch_;
+  std::size_t index_;
+};
+
+}  // namespace poetbin

@@ -1,0 +1,71 @@
+#include "serve/runtime.h"
+
+#include <utility>
+
+#include "core/serialize.h"
+
+namespace poetbin {
+
+Runtime::Runtime(PoetBin model, RuntimeOptions options)
+    : model_(std::move(model)), options_(options) {
+  if (options_.backend.has_value()) {
+    // Aborts when the backend is unavailable on this build or CPU; backend
+    // dispatch is process-global (see RuntimeOptions).
+    set_word_backend(*options_.backend);
+  }
+  backend_ = active_word_backend();
+  engine_ = std::make_unique<BatchEngine>(options_.threads);
+}
+
+Runtime Runtime::train(const BitMatrix& features,
+                       const BitMatrix& intermediate_targets,
+                       const std::vector<int>& labels,
+                       const PoetBinConfig& config, RuntimeOptions options) {
+  // Apply a forced backend before training too, so the override governs
+  // the whole train-then-serve flow, not just the serving half (results
+  // are bit-identical either way; this is about speed/debuggability).
+  if (options.backend.has_value()) set_word_backend(*options.backend);
+  return Runtime(PoetBin::train(features, intermediate_targets, labels, config),
+                 options);
+}
+
+std::optional<Runtime> Runtime::load(const std::string& path,
+                                     RuntimeOptions options) {
+  PoetBin model;
+  if (!load_model_file(model, path)) return std::nullopt;
+  return Runtime(std::move(model), options);
+}
+
+bool Runtime::save(const std::string& path) const {
+  return save_model_file(model_, path);
+}
+
+std::vector<int> Runtime::predict(const BitMatrix& features) const {
+  if (options_.fused_argmax) {
+    return engine_->predict_dataset(model_, features);
+  }
+  // Debug path: materialize the RINC bank word-parallel, then run the
+  // scalar argmax — the exact loop predict_dataset's fused pass must match.
+  return model_.predict_from_rinc_bits(engine_->rinc_outputs(model_, features));
+}
+
+double Runtime::accuracy(const BitMatrix& features,
+                         const std::vector<int>& labels) const {
+  return prediction_accuracy(predict(features), labels);
+}
+
+BitMatrix Runtime::rinc_outputs(const BitMatrix& features) const {
+  return engine_->rinc_outputs(model_, features);
+}
+
+int Runtime::predict_one(const BitVector& example_bits) const {
+  return model_.predict(example_bits);
+}
+
+void Runtime::retrain_output_layer(const BitMatrix& features,
+                                   const std::vector<int>& labels) {
+  const BitMatrix rinc_bits = engine_->rinc_outputs(model_, features);
+  model_.retrain_output_layer(rinc_bits, labels, engine_.get());
+}
+
+}  // namespace poetbin

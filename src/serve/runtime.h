@@ -1,0 +1,122 @@
+// Serving runtime: the inference-facing front door of the library.
+//
+// Research code hands callers three loose parts — a PoetBin, a BatchEngine
+// and the process-global word-backend override — and every `*_batched` call
+// used to tear a thread pool up and down. A Runtime bundles them the way a
+// serving system wants them: it owns one loaded (or freshly trained) model,
+// resolves the SIMD word backend once, and keeps a single persistent
+// BatchEngine alive across requests, behind a narrow request API.
+//
+//   Runtime rt = *Runtime::load("model.txt", {.threads = 4});
+//   std::vector<int> preds = rt.predict(test_features);   // fused word pass
+//   int one = rt.predict_one(example_bits);               // scalar path
+//
+// Every path is bit-identical to the scalar PoetBin reference: predict()
+// runs the fused bitsliced argmax (or, with fused_argmax = false, a
+// materialized rinc_outputs + the scalar argmax loop), and predict_one()
+// is the scalar per-example evaluation. For high-throughput concurrent
+// predict_one traffic, wrap the Runtime in a serve::MicroBatcher
+// (serve/micro_batcher.h), which packs requests into 64-wide words and
+// dispatches them through this engine as one fused pass.
+//
+// Concurrency contract: one dataset-level call (predict / rinc_outputs /
+// accuracy / retrain_output_layer) at a time per Runtime — the underlying
+// BatchEngine is not re-entrant and aborts on overlapping passes.
+// predict_one() is pure scalar evaluation over the model and may run
+// concurrently with any *read-only* request (predict, rinc_outputs,
+// accuracy, other predict_one calls) — but NOT with
+// retrain_output_layer(), which rewrites the output-layer weights and
+// codes in place. Use one Runtime per concurrent dataset stream, or a
+// MicroBatcher, which serializes its dispatches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batch_eval.h"
+#include "core/poetbin.h"
+#include "util/bit_matrix.h"
+#include "util/word_backend.h"
+
+namespace poetbin {
+
+struct RuntimeOptions {
+  // Worker threads for the persistent engine. 0 = hardware concurrency,
+  // 1 = run requests inline on the calling thread (no pool).
+  std::size_t threads = 0;
+  // Force a specific SIMD word backend. Backend dispatch is process-global
+  // (all backends are bit-identical, so this only changes speed): the
+  // Runtime applies the override once at construction via
+  // set_word_backend(), aborting if the backend is unavailable on this
+  // build or CPU. nullopt keeps the CPUID-probed default (or whatever
+  // POETBIN_FORCE_BACKEND pinned).
+  std::optional<WordBackend> backend;
+  // Fuse the output-layer argmax into the bitsliced word pass (no
+  // materialized rinc_outputs matrix). Off = evaluate the RINC bank
+  // word-parallel, then run the scalar argmax over the materialized bank —
+  // same results bit for bit, useful for debugging the fused path.
+  bool fused_argmax = true;
+};
+
+class Runtime {
+ public:
+  // Takes ownership of the model (PoetBin is a few KB of LUT tables; copy
+  // or move one in) and spins up the persistent engine.
+  explicit Runtime(PoetBin model, RuntimeOptions options = {});
+
+  // Train-then-serve in one step: PoetBin::train with `config`, wrapped in
+  // a Runtime. The engine is created after training (PoetBin::train has its
+  // own distillation pool).
+  static Runtime train(const BitMatrix& features,
+                       const BitMatrix& intermediate_targets,
+                       const std::vector<int>& labels,
+                       const PoetBinConfig& config,
+                       RuntimeOptions options = {});
+
+  // Deserialize a saved model (core/serialize.h) into a Runtime. Returns
+  // nullopt when the file cannot be opened; aborts (POETBIN_CHECK) on
+  // malformed contents, matching load_model.
+  static std::optional<Runtime> load(const std::string& path,
+                                     RuntimeOptions options = {});
+
+  // Serialize the owned model; false when the file cannot be written.
+  bool save(const std::string& path) const;
+
+  Runtime(Runtime&&) = default;
+  Runtime& operator=(Runtime&&) = default;
+
+  const PoetBin& model() const { return model_; }
+  const RuntimeOptions& options() const { return options_; }
+  const BatchEngine& engine() const { return *engine_; }
+  std::size_t threads() const { return engine_->n_threads(); }
+  // The backend that was active when this Runtime resolved dispatch.
+  WordBackend backend() const { return backend_; }
+
+  // Dataset-level requests (one at a time per Runtime; see header comment).
+  std::vector<int> predict(const BitMatrix& features) const;
+  double accuracy(const BitMatrix& features,
+                  const std::vector<int>& labels) const;
+  BitMatrix rinc_outputs(const BitMatrix& features) const;
+
+  // Scalar single-example request; safe concurrently with any read-only
+  // request on this Runtime (see the concurrency contract above).
+  int predict_one(const BitVector& example_bits) const;
+
+  // Re-adapt the output layer to new labeled data without re-distilling the
+  // RINC bank (the paper's A4 step), spreading classes over this engine.
+  // Mutates the model: no other request (including predict_one) may
+  // overlap with it.
+  void retrain_output_layer(const BitMatrix& features,
+                            const std::vector<int>& labels);
+
+ private:
+  PoetBin model_;
+  RuntimeOptions options_;
+  std::unique_ptr<BatchEngine> engine_;
+  WordBackend backend_;
+};
+
+}  // namespace poetbin

@@ -191,25 +191,48 @@ void scale_by_mask_avx512(const std::uint64_t* bits, std::size_t n_bits,
 
 }  // namespace
 
+#if defined(POETBIN_HAVE_AVX512VPOPCNT)
+// Defined in word_backend_avx512popcnt.cpp (the only TU compiled with
+// -mavx512vpopcntdq); selected below only when CPUID reports vpopcntdq.
+std::size_t avx512_vpopcnt_popcount_words(const std::uint64_t* a,
+                                          std::size_t n_words);
+std::size_t avx512_vpopcnt_hamming_words(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         std::size_t n_words);
+#endif
+
 const WordOps& avx512_word_ops() {
-  static const WordOps ops = {
-      .kind = WordBackend::kAvx512,
-      .name = "avx512",
-      .block_words = kBlock,
-      .lut_reduce = lut_reduce_avx512,
-      .and_words = and_words_avx512,
-      .or_words = or_words_avx512,
-      .xor_words = xor_words_avx512,
-      .not_words = not_words_avx512,
-      // Scalar bodies (hardware popcnt); vpopcntdq would need yet another
-      // ISA gate and these ops are not on the gated hot paths.
-      .popcount_words = word_impl::popcount_words,
-      .hamming_words = word_impl::hamming_words,
-      .argmax_update = argmax_update_avx512,
-      .scale_by_mask = scale_by_mask_avx512,
-      // Shared scalar body by contract: log2 is not exact (see WordOps).
-      .entropy_sum = word_impl::entropy_sum,
-  };
+  static const WordOps ops = [] {
+    WordOps table = {
+        .kind = WordBackend::kAvx512,
+        .name = "avx512",
+        .block_words = kBlock,
+        .lut_reduce = lut_reduce_avx512,
+        .and_words = and_words_avx512,
+        .or_words = or_words_avx512,
+        .xor_words = xor_words_avx512,
+        .not_words = not_words_avx512,
+        // Scalar bodies (hardware popcnt) unless vpopcntdq upgrades them
+        // below — both are exact integer counts, so bit-identical either
+        // way.
+        .popcount_words = word_impl::popcount_words,
+        .hamming_words = word_impl::hamming_words,
+        .argmax_update = argmax_update_avx512,
+        .scale_by_mask = scale_by_mask_avx512,
+        // Shared scalar body by contract: log2 is not exact (see WordOps).
+        .entropy_sum = word_impl::entropy_sum,
+    };
+#if defined(POETBIN_HAVE_AVX512VPOPCNT)
+    // vpopcntdq is a separate ISA extension from avx512f/bw/vl (Ice
+    // Lake+); gate on its own CPUID bit so avx512f-only machines keep the
+    // scalar bodies.
+    if (__builtin_cpu_supports("avx512vpopcntdq")) {
+      table.popcount_words = avx512_vpopcnt_popcount_words;
+      table.hamming_words = avx512_vpopcnt_hamming_words;
+    }
+#endif
+    return table;
+  }();
   return ops;
 }
 

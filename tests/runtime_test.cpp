@@ -1,0 +1,315 @@
+// Serving-layer contract: a Runtime (loaded from disk or trained in
+// memory) and a MicroBatcher on top of it must reproduce the scalar
+// PoetBin reference bit for bit — under every SIMD word backend, at any
+// thread count, fused or not, and under concurrent producers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.h"
+#include "serve/micro_batcher.h"
+#include "serve/runtime.h"
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+struct ServeFixture {
+  BinaryDataset data;
+  PoetBin model;
+  std::vector<int> scalar_preds;   // the oracle every path must match
+  std::vector<BitVector> rows;     // per-example request bits
+  double scalar_accuracy = 0.0;
+};
+
+// One trained model shared by every test in this file (training dominates
+// the suite's runtime; the serving paths under test never mutate it).
+const ServeFixture& fixture() {
+  static const ServeFixture* fx = [] {
+    auto* f = new ServeFixture;
+    f->data = testing::prototype_dataset(600, 64, 21);
+    const std::size_t p = 4;
+    BitMatrix intermediate(f->data.size(), f->data.n_classes * p);
+    Rng rng(31);
+    for (std::size_t i = 0; i < f->data.size(); ++i) {
+      for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+        const bool is_class = f->data.labels[i] == static_cast<int>(j / p);
+        intermediate.set(i, j, is_class != rng.next_bool(0.05));
+      }
+    }
+    PoetBinConfig config;
+    config.rinc = {.lut_inputs = p, .levels = 1, .total_dts = 4};
+    config.n_classes = f->data.n_classes;
+    config.output.epochs = 40;
+    config.threads = 1;
+    f->model = PoetBin::train(f->data.features, intermediate, f->data.labels,
+                              config);
+    f->scalar_preds = f->model.predict_dataset(f->data.features);
+    f->scalar_accuracy = f->model.accuracy(f->data.features, f->data.labels);
+    f->rows.reserve(f->data.size());
+    for (std::size_t i = 0; i < f->data.size(); ++i) {
+      f->rows.push_back(f->data.features.row(i));
+    }
+    return f;
+  }();
+  return *fx;
+}
+
+TEST(Runtime, PredictMatchesScalarFusedAndMaterialized) {
+  const ServeFixture& fx = fixture();
+  for (const bool fused : {true, false}) {
+    const Runtime runtime(fx.model, {.threads = 2, .fused_argmax = fused});
+    EXPECT_EQ(runtime.predict(fx.data.features), fx.scalar_preds)
+        << "fused=" << fused;
+    EXPECT_DOUBLE_EQ(runtime.accuracy(fx.data.features, fx.data.labels),
+                     fx.scalar_accuracy);
+  }
+}
+
+TEST(Runtime, PredictOneMatchesScalar) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(runtime.predict_one(fx.rows[i]), fx.scalar_preds[i]);
+  }
+}
+
+TEST(Runtime, RincOutputsMatchScalar) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 3});
+  EXPECT_EQ(runtime.rinc_outputs(fx.data.features),
+            fx.model.rinc_outputs(fx.data.features));
+}
+
+// The satellite contract: save a trained model, reload it under each
+// forced backend and several thread counts, and every Runtime (and a
+// MicroBatcher on top of it) predicts bit-identically to the scalar
+// PoetBin::predict_dataset of the original model.
+TEST(Runtime, SerializedReloadIsBitIdenticalUnderEveryBackend) {
+  const ServeFixture& fx = fixture();
+  testing::BackendGuard guard;
+  const std::string path = ::testing::TempDir() + "/runtime_model.txt";
+  {
+    const Runtime writer(fx.model, {.threads = 1});
+    ASSERT_TRUE(writer.save(path));
+  }
+  for (const WordBackend backend : available_word_backends()) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{5}}) {
+      std::optional<Runtime> runtime =
+          Runtime::load(path, {.threads = threads, .backend = backend});
+      ASSERT_TRUE(runtime.has_value());
+      EXPECT_EQ(runtime->backend(), backend);
+      EXPECT_EQ(runtime->threads(), threads);
+      EXPECT_EQ(runtime->predict(fx.data.features), fx.scalar_preds)
+          << word_backend_name(backend) << " x " << threads << " threads";
+
+      MicroBatcher batcher(*runtime, {.max_batch = 64});
+      std::vector<MicroBatcher::Ticket> tickets;
+      tickets.reserve(fx.rows.size());
+      for (const BitVector& row : fx.rows) {
+        tickets.push_back(batcher.submit(row));
+      }
+      batcher.flush();
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        ASSERT_EQ(tickets[i].get(), fx.scalar_preds[i])
+            << word_backend_name(backend) << " x " << threads
+            << " threads, example " << i;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Runtime, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(Runtime::load("/nonexistent/dir/model.txt").has_value());
+}
+
+TEST(Runtime, RetrainOutputLayerMatchesScalarRetrain) {
+  const ServeFixture& fx = fixture();
+  Runtime runtime(fx.model, {.threads = 2});
+  runtime.retrain_output_layer(fx.data.features, fx.data.labels);
+
+  PoetBin reference = fx.model;
+  reference.retrain_output_layer(reference.rinc_outputs(fx.data.features),
+                                 fx.data.labels, /*engine=*/nullptr);
+  for (std::size_t c = 0; c < reference.n_classes(); ++c) {
+    EXPECT_EQ(runtime.model().output_neurons()[c].codes,
+              reference.output_neurons()[c].codes);
+    EXPECT_EQ(runtime.model().output_neurons()[c].weights,
+              reference.output_neurons()[c].weights);
+  }
+}
+
+TEST(MicroBatcher, SubmitPacksFullWindows) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  MicroBatcher batcher(runtime, {.max_batch = 64});
+  std::vector<MicroBatcher::Ticket> tickets;
+  tickets.reserve(fx.rows.size());
+  for (const BitVector& row : fx.rows) {
+    tickets.push_back(batcher.submit(row));
+  }
+  batcher.flush();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_EQ(tickets[i].get(), fx.scalar_preds[i]) << "example " << i;
+  }
+  // 600 examples = 9 full 64-wide windows + one 24-example flush.
+  EXPECT_EQ(batcher.examples_served(), fx.rows.size());
+  EXPECT_EQ(batcher.batches_dispatched(),
+            (fx.rows.size() + 63) / 64);
+}
+
+TEST(MicroBatcher, BlockingRequestTimesOutAlone) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  // Nobody else joins the window: the leader must dispatch its partial
+  // batch after max_wait and still match the scalar path.
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(500)});
+  EXPECT_EQ(batcher.predict_one(fx.rows[0]), fx.scalar_preds[0]);
+  EXPECT_EQ(batcher.examples_served(), 1u);
+  EXPECT_EQ(batcher.batches_dispatched(), 1u);
+}
+
+TEST(MicroBatcher, BlockingRequestAfterAsyncSubmitStillTimesOut) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(500)});
+  // A submit() opens the window, so the blocking request lands in slot 1.
+  // It must still become the leader and dispatch the window after
+  // max_wait — leadership follows the first *blocking* request, not
+  // slot 0 (a slot-0-only rule left this predict_one waiting forever).
+  MicroBatcher::Ticket ticket = batcher.submit(fx.rows[0]);
+  EXPECT_EQ(batcher.predict_one(fx.rows[1]), fx.scalar_preds[1]);
+  EXPECT_EQ(ticket.get(), fx.scalar_preds[0]);
+  EXPECT_EQ(batcher.batches_dispatched(), 1u);
+  EXPECT_EQ(batcher.examples_served(), 2u);
+}
+
+TEST(MicroBatcher, ZeroWaitDispatchesImmediately) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(0)});
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batcher.predict_one(fx.rows[i]), fx.scalar_preds[i]);
+  }
+}
+
+TEST(MicroBatcher, WindowOfOne) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  MicroBatcher batcher(runtime, {.max_batch = 1});
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batcher.predict_one(fx.rows[i]), fx.scalar_preds[i]);
+  }
+  EXPECT_EQ(batcher.batches_dispatched(), 10u);
+}
+
+TEST(MicroBatcher, FlushOnDestructionCompletesOutstandingTickets) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  std::vector<MicroBatcher::Ticket> tickets;
+  {
+    MicroBatcher batcher(runtime, {.max_batch = 64});
+    for (std::size_t i = 0; i < 10; ++i) {
+      tickets.push_back(batcher.submit(fx.rows[i]));
+    }
+    // Tickets for a dispatched batch may outlive the batcher; resolve them
+    // before it dies (get() after destruction is a use-after-free by
+    // contract, so pull the results while flushing).
+    batcher.flush();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      EXPECT_EQ(tickets[i].get(), fx.scalar_preds[i]);
+    }
+  }
+}
+
+// The acceptance stress: >= 8 concurrent producers hammering predict_one
+// must each get back exactly what scalar predict would return for their
+// example, regardless of how requests interleave into windows.
+TEST(MicroBatcher, ConcurrentProducersAreBitIdentical) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 1});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 32,
+                        .max_wait = std::chrono::microseconds(2000)});
+  const std::size_t n_producers = 8;
+  const std::size_t n = fx.rows.size();
+  std::vector<int> served(n, -1);
+  std::vector<std::thread> producers;
+  producers.reserve(n_producers);
+  for (std::size_t t = 0; t < n_producers; ++t) {
+    producers.emplace_back([&, t] {
+      // Strided slices so producers interleave within the same windows.
+      for (std::size_t i = t; i < n; i += n_producers) {
+        served[i] = batcher.predict_one(fx.rows[i]);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(served, fx.scalar_preds);
+  EXPECT_EQ(batcher.examples_served(), n);
+}
+
+// Same stress through the engine-threaded runtime and a second backend, in
+// case dispatch overlaps engine parallelism in interesting ways.
+TEST(MicroBatcher, ConcurrentProducersWithThreadedEngine) {
+  const ServeFixture& fx = fixture();
+  const Runtime runtime(fx.model, {.threads = 4});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(1000)});
+  const std::size_t n_producers = 12;
+  const std::size_t n = fx.rows.size();
+  std::vector<int> served(n, -1);
+  std::vector<std::thread> producers;
+  producers.reserve(n_producers);
+  for (std::size_t t = 0; t < n_producers; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::size_t i = t; i < n; i += n_producers) {
+        served[i] = batcher.predict_one(fx.rows[i]);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(served, fx.scalar_preds);
+}
+
+// Deprecated shims still agree with the scalar paths now that they share a
+// process-wide engine per thread count (the churn fix must not change
+// results), and the caller-supplied-engine overloads match too.
+TEST(PoetBinBatchedShims, SharedAndCallerSuppliedEnginesMatchScalar) {
+  const ServeFixture& fx = fixture();
+  EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features,
+                                             /*n_threads=*/2),
+            fx.scalar_preds);
+  // Second call reuses the shared pool (no churn) and must be identical.
+  EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features,
+                                             /*n_threads=*/2),
+            fx.scalar_preds);
+  EXPECT_DOUBLE_EQ(
+      fx.model.accuracy_batched(fx.data.features, fx.data.labels,
+                                /*n_threads=*/2),
+      fx.scalar_accuracy);
+
+  const BatchEngine engine(3);
+  EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features, engine),
+            fx.scalar_preds);
+  EXPECT_EQ(fx.model.rinc_outputs_batched(fx.data.features, engine),
+            fx.model.rinc_outputs(fx.data.features));
+  EXPECT_DOUBLE_EQ(
+      fx.model.accuracy_batched(fx.data.features, fx.data.labels, engine),
+      fx.scalar_accuracy);
+}
+
+}  // namespace
+}  // namespace poetbin

@@ -159,6 +159,45 @@ TEST(WordBackendOps, BitVectorOpsBitIdenticalAcrossBackends) {
   }
 }
 
+// Drive the popcount kernels directly at word granularity: ragged word
+// counts around the SIMD block width and buffers spanning many blocks, so
+// the AVX-512 VPOPCNTDQ bodies (selected at runtime on capable hosts) are
+// compared against the scalar counts on both their vector loop and their
+// scalar remainder.
+TEST(WordBackendOps, PopcountKernelsBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(77);
+  for (const std::size_t n_words :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{17}, std::size_t{64}, std::size_t{100}}) {
+    WordVec a(n_words), b(n_words);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      a[w] = rng.next_u64();
+      b[w] = rng.next_u64();
+    }
+    const WordOps& scalar = *word_ops_for(WordBackend::kScalar64);
+    const std::size_t ref_pop = scalar.popcount_words(a.data(), n_words);
+    const std::size_t ref_ham =
+        scalar.hamming_words(a.data(), b.data(), n_words);
+    for (const auto backend : available_word_backends()) {
+      const WordOps& ops = *word_ops_for(backend);
+      EXPECT_EQ(ops.popcount_words(a.data(), n_words), ref_pop)
+          << word_backend_name(backend) << " n_words=" << n_words;
+      EXPECT_EQ(ops.hamming_words(a.data(), b.data(), n_words), ref_ham)
+          << word_backend_name(backend) << " n_words=" << n_words;
+    }
+  }
+  // All-ones / all-zeros corners: exact totals, not just scalar agreement.
+  WordVec ones(33, ~0ULL), zeros(33, 0ULL);
+  for (const auto backend : available_word_backends()) {
+    const WordOps& ops = *word_ops_for(backend);
+    EXPECT_EQ(ops.popcount_words(ones.data(), ones.size()), 33u * 64u);
+    EXPECT_EQ(ops.popcount_words(zeros.data(), zeros.size()), 0u);
+    EXPECT_EQ(ops.hamming_words(ones.data(), zeros.data(), 33), 33u * 64u);
+    EXPECT_EQ(ops.hamming_words(ones.data(), ones.data(), 33), 0u);
+  }
+}
+
 TEST(WordBackendOps, LutEvalBitIdenticalAcrossBackends) {
   BackendGuard guard;
   Rng rng(73);
