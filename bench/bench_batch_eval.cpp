@@ -222,6 +222,7 @@ int main() {
   }
 
   // --- Fused output-layer argmax (predict) per backend ----------------------
+  const BatchEngine fused_engine(1);
   for (const std::size_t p : {std::size_t{6}, std::size_t{8}}) {
     const PoetBin model = random_model(p, n_features, rng);
     std::printf("PoET-BiN predict, 10 classes, P=%zu (%zu modules):\n", p,
@@ -236,7 +237,7 @@ int main() {
     for (const auto backend : backends) {
       set_word_backend(backend);
       const double fused_s = time_best_of(5, [&] {
-        fused_pred = model.predict_dataset_batched(features, /*n_threads=*/1);
+        fused_pred = model.predict_dataset_batched(features, fused_engine);
       });
       if (fused_pred != scalar_pred) {
         std::printf("  ERROR: fused argmax (%s) disagrees with scalar\n",

@@ -1,0 +1,286 @@
+// Network serving: micro-batched NetServer vs the naive one-request-per-
+// dispatch server, over real loopback TCP with zipf-skewed pipelined
+// clients.
+//
+// The workload is the serving shape the front end was built for: 8 client
+// threads, each pipelining bursts of 16 predict requests over its own
+// connection against one single-threaded worker with a 64-wide micro-batch
+// window. Every response is checked bit for bit against the scalar
+// PoetBin::predict of the requested key, so the row doubles as an e2e
+// bit-identity test under concurrency.
+//
+// Acceptance (gated only at POETBIN_BENCH_SCALE >= 1): micro-batched
+// throughput >= 3x the naive server on the same workload. Bit-identity is
+// a hard failure at any scale.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
+#include "serve/runtime.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace poetbin;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kClientThreads = 8;
+constexpr std::size_t kPipelineDepth = 16;
+constexpr std::size_t kKeySpace = 1024;
+constexpr double kZipfTheta = 0.99;
+
+Lut random_lut(std::size_t arity, std::size_t n_features, Rng& rng) {
+  std::vector<std::size_t> inputs(arity);
+  for (auto& input : inputs) input = rng.next_index(n_features);
+  BitVector table(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < table.size(); ++a) table.set(a, rng.next_bool());
+  return Lut(std::move(inputs), std::move(table));
+}
+
+RincModule random_rinc(std::size_t level, std::size_t fanin,
+                       std::size_t leaf_arity, std::size_t n_features,
+                       Rng& rng) {
+  if (level == 0) {
+    return RincModule::make_leaf(random_lut(leaf_arity, n_features, rng));
+  }
+  std::vector<RincModule> children;
+  for (std::size_t c = 0; c < fanin; ++c) {
+    children.push_back(
+        random_rinc(level - 1, fanin, leaf_arity, n_features, rng));
+  }
+  std::vector<double> alphas(fanin);
+  for (auto& alpha : alphas) alpha = rng.next_double() + 0.1;
+  return RincModule::make_internal(std::move(children), MatModule(alphas));
+}
+
+// Same 10-class random model shape as bench_batch_eval: realistic output
+// layer without a training run.
+PoetBin random_model(std::size_t p, std::size_t n_features, Rng& rng) {
+  PoetBinConfig config;
+  config.rinc.lut_inputs = p;
+  config.n_classes = 10;
+  const std::size_t n_modules = config.n_classes * p;
+  std::vector<RincModule> modules;
+  for (std::size_t m = 0; m < n_modules; ++m) {
+    modules.push_back(random_rinc(1, p, p, n_features, rng));
+  }
+  const QuantizerParams quantizer;
+  const std::size_t n_combos = std::size_t{1} << p;
+  std::vector<SparseOutputNeuron> neurons(config.n_classes);
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    neurons[c].input_modules.resize(p);
+    neurons[c].weights.assign(p, 0.0f);
+    neurons[c].codes.resize(n_combos);
+    for (std::size_t j = 0; j < p; ++j) {
+      neurons[c].input_modules[j] = c * p + j;
+    }
+    for (std::size_t a = 0; a < n_combos; ++a) {
+      neurons[c].codes[a] = rng.next_index(quantizer.levels());
+    }
+  }
+  return PoetBin::from_parts(config, std::move(modules), std::move(neurons),
+                             quantizer);
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t transport_errors = 0;
+  std::size_t mismatches = 0;
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  ServeStats stats;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[at];
+}
+
+// Runs one server mode to completion and measures it. The key pool and the
+// expected scalar predictions are shared, read-only.
+ModeResult run_mode(const PoetBin& model, const std::vector<BitVector>& pool,
+                    const std::vector<int>& expected, bool micro_batch,
+                    std::size_t bursts_per_thread) {
+  const Runtime runtime(model, {.threads = 1});
+  NetServer server(runtime,
+                   {.port = 0,
+                    .micro_batch = micro_batch,
+                    .max_batch = 64,
+                    .max_wait = std::chrono::microseconds(200)});
+  std::string error;
+  if (!server.start(&error)) {
+    std::printf("  ERROR: %s\n", error.c_str());
+    return {};
+  }
+
+  std::vector<std::vector<double>> latencies(kClientThreads);
+  std::vector<std::size_t> errors(kClientThreads, 0);
+  std::vector<std::size_t> mismatches(kClientThreads, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  const auto t0 = Clock::now();
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      NetClient client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        errors[t] += bursts_per_thread * kPipelineDepth;
+        return;
+      }
+      FastZipf zipf(0x5eedULL * (t + 1), kZipfTheta, pool.size());
+      std::vector<const BitVector*> burst(kPipelineDepth);
+      std::vector<std::size_t> keys(kPipelineDepth);
+      std::vector<wire::Response> responses;
+      latencies[t].reserve(bursts_per_thread);
+      for (std::size_t b = 0; b < bursts_per_thread; ++b) {
+        for (std::size_t i = 0; i < kPipelineDepth; ++i) {
+          keys[i] = zipf.next();
+          burst[i] = &pool[keys[i]];
+        }
+        const auto s0 = Clock::now();
+        if (!client.predict_pipelined(burst, &responses)) {
+          errors[t] += kPipelineDepth;
+          return;
+        }
+        const auto s1 = Clock::now();
+        latencies[t].push_back(
+            1e3 * std::chrono::duration<double>(s1 - s0).count());
+        for (std::size_t i = 0; i < kPipelineDepth; ++i) {
+          if (responses[i].status != wire::Status::kOk) {
+            ++errors[t];
+          } else if (responses[i].prediction != expected[keys[i]]) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const auto t1 = Clock::now();
+
+  ModeResult result;
+  result.stats = server.stats();
+  server.stop();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.requests = kClientThreads * bursts_per_thread * kPipelineDepth;
+  std::vector<double> merged;
+  for (auto& thread_latencies : latencies) {
+    merged.insert(merged.end(), thread_latencies.begin(),
+                  thread_latencies.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = percentile(merged, 0.50);
+  result.p99_ms = percentile(merged, 0.99);
+  result.p999_ms = percentile(merged, 0.999);
+  for (const std::size_t e : errors) result.transport_errors += e;
+  for (const std::size_t m : mismatches) result.mismatches += m;
+  return result;
+}
+
+void report(const char* label, const ModeResult& r) {
+  std::printf("  %-22s %9.0f req/s  burst p50 %7.3f ms  p99 %7.3f ms  "
+              "p999 %7.3f ms  mean fill %.1f\n",
+              label, static_cast<double>(r.requests) / r.seconds, r.p50_ms,
+              r.p99_ms, r.p999_ms, r.stats.mean_window_fill());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Network serving: micro-batched TCP front end vs naive dispatch",
+      "8 pipelined clients (depth 16, zipf 0.99) on loopback; acceptance: "
+      "micro-batch >= 3x naive throughput");
+  bench::JsonResults json("serve_net");
+
+  Rng rng(20260807);
+  const std::size_t p = 6;
+  const std::size_t n_features = 256;
+  const PoetBin model = random_model(p, n_features, rng);
+
+  std::vector<BitVector> pool;
+  pool.reserve(kKeySpace);
+  for (std::size_t k = 0; k < kKeySpace; ++k) {
+    BitVector bits(n_features);
+    Rng key_rng = rng.fork(k);
+    for (std::size_t w = 0; w < bits.word_count(); ++w) {
+      bits.words()[w] = key_rng.next_u64();
+    }
+    bits.mask_tail_word();
+    pool.push_back(std::move(bits));
+  }
+  std::vector<int> expected(kKeySpace);
+  for (std::size_t k = 0; k < kKeySpace; ++k) {
+    expected[k] = model.predict(pool[k]);
+  }
+
+  const std::size_t bursts_per_thread = std::max(
+      std::size_t{20},
+      static_cast<std::size_t>(150 * bench::bench_scale()));
+  std::printf("P=%zu model, %zu features, %zu keys, %zu clients x %zu "
+              "bursts x %zu deep:\n",
+              p, n_features, kKeySpace, kClientThreads, bursts_per_thread,
+              kPipelineDepth);
+
+  const ModeResult naive =
+      run_mode(model, pool, expected, /*micro_batch=*/false,
+               bursts_per_thread);
+  report("naive dispatch", naive);
+  const ModeResult micro =
+      run_mode(model, pool, expected, /*micro_batch=*/true,
+               bursts_per_thread);
+  report("micro-batch (window 64)", micro);
+
+  bool pass = true;
+  if (naive.requests == 0 || micro.requests == 0 ||
+      naive.transport_errors > 0 || micro.transport_errors > 0) {
+    std::printf("  ERROR: transport failures (naive %zu, micro %zu)\n",
+                naive.transport_errors, micro.transport_errors);
+    return 1;
+  }
+  if (naive.mismatches > 0 || micro.mismatches > 0) {
+    std::printf("  ERROR: served predictions disagree with scalar predict "
+                "(naive %zu, micro %zu)\n",
+                naive.mismatches, micro.mismatches);
+    return 1;
+  }
+
+  const double naive_rps = static_cast<double>(naive.requests) / naive.seconds;
+  const double micro_rps = static_cast<double>(micro.requests) / micro.seconds;
+  const double speedup = micro_rps / naive_rps;
+  std::printf("  -> micro-batch vs naive throughput: %.2fx (target 3x)\n",
+              speedup);
+  if (speedup < 3.0) pass = false;
+
+  json.add("serve_net_naive_kqps", naive_rps / 1e3);
+  json.add("serve_net_micro_kqps", micro_rps / 1e3);
+  json.add("serve_net_micro_p50_ms", micro.p50_ms);
+  json.add("serve_net_micro_p99_ms", micro.p99_ms);
+  json.add("serve_net_micro_p999_ms", micro.p999_ms);
+  json.add("serve_net_naive_p50_ms", naive.p50_ms);
+  json.add("serve_net_naive_p999_ms", naive.p999_ms);
+  json.add("serve_net_speedup_vs_naive", speedup);
+  json.add("serve_net_micro_mean_fill", micro.stats.mean_window_fill());
+  json.add("acceptance_pass", pass ? 1.0 : 0.0);
+
+  if (bench::bench_scale() < 1.0) {
+    std::printf("acceptance check skipped (scale < 1.0); measured %s target\n",
+                pass ? "above" : "below");
+    return 0;
+  }
+  std::printf("acceptance (micro-batch >= 3x naive): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

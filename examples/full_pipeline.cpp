@@ -108,10 +108,12 @@ int main(int argc, char** argv) {
   std::printf("\n--- serving runtime ---\n");
   std::printf("  engine                    : %zu threads, %s backend\n",
               runtime.threads(), word_backend_name(runtime.backend()));
-  std::printf("  micro-batched requests    : %zu served in %zu batches, "
-              "%zu mismatches vs batch pass %s\n",
-              batcher.examples_served(), batcher.batches_dispatched(),
-              serve_mismatches, serve_mismatches == 0 ? "(bit-exact)"
-                                                      : "(BUG!)");
+  const ServeStats serve_stats = batcher.stats();
+  std::printf("  micro-batched requests    : %llu served in %llu batches "
+              "(mean fill %.1f), %zu mismatches vs batch pass %s\n",
+              static_cast<unsigned long long>(serve_stats.requests),
+              static_cast<unsigned long long>(serve_stats.batches),
+              serve_stats.mean_window_fill(), serve_mismatches,
+              serve_mismatches == 0 ? "(bit-exact)" : "(BUG!)");
   return serve_mismatches == 0 ? 0 : 1;
 }

@@ -5,6 +5,11 @@
 //   $ ./poetbin_cli eval model.txt  [digits|house_numbers|textures]
 //                   [--threads=N] [--scalar]   # serving runtime options
 //   $ ./poetbin_cli export model.txt out_dir
+//   $ ./poetbin_cli serve model.txt [--port=P] [--workers=N] [--threads=N]
+//
+// `serve` runs the network serving front end: N forked workers sharing one
+// TCP port via SO_REUSEPORT, each with its own Runtime + micro-batcher.
+// SIGTERM/SIGINT shut it down gracefully and print per-worker stats.
 //
 // Common flags: --scale=<f> scales the dataset/teacher preset (default
 // 0.5; CI smoke uses smaller) — eval regenerates the dataset, so pass the
@@ -27,6 +32,7 @@
 #include "hw/netlist_builder.h"
 #include "hw/verilog.h"
 #include "hw/vhdl.h"
+#include "serve/net_server.h"
 #include "serve/runtime.h"
 #include "util/word_backend.h"
 
@@ -62,8 +68,9 @@ int cmd_train(const std::string& path, SyntheticFamily family, double scale) {
   const PipelineResult result = run_pipeline(config);
   std::printf("teacher %.2f%%, PoET-BiN %.2f%%\n", 100 * result.a3,
               100 * result.a4);
-  if (!save_model_file(result.model, path)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+  const IoStatus saved = write_model_file(result.model, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.error().message.c_str());
     return 1;
   }
   std::printf("model saved to %s\n", path.c_str());
@@ -74,10 +81,12 @@ int cmd_eval(const std::string& path, SyntheticFamily family, double scale,
              std::size_t threads, bool scalar) {
   // The scalar reference path never touches the engine; don't spin up a
   // hardware-concurrency pool it won't use.
-  std::optional<Runtime> runtime =
+  Runtime::LoadResult runtime =
       Runtime::load(path, {.threads = scalar ? 1 : threads});
-  if (!runtime.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 model_io_error_kind_name(runtime.error().kind),
+                 runtime.error().message.c_str());
     return 1;
   }
   // Regenerate the family's features through a freshly trained teacher at a
@@ -117,20 +126,22 @@ int cmd_eval(const std::string& path, SyntheticFamily family, double scale,
 }
 
 int cmd_export(const std::string& path, const std::string& out_dir) {
-  PoetBin model;
-  if (!load_model_file(model, path)) {
-    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+  const IoResult<PoetBin> model = read_model_file(path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 model_io_error_kind_name(model.error().kind),
+                 model.error().message.c_str());
     return 1;
   }
   // The serialized model does not record the feature count; use the highest
   // referenced feature index.
   std::size_t n_features = 0;
-  for (const auto& module : model.modules()) {
+  for (const auto& module : model->modules()) {
     for (const auto f : module.distinct_features()) {
       n_features = std::max(n_features, f + 1);
     }
   }
-  const PoetBinNetlist netlist = build_poetbin_netlist(model, n_features);
+  const PoetBinNetlist netlist = build_poetbin_netlist(*model, n_features);
   std::filesystem::create_directories(out_dir);
   std::ofstream(out_dir + "/poetbin_classifier.vhd") << generate_vhdl(netlist);
   std::ofstream(out_dir + "/poetbin_classifier.v") << generate_verilog(netlist);
@@ -180,6 +191,8 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   bool scalar = false;
   double scale = 0.5;
+  std::size_t port = 0;
+  std::size_t workers = 1;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch", 7) == 0 &&
@@ -201,6 +214,18 @@ int main(int argc, char** argv) {
       scale = parse_flag_value(argv[i], argv[i] + 8);
       continue;
     }
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = parse_thread_count(argv[i], argv[i] + 7);
+      if (port > 65535) {
+        std::fprintf(stderr, "error: bad port in '%s'\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = parse_thread_count(argv[i], argv[i] + 10);
+      continue;
+    }
     args.push_back(argv[i]);
   }
   const int n_args = static_cast<int>(args.size());
@@ -216,13 +241,22 @@ int main(int argc, char** argv) {
   if (n_args >= 4 && std::strcmp(args[1], "export") == 0) {
     return cmd_export(args[2], args[3]);
   }
+  if (n_args >= 3 && std::strcmp(args[1], "serve") == 0) {
+    ShardedServeOptions options;
+    options.workers = workers < 1 ? 1 : workers;
+    options.threads = threads == 0 ? 1 : threads;
+    options.server.port = static_cast<std::uint16_t>(port);
+    return run_sharded_server(args[2], options);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  %s train  <model.txt> [digits|house_numbers|textures]"
                " [--scale=<f>]\n"
                "  %s eval   <model.txt> [digits|house_numbers|textures]"
                " [--threads=N] [--scalar] [--scale=<f>]\n"
-               "  %s export <model.txt> <out_dir>\n",
-               argv[0], argv[0], argv[0]);
+               "  %s export <model.txt> <out_dir>\n"
+               "  %s serve  <model.txt> [--port=P] [--workers=N]"
+               " [--threads=N]\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -146,9 +146,11 @@ int main() {
     if (served != runtime.predict_one(request_rows[i])) ++serve_mismatches;
     if (served == (test_y.get(i) ? 1 : 0)) ++correct;
   }
-  std::printf("  %zu requests served in %zu micro-batches: accuracy %.2f%%, "
+  const ServeStats serve_stats = batcher.stats();
+  std::printf("  %llu requests served in %llu micro-batches: accuracy %.2f%%, "
               "%zu mismatches vs scalar predict %s\n",
-              batcher.examples_served(), batcher.batches_dispatched(),
+              static_cast<unsigned long long>(serve_stats.requests),
+              static_cast<unsigned long long>(serve_stats.batches),
               100.0 * static_cast<double>(correct) /
                   static_cast<double>(n_test),
               serve_mismatches,

@@ -4,12 +4,26 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/check.h"
+#include <utility>
 
 namespace poetbin {
 
 namespace {
+
+// Internal parse-failure carrier. The parser fails via exception so the
+// recursive-descent module loader stays readable; read_model converts it
+// into the IoResult error arm at the single API boundary.
+struct ParseFailure {
+  ModelIoError error;
+};
+
+[[noreturn]] void fail(ModelIoError::Kind kind, std::string message) {
+  throw ParseFailure{{kind, std::move(message)}};
+}
+
+void expect(bool condition, const char* message) {
+  if (!condition) fail(ModelIoError::Kind::kCorruptSection, message);
+}
 
 std::string bits_to_string(const BitVector& bits) {
   return bits.to_string();  // bit 0 first
@@ -18,8 +32,8 @@ std::string bits_to_string(const BitVector& bits) {
 BitVector bits_from_string(const std::string& text) {
   BitVector bits(text.size());
   for (std::size_t i = 0; i < text.size(); ++i) {
-    POETBIN_CHECK_MSG(text[i] == '0' || text[i] == '1',
-                      "malformed bit string in model file");
+    expect(text[i] == '0' || text[i] == '1',
+           "malformed bit string in model file");
     if (text[i] == '1') bits.set(i, true);
   }
   return bits;
@@ -41,34 +55,136 @@ void save_module(const RincModule& module, std::ostream& out) {
 
 RincModule load_module(std::istream& in) {
   std::string kind;
-  POETBIN_CHECK_MSG(static_cast<bool>(in >> kind), "truncated model file");
+  expect(static_cast<bool>(in >> kind), "truncated model file");
   if (kind == "leaf") {
     std::size_t arity = 0;
-    POETBIN_CHECK(static_cast<bool>(in >> arity));
-    POETBIN_CHECK_MSG(arity >= 1 && arity <= 16, "bad leaf arity");
+    expect(static_cast<bool>(in >> arity), "truncated leaf record");
+    expect(arity >= 1 && arity <= 16, "bad leaf arity");
     std::vector<std::size_t> inputs(arity);
-    for (auto& input : inputs) POETBIN_CHECK(static_cast<bool>(in >> input));
+    for (auto& input : inputs) {
+      expect(static_cast<bool>(in >> input), "truncated leaf inputs");
+    }
     std::string table_text;
-    POETBIN_CHECK(static_cast<bool>(in >> table_text));
-    POETBIN_CHECK_MSG(table_text.size() == (std::size_t{1} << arity),
-                      "leaf table size mismatch");
+    expect(static_cast<bool>(in >> table_text), "truncated leaf table");
+    expect(table_text.size() == (std::size_t{1} << arity),
+           "leaf table size mismatch");
     return RincModule::make_leaf(
         Lut(std::move(inputs), bits_from_string(table_text)));
   }
-  POETBIN_CHECK_MSG(kind == "node", "expected 'leaf' or 'node'");
+  expect(kind == "node", "expected 'leaf' or 'node'");
   std::size_t fanin = 0;
-  POETBIN_CHECK(static_cast<bool>(in >> fanin));
-  POETBIN_CHECK_MSG(fanin >= 1 && fanin <= 20, "bad node fanin");
+  expect(static_cast<bool>(in >> fanin), "truncated node record");
+  expect(fanin >= 1 && fanin <= 20, "bad node fanin");
   std::vector<double> weights(fanin);
-  for (auto& weight : weights) POETBIN_CHECK(static_cast<bool>(in >> weight));
+  for (auto& weight : weights) {
+    expect(static_cast<bool>(in >> weight), "truncated node weights");
+  }
   std::vector<RincModule> children;
   children.reserve(fanin);
   for (std::size_t c = 0; c < fanin; ++c) children.push_back(load_module(in));
+  // make_internal aborts on mixed child levels (a builder-contract check);
+  // reject them here so a corrupt file surfaces as an error, not an abort.
+  for (const auto& child : children) {
+    expect(child.level() == children.front().level(),
+           "node children at mixed RINC levels");
+  }
   return RincModule::make_internal(std::move(children),
                                    MatModule(std::move(weights)));
 }
 
+// The whole parser body; throws ParseFailure on any structural problem.
+// Every check that PoetBin::from_parts (or a constructor downstream) would
+// abort on is replicated here first, so corrupt bytes can never abort a
+// loading process.
+PoetBin parse_model(std::istream& in) {
+  std::string token;
+  std::string version;
+  if (!(in >> token >> version) || token != "poetbin-model") {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "unrecognised model file header (expected 'poetbin-model v1')");
+  }
+  if (version != "v1") {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "unsupported model format version '" + version + "'");
+  }
+
+  PoetBinConfig config;
+  std::size_t levels = 0;
+  std::size_t total_dts = 0;
+  expect(static_cast<bool>(in >> token) && token == "config",
+         "expected 'config' section");
+  expect(static_cast<bool>(in >> config.rinc.lut_inputs >> levels >>
+                           total_dts >> config.n_classes >>
+                           config.output.quant_bits),
+         "truncated config section");
+  config.rinc.levels = levels;
+  config.rinc.total_dts = total_dts;
+  expect(config.rinc.lut_inputs >= 1 && config.rinc.lut_inputs <= 16,
+         "config P out of range");
+  expect(config.n_classes >= 1 && config.n_classes <= (std::size_t{1} << 20),
+         "config class count out of range");
+  expect(config.output.quant_bits >= 1 && config.output.quant_bits <= 24,
+         "config quantizer bits out of range");
+
+  QuantizerParams quantizer;
+  expect(static_cast<bool>(in >> token) && token == "quantizer",
+         "expected 'quantizer' section");
+  expect(static_cast<bool>(in >> quantizer.bits >> quantizer.min_value >>
+                           quantizer.max_value),
+         "truncated quantizer section");
+  expect(quantizer.bits == config.output.quant_bits,
+         "quantizer/config bit mismatch");
+
+  const std::size_t n_modules = config.n_classes * config.rinc.lut_inputs;
+  std::vector<RincModule> modules;
+  modules.reserve(n_modules);
+  for (std::size_t m = 0; m < n_modules; ++m) {
+    std::size_t index = 0;
+    expect(static_cast<bool>(in >> token >> index) && token == "module" &&
+               index == m,
+           "module records out of order");
+    modules.push_back(load_module(in));
+  }
+
+  std::vector<SparseOutputNeuron> output(config.n_classes);
+  const std::size_t n_combos = std::size_t{1} << config.rinc.lut_inputs;
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    std::size_t index = 0;
+    SparseOutputNeuron& neuron = output[c];
+    expect(static_cast<bool>(in >> token >> index >> neuron.bias) &&
+               token == "output" && index == c,
+           "output records out of order");
+    neuron.input_modules.resize(config.rinc.lut_inputs);
+    neuron.weights.resize(config.rinc.lut_inputs);
+    neuron.codes.resize(n_combos);
+    for (auto& m : neuron.input_modules) {
+      expect(static_cast<bool>(in >> m), "truncated output wiring");
+      expect(m < n_modules, "output wiring references a missing module");
+    }
+    for (auto& w : neuron.weights) {
+      expect(static_cast<bool>(in >> w), "truncated output weights");
+    }
+    for (auto& code : neuron.codes) {
+      expect(static_cast<bool>(in >> code), "truncated output codes");
+      expect(code < quantizer.levels(), "output code beyond quantizer range");
+    }
+  }
+
+  return PoetBin::from_parts(std::move(config), std::move(modules),
+                             std::move(output), quantizer);
+}
+
 }  // namespace
+
+const char* model_io_error_kind_name(ModelIoError::Kind kind) {
+  switch (kind) {
+    case ModelIoError::Kind::kFileNotFound: return "file-not-found";
+    case ModelIoError::Kind::kVersionMismatch: return "version-mismatch";
+    case ModelIoError::Kind::kCorruptSection: return "corrupt-section";
+    case ModelIoError::Kind::kWriteFailed: return "write-failed";
+  }
+  return "unknown";
+}
 
 void save_model(const PoetBin& model, std::ostream& out) {
   out << "poetbin-model v1\n";
@@ -95,75 +211,41 @@ void save_model(const PoetBin& model, std::ostream& out) {
   }
 }
 
-PoetBin load_model(std::istream& in) {
-  std::string token;
-  std::string version;
-  POETBIN_CHECK(static_cast<bool>(in >> token >> version));
-  POETBIN_CHECK_MSG(token == "poetbin-model" && version == "v1",
-                    "unrecognised model file header");
-
-  PoetBinConfig config;
-  std::size_t levels = 0;
-  std::size_t total_dts = 0;
-  POETBIN_CHECK(static_cast<bool>(in >> token));
-  POETBIN_CHECK(token == "config");
-  POETBIN_CHECK(static_cast<bool>(
-      in >> config.rinc.lut_inputs >> levels >> total_dts >>
-      config.n_classes >> config.output.quant_bits));
-  config.rinc.levels = levels;
-  config.rinc.total_dts = total_dts;
-
-  QuantizerParams quantizer;
-  POETBIN_CHECK(static_cast<bool>(in >> token));
-  POETBIN_CHECK(token == "quantizer");
-  POETBIN_CHECK(static_cast<bool>(
-      in >> quantizer.bits >> quantizer.min_value >> quantizer.max_value));
-  POETBIN_CHECK_MSG(quantizer.bits == config.output.quant_bits,
-                    "quantizer/config bit mismatch");
-
-  const std::size_t n_modules = config.n_classes * config.rinc.lut_inputs;
-  std::vector<RincModule> modules;
-  modules.reserve(n_modules);
-  for (std::size_t m = 0; m < n_modules; ++m) {
-    std::size_t index = 0;
-    POETBIN_CHECK(static_cast<bool>(in >> token >> index));
-    POETBIN_CHECK_MSG(token == "module" && index == m,
-                      "module records out of order");
-    modules.push_back(load_module(in));
+IoResult<PoetBin> read_model(std::istream& in) {
+  try {
+    return parse_model(in);
+  } catch (const ParseFailure& failure) {
+    return failure.error;
   }
-
-  std::vector<SparseOutputNeuron> output(config.n_classes);
-  const std::size_t n_combos = std::size_t{1} << config.rinc.lut_inputs;
-  for (std::size_t c = 0; c < config.n_classes; ++c) {
-    std::size_t index = 0;
-    SparseOutputNeuron& neuron = output[c];
-    POETBIN_CHECK(static_cast<bool>(in >> token >> index >> neuron.bias));
-    POETBIN_CHECK_MSG(token == "output" && index == c,
-                      "output records out of order");
-    neuron.input_modules.resize(config.rinc.lut_inputs);
-    neuron.weights.resize(config.rinc.lut_inputs);
-    neuron.codes.resize(n_combos);
-    for (auto& m : neuron.input_modules) POETBIN_CHECK(static_cast<bool>(in >> m));
-    for (auto& w : neuron.weights) POETBIN_CHECK(static_cast<bool>(in >> w));
-    for (auto& code : neuron.codes) POETBIN_CHECK(static_cast<bool>(in >> code));
-  }
-
-  return PoetBin::from_parts(std::move(config), std::move(modules),
-                             std::move(output), quantizer);
 }
 
-bool save_model_file(const PoetBin& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  save_model(model, out);
-  return static_cast<bool>(out);
-}
-
-bool load_model_file(PoetBin& model, const std::string& path) {
+IoResult<PoetBin> read_model_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return false;
-  model = load_model(in);
-  return true;
+  if (!in) {
+    return ModelIoError{ModelIoError::Kind::kFileNotFound,
+                        "cannot open '" + path + "' for reading"};
+  }
+  IoResult<PoetBin> result = read_model(in);
+  if (!result.ok()) {
+    return ModelIoError{result.error().kind,
+                        path + ": " + result.error().message};
+  }
+  return result;
+}
+
+IoStatus write_model_file(const PoetBin& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot open '" + path + "' for writing"};
+  }
+  save_model(model, out);
+  out.flush();
+  if (!out) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "write to '" + path + "' failed"};
+  }
+  return IoStatus();
 }
 
 }  // namespace poetbin

@@ -1,9 +1,11 @@
-// Plain-text serialization of trained models.
+// Plain-text serialization of trained models, with typed I/O errors.
 //
 // A trained PoET-BiN classifier is just LUT contents and wiring — a few
 // kilobytes — so a human-readable line format is both debuggable and
 // diff-friendly. The format is versioned; loaders validate structure and
-// abort on malformed input rather than constructing broken models.
+// return a typed ModelIoError on malformed input rather than constructing
+// broken models (or aborting the process, as earlier revisions did — a
+// serving worker must survive a bad model file on disk).
 //
 //   poetbin-model v1
 //   config <P> <L> <total_dts> <n_classes> <qbits>
@@ -16,18 +18,101 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <variant>
 
 #include "core/poetbin.h"
 #include "core/rinc.h"
+#include "util/check.h"
 
 namespace poetbin {
 
-void save_model(const PoetBin& model, std::ostream& out);
-// Aborts (POETBIN_CHECK) on malformed input.
-PoetBin load_model(std::istream& in);
+// What went wrong in a model load/save. The kind is the dispatchable part
+// (a rollout script retries kFileNotFound but pages on kCorruptSection);
+// the message carries the human detail ("bad leaf arity", the path, ...).
+struct ModelIoError {
+  enum class Kind {
+    kFileNotFound,     // path cannot be opened for reading
+    kVersionMismatch,  // not a poetbin-model header / unsupported version
+    kCorruptSection,   // structurally invalid section contents
+    kWriteFailed,      // path cannot be opened/flushed for writing
+  };
 
-// Convenience file wrappers; return false if the file cannot be opened.
-bool save_model_file(const PoetBin& model, const std::string& path);
-bool load_model_file(PoetBin& model, const std::string& path);
+  Kind kind = Kind::kCorruptSection;
+  std::string message;
+};
+
+const char* model_io_error_kind_name(ModelIoError::Kind kind);
+
+// expected-style carrier of a loaded T or a ModelIoError. Kept minimal on
+// purpose (std::expected is C++23): value access on an error — or error
+// access on a value — is a contract violation and aborts.
+template <typename T>
+class [[nodiscard]] IoResult {
+ public:
+  IoResult(T value) : state_(std::move(value)) {}
+  IoResult(ModelIoError error) : state_(std::move(error)) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    POETBIN_CHECK_MSG(ok(), "IoResult::value() on an error result");
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    POETBIN_CHECK_MSG(ok(), "IoResult::value() on an error result");
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    POETBIN_CHECK_MSG(ok(), "IoResult::value() on an error result");
+    return std::get<T>(std::move(state_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  const ModelIoError& error() const {
+    POETBIN_CHECK_MSG(!ok(), "IoResult::error() on a success result");
+    return std::get<ModelIoError>(state_);
+  }
+
+ private:
+  std::variant<T, ModelIoError> state_;
+};
+
+// Success-or-ModelIoError for operations with no payload (saves).
+class [[nodiscard]] IoStatus {
+ public:
+  IoStatus() = default;  // success
+  IoStatus(ModelIoError error) : failed_(true), error_(std::move(error)) {}
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const ModelIoError& error() const {
+    POETBIN_CHECK_MSG(failed_, "IoStatus::error() on a success status");
+    return error_;
+  }
+
+ private:
+  bool failed_ = false;
+  ModelIoError error_;
+};
+
+void save_model(const PoetBin& model, std::ostream& out);
+
+// Non-aborting parse: returns the model or a typed error
+// (kVersionMismatch for a bad header, kCorruptSection for anything
+// structurally wrong after it).
+IoResult<PoetBin> read_model(std::istream& in);
+
+// File wrappers. read_model_file adds kFileNotFound when the path cannot
+// be opened; write_model_file reports kWriteFailed when it cannot be
+// written or flushed.
+IoResult<PoetBin> read_model_file(const std::string& path);
+IoStatus write_model_file(const PoetBin& model, const std::string& path);
 
 }  // namespace poetbin

@@ -40,7 +40,8 @@ bool MicroBatcher::try_close(const std::shared_ptr<Batch>& batch) {
   return true;
 }
 
-void MicroBatcher::dispatch(const std::shared_ptr<Batch>& batch) {
+void MicroBatcher::dispatch(const std::shared_ptr<Batch>& batch,
+                            bool timed_out) {
   // The batch is exclusively owned by its dispatcher once try_close
   // succeeded, so packing needs no lock — only the word pass serializes,
   // letting window N+1 pack while window N's predict is still in flight.
@@ -82,8 +83,8 @@ void MicroBatcher::dispatch(const std::shared_ptr<Batch>& batch) {
     std::lock_guard<std::mutex> lock(mu_);
     batch->results = std::move(predictions);
     batch->done = true;
-    batches_dispatched_ += 1;
-    examples_served_ += batch->examples.size();
+    stats_.record_window(batch->examples.size(), options_.max_batch, timed_out);
+    stats_.requests += batch->examples.size();
   }
   batch->cv.notify_all();
 }
@@ -98,7 +99,7 @@ int MicroBatcher::await(const std::shared_ptr<Batch>& batch, std::size_t index,
           std::cv_status::timeout) {
         if (!batch->done && !batch->closed && try_close(batch)) {
           lock.unlock();
-          dispatch(batch);
+          dispatch(batch, /*timed_out=*/true);
           lock.lock();
         }
         break;
@@ -147,14 +148,9 @@ void MicroBatcher::flush() {
   dispatch(batch);
 }
 
-std::size_t MicroBatcher::examples_served() const {
+ServeStats MicroBatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return examples_served_;
-}
-
-std::size_t MicroBatcher::batches_dispatched() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batches_dispatched_;
+  return stats_;
 }
 
 }  // namespace poetbin

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "serve/runtime.h"
+#include "serve/serve_stats.h"
 #include "util/bitvector.h"
 
 namespace poetbin {
@@ -74,9 +75,12 @@ class MicroBatcher {
   // Dispatches the open partial window, if any. Called by the destructor.
   void flush();
 
-  // Serving counters (monotonic; racing reads see a consistent snapshot).
-  std::size_t examples_served() const;
-  std::size_t batches_dispatched() const;
+  // Snapshot of the serving counters (serve/serve_stats.h): requests,
+  // dispatched windows, leader-timeout dispatches and the window-fill
+  // histogram. Monotonic; racing reads see a consistent snapshot. The
+  // network-layer fields (errors, connections) stay zero here — the
+  // NetServer fills them in its own snapshot.
+  ServeStats stats() const;
 
  private:
   struct Batch {
@@ -100,8 +104,10 @@ class MicroBatcher {
   // Marks `batch` closed and detaches it from the open slot. Returns true
   // when the caller claimed the (single) dispatch. Requires mu_.
   bool try_close(const std::shared_ptr<Batch>& batch);
-  // Packs, predicts and publishes results for a closed batch.
-  void dispatch(const std::shared_ptr<Batch>& batch);
+  // Packs, predicts and publishes results for a closed batch. `timed_out`
+  // marks a leader-timeout dispatch (a partial window that went out because
+  // its oldest blocking request ran out of max_wait) for the stats.
+  void dispatch(const std::shared_ptr<Batch>& batch, bool timed_out = false);
   // Blocks until `batch` is done, dispatching it on timeout if nobody else
   // has. Returns the result at `index`.
   int await(const std::shared_ptr<Batch>& batch, std::size_t index,
@@ -110,11 +116,10 @@ class MicroBatcher {
   const Runtime* runtime_;
   MicroBatcherOptions options_;
 
-  mutable std::mutex mu_;   // guards open_, batch states and the counters
+  mutable std::mutex mu_;   // guards open_, batch states and the stats
   std::mutex dispatch_mu_;  // serializes Runtime::predict calls
   std::shared_ptr<Batch> open_;
-  std::size_t examples_served_ = 0;
-  std::size_t batches_dispatched_ = 0;
+  ServeStats stats_;
 
   friend class Ticket;
 };

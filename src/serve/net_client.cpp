@@ -1,0 +1,176 @@
+#include "serve/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace poetbin {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+NetClient::~NetClient() { close(); }
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rx_(std::move(other.rx_)),
+      rx_offset_(other.rx_offset_) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+    rx_offset_ = other.rx_offset_;
+  }
+  return *this;
+}
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  rx_offset_ = 0;
+}
+
+bool NetClient::connect(const std::string& host, std::uint16_t port,
+                        std::chrono::milliseconds timeout,
+                        std::string* error) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad address '" + host + "'";
+    return false;
+  }
+  const auto deadline = Clock::now() + timeout;
+  int last_errno = 0;
+  do {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_errno = errno;
+      break;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return true;
+    }
+    last_errno = errno;
+    ::close(fd);
+    // A server that was just forked may not be listening yet; back off
+    // briefly and retry until the deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (Clock::now() < deadline);
+  if (error) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(last_errno);
+  }
+  return false;
+}
+
+bool NetClient::send_bytes(const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t wrote = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool NetClient::read_responses(std::size_t n, std::vector<wire::Response>* out) {
+  while (out->size() < n) {
+    wire::Response response;
+    const wire::FrameResult result = wire::decode_response(
+        rx_.data(), rx_.size(), &rx_offset_, &response);
+    if (result == wire::FrameResult::kFrame) {
+      out->push_back(response);
+      continue;
+    }
+    if (result == wire::FrameResult::kReject) return false;
+    // Need more bytes. Compact first so the buffer stays small.
+    if (rx_offset_ > 0) {
+      rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(
+                                               rx_offset_));
+      rx_offset_ = 0;
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) return false;  // server closed mid-burst
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    rx_.insert(rx_.end(), chunk, chunk + got);
+  }
+  return true;
+}
+
+bool NetClient::predict(const BitVector& bits, wire::Response* response) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_predict_request(bits, &frame);
+  if (!send_bytes(frame.data(), frame.size())) return false;
+  std::vector<wire::Response> responses;
+  if (!read_responses(1, &responses)) return false;
+  *response = responses[0];
+  return true;
+}
+
+bool NetClient::info(wire::Response* response) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_info_request(&frame);
+  if (!send_bytes(frame.data(), frame.size())) return false;
+  std::vector<wire::Response> responses;
+  if (!read_responses(1, &responses)) return false;
+  *response = responses[0];
+  return true;
+}
+
+bool NetClient::query_stats(wire::Response* response) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_stats_request(&frame);
+  if (!send_bytes(frame.data(), frame.size())) return false;
+  std::vector<wire::Response> responses;
+  if (!read_responses(1, &responses)) return false;
+  *response = responses[0];
+  return true;
+}
+
+bool NetClient::predict_pipelined(
+    const std::vector<const BitVector*>& requests,
+    std::vector<wire::Response>* responses) {
+  std::vector<std::uint8_t> burst;
+  for (const BitVector* bits : requests) {
+    wire::encode_predict_request(*bits, &burst);
+  }
+  if (!send_bytes(burst.data(), burst.size())) return false;
+  responses->clear();
+  return read_responses(requests.size(), responses);
+}
+
+bool NetClient::roundtrip_raw(const std::vector<std::uint8_t>& bytes,
+                              std::size_t n_responses,
+                              std::vector<wire::Response>* responses) {
+  if (!send_bytes(bytes.data(), bytes.size())) return false;
+  responses->clear();
+  return read_responses(n_responses, responses);
+}
+
+}  // namespace poetbin

@@ -1,0 +1,74 @@
+// Blocking wire-protocol client — the test/bench/load-harness counterpart
+// of NetServer.
+//
+// The client deliberately supports *pipelining*: queue a burst of predict
+// requests, ship them in one write, then read the burst's responses back in
+// order. A strict one-request-at-a-time client caps a connection at one
+// in-flight example, which caps the server's micro-batch window fill at the
+// connection count; pipelined bursts are how a handful of client threads
+// keep 64-wide windows full.
+//
+//   NetClient client;
+//   if (!client.connect("127.0.0.1", port)) ...;
+//   wire::Response r;
+//   client.predict(bits, &r);          // one-shot
+//   client.predict_pipelined(burst, &responses);  // burst of frames
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+
+  // Connects to host:port, retrying refused connections until `timeout`
+  // elapses (a just-forked server may not be accepting yet).
+  bool connect(const std::string& host, std::uint16_t port,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(5000),
+               std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One-shot request/response round trips. Return false on transport or
+  // framing failure; protocol-level rejections come back as the response's
+  // status, not a false return.
+  bool predict(const BitVector& bits, wire::Response* response);
+  bool info(wire::Response* response);
+  bool query_stats(wire::Response* response);
+
+  // Pipelined burst: encodes every request, sends them in one write, then
+  // reads exactly requests.size() responses back in order.
+  bool predict_pipelined(const std::vector<const BitVector*>& requests,
+                         std::vector<wire::Response>* responses);
+
+  // Raw frame escape hatch for protocol tests: ships arbitrary bytes and
+  // reads `n_responses` frames back.
+  bool roundtrip_raw(const std::vector<std::uint8_t>& bytes,
+                     std::size_t n_responses,
+                     std::vector<wire::Response>* responses);
+
+ private:
+  bool send_bytes(const std::uint8_t* data, std::size_t n);
+  bool read_responses(std::size_t n, std::vector<wire::Response>* out);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rx_;
+  std::size_t rx_offset_ = 0;
+};
+
+}  // namespace poetbin

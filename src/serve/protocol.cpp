@@ -1,0 +1,248 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace poetbin {
+namespace wire {
+
+namespace {
+
+void put_u16(std::uint16_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v |= std::uint32_t{p[b]} << (8 * b);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= std::uint64_t{p[b]} << (8 * b);
+  return v;
+}
+
+// Patches the length prefix once the payload size is known: every encoder
+// reserves the 4 header bytes up front, appends the payload, then seals.
+std::size_t seal_frame(std::size_t header_at, std::vector<std::uint8_t>* out) {
+  const std::size_t payload = out->size() - header_at - kFrameHeaderSize;
+  for (int b = 0; b < 4; ++b) {
+    (*out)[header_at + b] =
+        static_cast<std::uint8_t>(static_cast<std::uint32_t>(payload) >>
+                                  (8 * b));
+  }
+  return out->size() - header_at;
+}
+
+std::size_t open_frame(std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = out->size();
+  out->resize(out->size() + kFrameHeaderSize);
+  return header_at;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kOversized: return "oversized";
+    case Status::kWrongFeatureWidth: return "wrong-feature-width";
+    case Status::kUnknownType: return "unknown-type";
+    case Status::kEmptyInput: return "empty-input";
+  }
+  return "unknown";
+}
+
+std::size_t encode_predict_request(const BitVector& bits,
+                                   std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kPredict));
+  put_u32(static_cast<std::uint32_t>(bits.size()), out);
+  // Pack LSB-first bytes straight out of the little-endian word layout.
+  const std::size_t n_bytes = (bits.size() + 7) / 8;
+  const std::uint64_t* words = bits.words();
+  for (std::size_t j = 0; j < n_bytes; ++j) {
+    out->push_back(
+        static_cast<std::uint8_t>(words[j >> 3] >> ((j & 7) * 8)));
+  }
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_info_request(std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kInfo));
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_stats_request(std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kStats));
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_predict_response(Status status, std::uint16_t prediction,
+                                    std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kPredict));
+  out->push_back(static_cast<std::uint8_t>(status));
+  if (status == Status::kOk) put_u16(prediction, out);
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_info_response(std::uint32_t n_features,
+                                 std::uint32_t n_classes,
+                                 std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kInfo));
+  out->push_back(static_cast<std::uint8_t>(Status::kOk));
+  put_u32(n_features, out);
+  put_u32(n_classes, out);
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_stats_response(const ServeStats& stats,
+                                  std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kStats));
+  out->push_back(static_cast<std::uint8_t>(Status::kOk));
+  put_u64(stats.requests, out);
+  put_u64(stats.batches, out);
+  put_u64(stats.timeouts, out);
+  put_u64(stats.errors, out);
+  put_u64(stats.connections, out);
+  for (const std::uint64_t count : stats.window_fill) put_u64(count, out);
+  return seal_frame(header_at, out);
+}
+
+FrameResult decode_request(const std::uint8_t* buffer, std::size_t size,
+                           std::size_t* offset, Request* request,
+                           Status* error, bool* fatal) {
+  *fatal = false;
+  if (size - *offset < kFrameHeaderSize) return FrameResult::kNeedMore;
+  const std::uint32_t length = get_u32(buffer + *offset);
+  if (length > kMaxFramePayload) {
+    // An absurd declared length cannot be skipped (the bytes may never
+    // arrive) — the stream is poisoned; report and let the caller close.
+    *error = Status::kOversized;
+    *fatal = true;
+    *offset = size;
+    return FrameResult::kReject;
+  }
+  if (size - *offset - kFrameHeaderSize < length) return FrameResult::kNeedMore;
+  const std::uint8_t* payload = buffer + *offset + kFrameHeaderSize;
+  *offset += kFrameHeaderSize + length;  // frame consumed either way
+
+  if (length < 1) {
+    *error = Status::kBadFrame;
+    return FrameResult::kReject;
+  }
+  const std::uint8_t type = payload[0];
+  if (type == static_cast<std::uint8_t>(MsgType::kInfo) ||
+      type == static_cast<std::uint8_t>(MsgType::kStats)) {
+    if (length != 1) {
+      *error = Status::kBadFrame;
+      return FrameResult::kReject;
+    }
+    request->type = static_cast<MsgType>(type);
+    request->bits = BitVector();
+    return FrameResult::kFrame;
+  }
+  if (type != static_cast<std::uint8_t>(MsgType::kPredict)) {
+    *error = Status::kUnknownType;
+    return FrameResult::kReject;
+  }
+  if (length < 1 + 4) {
+    *error = Status::kBadFrame;
+    return FrameResult::kReject;
+  }
+  const std::uint32_t n_bits = get_u32(payload + 1);
+  if (n_bits == 0) {
+    *error = Status::kEmptyInput;
+    return FrameResult::kReject;
+  }
+  const std::size_t n_bytes = (std::size_t{n_bits} + 7) / 8;
+  if (length != 1 + 4 + n_bytes) {
+    *error = Status::kBadFrame;
+    return FrameResult::kReject;
+  }
+  BitVector bits(n_bits);
+  std::uint64_t* words = bits.words();
+  for (std::size_t j = 0; j < n_bytes; ++j) {
+    words[j >> 3] |= std::uint64_t{payload[1 + 4 + j]} << ((j & 7) * 8);
+  }
+  // Ignore stray padding bits past n_bits in the final byte: the packed
+  // form addresses whole bytes, the BitVector invariant wants clean tails.
+  words[bits.word_count() - 1] &= BitVector::tail_word_mask(n_bits);
+  request->type = MsgType::kPredict;
+  request->bits = std::move(bits);
+  return FrameResult::kFrame;
+}
+
+FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
+                            std::size_t* offset, Response* response) {
+  if (size - *offset < kFrameHeaderSize) return FrameResult::kNeedMore;
+  const std::uint32_t length = get_u32(buffer + *offset);
+  if (length > kMaxFramePayload) {
+    *offset = size;
+    return FrameResult::kReject;
+  }
+  if (size - *offset - kFrameHeaderSize < length) return FrameResult::kNeedMore;
+  const std::uint8_t* payload = buffer + *offset + kFrameHeaderSize;
+  *offset += kFrameHeaderSize + length;
+
+  if (length < 2) return FrameResult::kReject;
+  response->type = static_cast<MsgType>(payload[0]);
+  response->status = static_cast<Status>(payload[1]);
+  if (response->status != Status::kOk) {
+    return length == 2 ? FrameResult::kFrame : FrameResult::kReject;
+  }
+  switch (response->type) {
+    case MsgType::kPredict:
+      if (length != 2 + 2) return FrameResult::kReject;
+      response->prediction = get_u16(payload + 2);
+      return FrameResult::kFrame;
+    case MsgType::kInfo:
+      if (length != 2 + 4 + 4) return FrameResult::kReject;
+      response->n_features = get_u32(payload + 2);
+      response->n_classes = get_u32(payload + 2 + 4);
+      return FrameResult::kFrame;
+    case MsgType::kStats: {
+      const std::size_t want = 2 + 8 * (5 + ServeStats::kFillBuckets);
+      if (length != want) return FrameResult::kReject;
+      const std::uint8_t* p = payload + 2;
+      response->stats = ServeStats();
+      response->stats.requests = get_u64(p);
+      response->stats.batches = get_u64(p + 8);
+      response->stats.timeouts = get_u64(p + 16);
+      response->stats.errors = get_u64(p + 24);
+      response->stats.connections = get_u64(p + 32);
+      for (std::size_t b = 0; b < ServeStats::kFillBuckets; ++b) {
+        response->stats.window_fill[b] = get_u64(p + 40 + 8 * b);
+      }
+      return FrameResult::kFrame;
+    }
+  }
+  return FrameResult::kReject;
+}
+
+}  // namespace wire
+}  // namespace poetbin

@@ -1,0 +1,129 @@
+// Wire protocol for the network serving front end.
+//
+// A deliberately tiny length-prefixed binary protocol — the request path of
+// a PoET-BiN server moves a few hundred *bits* per prediction, so framing
+// overhead matters more than extensibility. Everything is little-endian.
+//
+//   frame    := u32 payload_length, payload (payload_length bytes)
+//   payload  := u8 type, body
+//
+// Request bodies by type:
+//   kPredict : u32 n_bits, ceil(n_bits / 8) bytes of input bits packed
+//              LSB-first (bit i of the input lives at byte i/8, bit i%8 —
+//              the BitVector word layout truncated to bytes)
+//   kInfo    : empty — asks the server for the model's feature width and
+//              class count
+//   kStats   : empty — asks the worker for its ServeStats snapshot
+//
+// Response payloads echo the request type:
+//   payload  := u8 type, u8 status, body
+//   kPredict : u16 predicted class (only when status == kOk)
+//   kInfo    : u32 n_features, u32 n_classes
+//   kStats   : 5 + kFillBuckets u64 counters (requests, batches, timeouts,
+//              errors, connections, window_fill[0..])
+//
+// Error handling is part of the contract: malformed frames (truncated,
+// oversized, zero-bit inputs, wrong feature width, unknown type) get a
+// clean error status back on the same connection — never a crash, never a
+// silent drop. The encode/decode helpers below work on byte buffers so the
+// whole state machine is testable (and fuzzable) without a socket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/serve_stats.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+namespace wire {
+
+// Payload type tag (first byte of every payload, both directions).
+enum class MsgType : std::uint8_t {
+  kPredict = 1,
+  kInfo = 2,
+  kStats = 3,
+};
+
+// Response status codes. Anything but kOk means the request was rejected;
+// the connection stays usable (protocol errors are per-frame, not fatal).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,          // payload too short / inconsistent lengths
+  kOversized = 2,         // declared length beyond kMaxFramePayload
+  kWrongFeatureWidth = 3, // n_bits does not match the served model
+  kUnknownType = 4,       // unrecognised MsgType tag
+  kEmptyInput = 5,        // predict request with zero feature bits
+};
+
+const char* status_name(Status status);
+
+// Upper bound on a payload; a declared length beyond this is rejected
+// before any allocation (1 MiB >> any plausible packed input vector).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+// Bytes of framing before the payload.
+inline constexpr std::size_t kFrameHeaderSize = 4;
+
+// --- encoding (appends to `out`, returns the frame's total size) ---------
+
+// Request framing.
+std::size_t encode_predict_request(const BitVector& bits,
+                                   std::vector<std::uint8_t>* out);
+std::size_t encode_info_request(std::vector<std::uint8_t>* out);
+std::size_t encode_stats_request(std::vector<std::uint8_t>* out);
+
+// Response framing.
+std::size_t encode_predict_response(Status status, std::uint16_t prediction,
+                                    std::vector<std::uint8_t>* out);
+std::size_t encode_info_response(std::uint32_t n_features,
+                                 std::uint32_t n_classes,
+                                 std::vector<std::uint8_t>* out);
+std::size_t encode_stats_response(const ServeStats& stats,
+                                  std::vector<std::uint8_t>* out);
+
+// --- decoding -------------------------------------------------------------
+
+// One parsed request. For kPredict, `bits` holds the unpacked input.
+struct Request {
+  MsgType type = MsgType::kPredict;
+  BitVector bits;
+};
+
+// Outcome of pulling one frame off a byte buffer.
+enum class FrameResult {
+  kFrame,       // a complete frame was consumed; see the out-params
+  kNeedMore,    // buffer holds only a partial frame — read more bytes
+  kReject,      // malformed frame; *error says why. The frame's bytes were
+                // consumed when the length prefix was intact (the caller
+                // can answer with an error response and keep the
+                // connection); an oversized declared length poisons the
+                // stream and the caller should close after responding.
+};
+
+// Attempts to parse one request frame from buffer[*offset..size). On
+// kFrame/kReject advances *offset past the consumed bytes; on kNeedMore
+// leaves it untouched. `fatal` (kReject only) signals the stream can no
+// longer be re-synchronised (oversized declared length).
+FrameResult decode_request(const std::uint8_t* buffer, std::size_t size,
+                           std::size_t* offset, Request* request,
+                           Status* error, bool* fatal);
+
+// Parsed response, for clients. Exactly one of the sections is meaningful,
+// selected by `type` (and only when status == kOk).
+struct Response {
+  MsgType type = MsgType::kPredict;
+  Status status = Status::kOk;
+  std::uint16_t prediction = 0;  // kPredict
+  std::uint32_t n_features = 0;  // kInfo
+  std::uint32_t n_classes = 0;   // kInfo
+  ServeStats stats;              // kStats
+};
+
+FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
+                            std::size_t* offset, Response* response);
+
+}  // namespace wire
+}  // namespace poetbin

@@ -29,15 +29,15 @@ Runtime Runtime::train(const BitMatrix& features,
                  options);
 }
 
-std::optional<Runtime> Runtime::load(const std::string& path,
-                                     RuntimeOptions options) {
-  PoetBin model;
-  if (!load_model_file(model, path)) return std::nullopt;
-  return Runtime(std::move(model), options);
+Runtime::LoadResult Runtime::load(const std::string& path,
+                                  RuntimeOptions options) {
+  IoResult<PoetBin> model = read_model_file(path);
+  if (!model.ok()) return model.error();
+  return Runtime(std::move(model).value(), options);
 }
 
-bool Runtime::save(const std::string& path) const {
-  return save_model_file(model_, path);
+IoStatus Runtime::save(const std::string& path) const {
+  return write_model_file(model_, path);
 }
 
 std::vector<int> Runtime::predict(const BitMatrix& features) const {

@@ -7,7 +7,9 @@
 // resolves the SIMD word backend once, and keeps a single persistent
 // BatchEngine alive across requests, behind a narrow request API.
 //
-//   Runtime rt = *Runtime::load("model.txt", {.threads = 4});
+//   Runtime::LoadResult loaded = Runtime::load("model.txt", {.threads = 4});
+//   if (!loaded.ok()) die(loaded.error().message);
+//   Runtime rt = std::move(loaded).value();
 //   std::vector<int> preds = rt.predict(test_features);   // fused word pass
 //   int one = rt.predict_one(example_bits);               // scalar path
 //
@@ -38,6 +40,7 @@
 
 #include "core/batch_eval.h"
 #include "core/poetbin.h"
+#include "core/serialize.h"
 #include "util/bit_matrix.h"
 #include "util/word_backend.h"
 
@@ -76,14 +79,15 @@ class Runtime {
                        const PoetBinConfig& config,
                        RuntimeOptions options = {});
 
-  // Deserialize a saved model (core/serialize.h) into a Runtime. Returns
-  // nullopt when the file cannot be opened; aborts (POETBIN_CHECK) on
-  // malformed contents, matching load_model.
-  static std::optional<Runtime> load(const std::string& path,
-                                     RuntimeOptions options = {});
+  // Deserialize a saved model (core/serialize.h) into a Runtime. The typed
+  // error distinguishes a missing file from a version mismatch from corrupt
+  // section contents (kind + message) — malformed bytes never abort, so a
+  // serving worker survives a bad model on disk.
+  using LoadResult = IoResult<Runtime>;
+  static LoadResult load(const std::string& path, RuntimeOptions options = {});
 
-  // Serialize the owned model; false when the file cannot be written.
-  bool save(const std::string& path) const;
+  // Serialize the owned model; the error carries the failing path.
+  IoStatus save(const std::string& path) const;
 
   Runtime(Runtime&&) = default;
   Runtime& operator=(Runtime&&) = default;

@@ -1,0 +1,40 @@
+#include "serve/serve_stats.h"
+
+#include "util/check.h"
+
+namespace poetbin {
+
+std::size_t ServeStats::fill_bucket(std::size_t batch_size,
+                                    std::size_t max_batch) {
+  POETBIN_CHECK(batch_size >= 1 && max_batch >= 1);
+  if (batch_size >= max_batch) return kFillBuckets - 1;
+  // Ceiling of batch_size * kFillBuckets / max_batch, shifted to 0-based:
+  // the bucket whose half-open fraction range contains batch_size/max_batch.
+  return (batch_size * kFillBuckets + max_batch - 1) / max_batch - 1;
+}
+
+void ServeStats::record_window(std::size_t batch_size, std::size_t max_batch,
+                               bool timed_out) {
+  batches += 1;
+  if (timed_out) timeouts += 1;
+  window_fill[fill_bucket(batch_size, max_batch)] += 1;
+}
+
+ServeStats& ServeStats::merge(const ServeStats& other) {
+  requests += other.requests;
+  batches += other.batches;
+  timeouts += other.timeouts;
+  errors += other.errors;
+  connections += other.connections;
+  for (std::size_t b = 0; b < kFillBuckets; ++b) {
+    window_fill[b] += other.window_fill[b];
+  }
+  return *this;
+}
+
+double ServeStats::mean_window_fill() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(requests) / static_cast<double>(batches);
+}
+
+}  // namespace poetbin

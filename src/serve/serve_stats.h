@@ -1,0 +1,55 @@
+// Uniform serving counters.
+//
+// Every serving front end in the tree — the in-process MicroBatcher and the
+// TCP NetServer on top of it — exposes the same ServeStats snapshot instead
+// of ad-hoc per-class counters, so benches, the load generator and the CI
+// smoke all read one shape: how many requests were answered, how many
+// micro-batch windows were dispatched (and how full they were), how many
+// windows went out on a leader timeout rather than full, and how many
+// protocol/config errors and connections a network front end saw.
+//
+// A ServeStats is a plain value: producers keep one under their own lock
+// and hand out copies; shards merge() their workers' snapshots.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace poetbin {
+
+struct ServeStats {
+  // Window-fill histogram resolution: bucket i counts dispatched windows
+  // whose fill fraction (examples / max_batch) landed in
+  // (i/kFillBuckets, (i+1)/kFillBuckets]; a full window lands in the last
+  // bucket, a single example in a 64-wide window in the first.
+  static constexpr std::size_t kFillBuckets = 8;
+
+  std::uint64_t requests = 0;     // predictions returned
+  std::uint64_t batches = 0;      // micro-batch windows dispatched
+  std::uint64_t timeouts = 0;     // windows dispatched by leader timeout
+  std::uint64_t errors = 0;       // protocol/config errors (network layer)
+  std::uint64_t connections = 0;  // accepted connections (network layer)
+  std::array<std::uint64_t, kFillBuckets> window_fill{};
+
+  // Bucket index for a window of `batch_size` examples under `max_batch`.
+  static std::size_t fill_bucket(std::size_t batch_size,
+                                 std::size_t max_batch);
+
+  // Records one dispatched window: batches, the fill histogram, and
+  // timeouts when the dispatch was a leader-timeout partial. (requests is
+  // deliberately separate — a window's examples may be counted as they
+  // complete, not when the window closes.)
+  void record_window(std::size_t batch_size, std::size_t max_batch,
+                     bool timed_out);
+
+  // Element-wise sum, for aggregating worker shards.
+  ServeStats& merge(const ServeStats& other);
+
+  // Mean examples per dispatched window (0 when nothing dispatched).
+  double mean_window_fill() const;
+
+  bool operator==(const ServeStats& other) const = default;
+};
+
+}  // namespace poetbin

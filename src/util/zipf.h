@@ -1,0 +1,69 @@
+// O(1) approximate zipfian sampler (Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD '94) — the standard skewed
+// key-popularity model for serving load harnesses: a handful of hot keys
+// take most of the traffic, the long tail takes the rest.
+//
+//   Rng rng(seed);
+//   FastZipf zipf(rng.next_u64(), /*theta=*/0.99, /*n=*/10000);
+//   std::size_t key = zipf.next();   // in [0, n); 0 is the hottest key
+//
+// theta in [0, 1): 0 degenerates to uniform, values approaching 1 are
+// heavily skewed (0.99 is the YCSB default). Sampling costs two uniform
+// draws and a pow(); the per-distribution constants are precomputed once,
+// so thread-local instances are cheap to keep around.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace poetbin {
+
+class FastZipf {
+ public:
+  FastZipf(std::uint64_t seed, double theta, std::size_t n)
+      : rng_(seed), theta_(theta), n_(n) {
+    POETBIN_CHECK_MSG(n >= 1, "zipf needs a non-empty key space");
+    POETBIN_CHECK_MSG(theta >= 0.0 && theta < 1.0, "zipf theta must be in [0, 1)");
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_);
+  }
+
+  // Next key in [0, n); key 0 is the most popular.
+  std::size_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const std::size_t k = static_cast<std::size_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::size_t n, double theta) {
+    double sum = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      sum += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Rng rng_;
+  double theta_;
+  std::size_t n_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace poetbin

@@ -200,10 +200,11 @@ class BatchEnginePoetBin : public ::testing::Test {
 };
 
 TEST_F(BatchEnginePoetBin, RincOutputsMatchScalar) {
+  const BatchEngine engine(2);
   for (const std::size_t rows : {std::size_t{1}, std::size_t{64},
                                  std::size_t{129}, std::size_t{777}}) {
     const BitMatrix features = testing::random_bits(rows, 32, 43 + rows);
-    EXPECT_EQ(model_.rinc_outputs_batched(features, /*n_threads=*/2),
+    EXPECT_EQ(model_.rinc_outputs_batched(features, engine),
               model_.rinc_outputs(features))
         << rows << " rows";
   }
@@ -212,8 +213,10 @@ TEST_F(BatchEnginePoetBin, RincOutputsMatchScalar) {
 TEST_F(BatchEnginePoetBin, PredictionsMatchScalarIncludingTies) {
   const BitMatrix features = testing::random_bits(1017, 32, 47);
   const std::vector<int> scalar = model_.predict_dataset(features);
-  EXPECT_EQ(model_.predict_dataset_batched(features, /*n_threads=*/1), scalar);
-  EXPECT_EQ(model_.predict_dataset_batched(features, /*n_threads=*/4), scalar);
+  const BatchEngine inline_engine(1);
+  const BatchEngine threaded_engine(4);
+  EXPECT_EQ(model_.predict_dataset_batched(features, inline_engine), scalar);
+  EXPECT_EQ(model_.predict_dataset_batched(features, threaded_engine), scalar);
 }
 
 TEST_F(BatchEnginePoetBin, AccuracyMatchesScalar) {
@@ -223,14 +226,16 @@ TEST_F(BatchEnginePoetBin, AccuracyMatchesScalar) {
   for (auto& label : labels) {
     label = static_cast<int>(rng.next_index(config_.n_classes));
   }
-  EXPECT_DOUBLE_EQ(model_.accuracy_batched(features, labels, /*n_threads=*/3),
+  const BatchEngine engine(3);
+  EXPECT_DOUBLE_EQ(model_.accuracy_batched(features, labels, engine),
                    model_.accuracy(features, labels));
 }
 
 TEST_F(BatchEnginePoetBin, EmptyDataset) {
   const BitMatrix features(0, 32);
-  EXPECT_TRUE(model_.predict_dataset_batched(features).empty());
-  EXPECT_EQ(model_.accuracy_batched(features, {}), 0.0);
+  const BatchEngine engine(1);
+  EXPECT_TRUE(model_.predict_dataset_batched(features, engine).empty());
+  EXPECT_EQ(model_.accuracy_batched(features, {}, engine), 0.0);
 }
 
 // The engine documents "one dataset pass at a time"; since PR 3 that

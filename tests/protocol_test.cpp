@@ -1,0 +1,288 @@
+// The wire protocol's encode/decode helpers work on plain byte buffers, so
+// the whole framing state machine is testable without a socket: round trips,
+// split delivery, and every rejection path (truncated, oversized,
+// zero-length input, inconsistent lengths, unknown type) must come back as
+// a clean FrameResult — never a crash, never a silent desync.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_stats.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace poetbin {
+namespace wire {
+namespace {
+
+BitVector random_bits(std::size_t n_bits, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n_bits);
+  for (std::size_t w = 0; w < bits.word_count(); ++w) {
+    bits.words()[w] = rng.next_u64();
+  }
+  bits.mask_tail_word();
+  return bits;
+}
+
+// Decodes one request and expects a complete frame.
+Request expect_frame(const std::vector<std::uint8_t>& buffer,
+                     std::size_t* offset) {
+  Request request;
+  Status error = Status::kOk;
+  bool fatal = false;
+  EXPECT_EQ(decode_request(buffer.data(), buffer.size(), offset, &request,
+                           &error, &fatal),
+            FrameResult::kFrame);
+  EXPECT_FALSE(fatal);
+  return request;
+}
+
+// Decodes one request and expects a rejection with the given status.
+void expect_reject(const std::vector<std::uint8_t>& buffer, Status expected,
+                   bool expected_fatal = false) {
+  std::size_t offset = 0;
+  Request request;
+  Status error = Status::kOk;
+  bool fatal = false;
+  EXPECT_EQ(decode_request(buffer.data(), buffer.size(), &offset, &request,
+                           &error, &fatal),
+            FrameResult::kReject);
+  EXPECT_EQ(error, expected) << status_name(error);
+  EXPECT_EQ(fatal, expected_fatal);
+  // A non-fatal reject consumes exactly the bad frame, so the stream can
+  // re-synchronise on the next one.
+  if (!expected_fatal) {
+    EXPECT_EQ(offset, kFrameHeaderSize + static_cast<std::size_t>(
+                                             buffer[0] | (buffer[1] << 8) |
+                                             (buffer[2] << 16) |
+                                             (buffer[3] << 24)));
+  }
+}
+
+TEST(ProtocolRequest, PredictRoundTripAcrossWidths) {
+  // Widths straddling byte and word boundaries, including a single bit.
+  for (const std::size_t n_bits :
+       {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{784}}) {
+    const BitVector bits = random_bits(n_bits, 0xabc + n_bits);
+    std::vector<std::uint8_t> buffer;
+    const std::size_t frame = encode_predict_request(bits, &buffer);
+    EXPECT_EQ(frame, buffer.size());
+    std::size_t offset = 0;
+    const Request request = expect_frame(buffer, &offset);
+    EXPECT_EQ(offset, buffer.size());
+    EXPECT_EQ(request.type, MsgType::kPredict);
+    EXPECT_EQ(request.bits, bits) << n_bits << " bits";
+  }
+}
+
+TEST(ProtocolRequest, InfoAndStatsRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  encode_info_request(&buffer);
+  encode_stats_request(&buffer);
+  std::size_t offset = 0;
+  EXPECT_EQ(expect_frame(buffer, &offset).type, MsgType::kInfo);
+  EXPECT_EQ(expect_frame(buffer, &offset).type, MsgType::kStats);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolRequest, BackToBackFramesDecodeInOrder) {
+  std::vector<std::uint8_t> buffer;
+  const BitVector a = random_bits(100, 1);
+  const BitVector b = random_bits(100, 2);
+  encode_predict_request(a, &buffer);
+  encode_info_request(&buffer);
+  encode_predict_request(b, &buffer);
+  std::size_t offset = 0;
+  EXPECT_EQ(expect_frame(buffer, &offset).bits, a);
+  EXPECT_EQ(expect_frame(buffer, &offset).type, MsgType::kInfo);
+  EXPECT_EQ(expect_frame(buffer, &offset).bits, b);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolRequest, EveryTruncationPointNeedsMore) {
+  // A partial frame — cut anywhere, including mid-header — must request
+  // more bytes and leave the offset untouched, never consume or reject.
+  std::vector<std::uint8_t> buffer;
+  encode_predict_request(random_bits(120, 3), &buffer);
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::size_t offset = 0;
+    Request request;
+    Status error = Status::kOk;
+    bool fatal = false;
+    EXPECT_EQ(decode_request(buffer.data(), cut, &offset, &request, &error,
+                             &fatal),
+              FrameResult::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(ProtocolRequest, OversizedDeclaredLengthIsFatal) {
+  const std::uint32_t length = kMaxFramePayload + 1;
+  std::vector<std::uint8_t> buffer = {
+      static_cast<std::uint8_t>(length), static_cast<std::uint8_t>(length >> 8),
+      static_cast<std::uint8_t>(length >> 16),
+      static_cast<std::uint8_t>(length >> 24)};
+  std::size_t offset = 0;
+  Request request;
+  Status error = Status::kOk;
+  bool fatal = false;
+  EXPECT_EQ(decode_request(buffer.data(), buffer.size(), &offset, &request,
+                           &error, &fatal),
+            FrameResult::kReject);
+  EXPECT_EQ(error, Status::kOversized);
+  EXPECT_TRUE(fatal);
+  // The poisoned stream is drained: nothing left to parse.
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolRequest, ZeroLengthPayloadIsBadFrame) {
+  // Declared length 0: no room for even the type byte.
+  expect_reject({0, 0, 0, 0}, Status::kBadFrame);
+}
+
+TEST(ProtocolRequest, ZeroBitPredictIsEmptyInput) {
+  // A syntactically valid predict frame asking for a 0-feature prediction.
+  const std::vector<std::uint8_t> buffer = {5, 0, 0, 0,  // length
+                                            1,           // kPredict
+                                            0, 0, 0, 0}; // n_bits = 0
+  expect_reject(buffer, Status::kEmptyInput);
+}
+
+TEST(ProtocolRequest, UnknownTypeTagIsRejected) {
+  expect_reject({1, 0, 0, 0, 99}, Status::kUnknownType);
+}
+
+TEST(ProtocolRequest, InconsistentPredictLengthsAreBadFrames) {
+  // n_bits = 16 needs exactly 2 packed bytes; one short and one long.
+  const std::vector<std::uint8_t> shorter = {6, 0, 0, 0, 1, 16, 0, 0, 0, 0xff};
+  expect_reject(shorter, Status::kBadFrame);
+  const std::vector<std::uint8_t> longer = {8,    0, 0, 0, 1, 16,
+                                            0,    0, 0, 0xff, 0xff,
+                                            0xff};
+  expect_reject(longer, Status::kBadFrame);
+}
+
+TEST(ProtocolRequest, TrailingBytesOnInfoAreBadFrames) {
+  expect_reject({2, 0, 0, 0, 2, 7}, Status::kBadFrame);
+}
+
+TEST(ProtocolRequest, StrayPaddingBitsAreMasked) {
+  // 4 bits need one packed byte; the high nibble is stray padding the
+  // decoder must clear, or downstream LUT indexing would read garbage.
+  const std::vector<std::uint8_t> buffer = {6, 0, 0, 0, 1, 4, 0, 0, 0, 0xff};
+  std::size_t offset = 0;
+  const Request request = expect_frame(buffer, &offset);
+  ASSERT_EQ(request.bits.size(), 4u);
+  EXPECT_EQ(request.bits.words()[0], 0x0fULL);
+}
+
+TEST(ProtocolRequest, FuzzRandomBuffersNeverCrash) {
+  // Random garbage must always resolve to one of the three results with a
+  // sane offset; the loop also re-syncs after non-fatal rejects.
+  Rng rng(0xf522);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> buffer(rng.next_index(64) + 1);
+    for (auto& byte : buffer) {
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    // Keep declared lengths small so non-fatal paths dominate.
+    buffer[2] = 0;
+    buffer[3] = 0;
+    std::size_t offset = 0;
+    while (offset < buffer.size()) {
+      Request request;
+      Status error = Status::kOk;
+      bool fatal = false;
+      const std::size_t before = offset;
+      const FrameResult result = decode_request(
+          buffer.data(), buffer.size(), &offset, &request, &error, &fatal);
+      ASSERT_LE(offset, buffer.size());
+      if (result == FrameResult::kNeedMore) {
+        ASSERT_EQ(offset, before);
+        break;
+      }
+      if (fatal) break;
+      ASSERT_GT(offset, before);
+    }
+  }
+}
+
+TEST(ProtocolResponse, PredictRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  encode_predict_response(Status::kOk, 7, &buffer);
+  encode_predict_response(Status::kWrongFeatureWidth, 0, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.type, MsgType::kPredict);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.prediction, 7);
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.status, Status::kWrongFeatureWidth);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolResponse, InfoRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  encode_info_response(784, 10, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.type, MsgType::kInfo);
+  EXPECT_EQ(response.n_features, 784u);
+  EXPECT_EQ(response.n_classes, 10u);
+}
+
+TEST(ProtocolResponse, StatsRoundTripPreservesEveryCounter) {
+  ServeStats stats;
+  stats.requests = 12345;
+  stats.batches = 678;
+  stats.timeouts = 9;
+  stats.errors = 3;
+  stats.connections = 17;
+  for (std::size_t b = 0; b < ServeStats::kFillBuckets; ++b) {
+    stats.window_fill[b] = 100 + b;
+  }
+  std::vector<std::uint8_t> buffer;
+  encode_stats_response(stats, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.type, MsgType::kStats);
+  EXPECT_EQ(response.stats, stats);
+}
+
+TEST(ProtocolResponse, TruncatedResponseNeedsMore) {
+  std::vector<std::uint8_t> buffer;
+  encode_info_response(32, 5, &buffer);
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::size_t offset = 0;
+    Response response;
+    EXPECT_EQ(decode_response(buffer.data(), cut, &offset, &response),
+              FrameResult::kNeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolResponse, WrongBodyLengthIsRejected) {
+  // A kOk predict response whose body is missing the u16 class.
+  const std::vector<std::uint8_t> buffer = {2, 0, 0, 0, 1, 0};
+  std::size_t offset = 0;
+  Response response;
+  EXPECT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kReject);
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace poetbin

@@ -12,6 +12,7 @@
 #include "core/serialize.h"
 #include "serve/micro_batcher.h"
 #include "serve/runtime.h"
+#include "serve/serve_stats.h"
 #include "test_util.h"
 
 namespace poetbin {
@@ -94,14 +95,14 @@ TEST(Runtime, SerializedReloadIsBitIdenticalUnderEveryBackend) {
   const std::string path = ::testing::TempDir() + "/runtime_model.txt";
   {
     const Runtime writer(fx.model, {.threads = 1});
-    ASSERT_TRUE(writer.save(path));
+    ASSERT_TRUE(writer.save(path).ok());
   }
   for (const WordBackend backend : available_word_backends()) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                       std::size_t{5}}) {
-      std::optional<Runtime> runtime =
+      Runtime::LoadResult runtime =
           Runtime::load(path, {.threads = threads, .backend = backend});
-      ASSERT_TRUE(runtime.has_value());
+      ASSERT_TRUE(runtime.ok());
       EXPECT_EQ(runtime->backend(), backend);
       EXPECT_EQ(runtime->threads(), threads);
       EXPECT_EQ(runtime->predict(fx.data.features), fx.scalar_preds)
@@ -124,8 +125,13 @@ TEST(Runtime, SerializedReloadIsBitIdenticalUnderEveryBackend) {
   std::remove(path.c_str());
 }
 
-TEST(Runtime, LoadMissingFileReturnsNullopt) {
-  EXPECT_FALSE(Runtime::load("/nonexistent/dir/model.txt").has_value());
+TEST(Runtime, LoadMissingFileReturnsTypedError) {
+  Runtime::LoadResult result = Runtime::load("/nonexistent/dir/model.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kFileNotFound);
+  // The message names the offending path so callers can log it verbatim.
+  EXPECT_NE(result.error().message.find("/nonexistent/dir/model.txt"),
+            std::string::npos);
 }
 
 TEST(Runtime, RetrainOutputLayerMatchesScalarRetrain) {
@@ -158,9 +164,15 @@ TEST(MicroBatcher, SubmitPacksFullWindows) {
     ASSERT_EQ(tickets[i].get(), fx.scalar_preds[i]) << "example " << i;
   }
   // 600 examples = 9 full 64-wide windows + one 24-example flush.
-  EXPECT_EQ(batcher.examples_served(), fx.rows.size());
-  EXPECT_EQ(batcher.batches_dispatched(),
-            (fx.rows.size() + 63) / 64);
+  const ServeStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, fx.rows.size());
+  EXPECT_EQ(stats.batches, (fx.rows.size() + 63) / 64);
+  EXPECT_EQ(stats.timeouts, 0u);  // flush() is not a leader timeout
+  // Window-fill histogram: the 9 full windows land in the last bucket, the
+  // 24/64 flush window in bucket ceil(24*8/64)-1 = 2.
+  EXPECT_EQ(stats.window_fill[ServeStats::kFillBuckets - 1], 9u);
+  EXPECT_EQ(stats.window_fill[2], 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_window_fill(), 600.0 / 10.0);
 }
 
 TEST(MicroBatcher, BlockingRequestTimesOutAlone) {
@@ -172,8 +184,11 @@ TEST(MicroBatcher, BlockingRequestTimesOutAlone) {
                        {.max_batch = 64,
                         .max_wait = std::chrono::microseconds(500)});
   EXPECT_EQ(batcher.predict_one(fx.rows[0]), fx.scalar_preds[0]);
-  EXPECT_EQ(batcher.examples_served(), 1u);
-  EXPECT_EQ(batcher.batches_dispatched(), 1u);
+  const ServeStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);  // the partial window went out on max_wait
+  EXPECT_EQ(stats.window_fill[0], 1u);  // 1/64 fill -> first bucket
 }
 
 TEST(MicroBatcher, BlockingRequestAfterAsyncSubmitStillTimesOut) {
@@ -189,8 +204,10 @@ TEST(MicroBatcher, BlockingRequestAfterAsyncSubmitStillTimesOut) {
   MicroBatcher::Ticket ticket = batcher.submit(fx.rows[0]);
   EXPECT_EQ(batcher.predict_one(fx.rows[1]), fx.scalar_preds[1]);
   EXPECT_EQ(ticket.get(), fx.scalar_preds[0]);
-  EXPECT_EQ(batcher.batches_dispatched(), 1u);
-  EXPECT_EQ(batcher.examples_served(), 2u);
+  const ServeStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.timeouts, 1u);
 }
 
 TEST(MicroBatcher, ZeroWaitDispatchesImmediately) {
@@ -211,7 +228,9 @@ TEST(MicroBatcher, WindowOfOne) {
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(batcher.predict_one(fx.rows[i]), fx.scalar_preds[i]);
   }
-  EXPECT_EQ(batcher.batches_dispatched(), 10u);
+  const ServeStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 10u);
+  EXPECT_EQ(stats.timeouts, 0u);  // windows of one fill instantly
 }
 
 TEST(MicroBatcher, FlushOnDestructionCompletesOutstandingTickets) {
@@ -257,7 +276,7 @@ TEST(MicroBatcher, ConcurrentProducersAreBitIdentical) {
   }
   for (auto& producer : producers) producer.join();
   EXPECT_EQ(served, fx.scalar_preds);
-  EXPECT_EQ(batcher.examples_served(), n);
+  EXPECT_EQ(batcher.stats().requests, n);
 }
 
 // Same stress through the engine-threaded runtime and a second backend, in
@@ -286,9 +305,12 @@ TEST(MicroBatcher, ConcurrentProducersWithThreadedEngine) {
 
 // Deprecated shims still agree with the scalar paths now that they share a
 // process-wide engine per thread count (the churn fix must not change
-// results), and the caller-supplied-engine overloads match too.
+// results), and the caller-supplied-engine overloads match too. This is the
+// one in-tree caller of the [[deprecated]] n_threads shims, on purpose.
 TEST(PoetBinBatchedShims, SharedAndCallerSuppliedEnginesMatchScalar) {
   const ServeFixture& fx = fixture();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features,
                                              /*n_threads=*/2),
             fx.scalar_preds);
@@ -300,6 +322,7 @@ TEST(PoetBinBatchedShims, SharedAndCallerSuppliedEnginesMatchScalar) {
       fx.model.accuracy_batched(fx.data.features, fx.data.labels,
                                 /*n_threads=*/2),
       fx.scalar_accuracy);
+#pragma GCC diagnostic pop
 
   const BatchEngine engine(3);
   EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features, engine),

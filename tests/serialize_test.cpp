@@ -43,12 +43,13 @@ TEST(Serialize, RoundTripPreservesPredictions) {
   const Fixture& fx = fixture();
   std::stringstream stream;
   save_model(fx.model, stream);
-  const PoetBin loaded = load_model(stream);
+  const IoResult<PoetBin> loaded = read_model(stream);
+  ASSERT_TRUE(loaded.ok());
 
-  EXPECT_EQ(loaded.n_modules(), fx.model.n_modules());
-  EXPECT_EQ(loaded.n_classes(), fx.model.n_classes());
-  EXPECT_EQ(loaded.lut_count(), fx.model.lut_count());
-  EXPECT_EQ(loaded.predict_dataset(fx.data.features),
+  EXPECT_EQ(loaded->n_modules(), fx.model.n_modules());
+  EXPECT_EQ(loaded->n_classes(), fx.model.n_classes());
+  EXPECT_EQ(loaded->lut_count(), fx.model.lut_count());
+  EXPECT_EQ(loaded->predict_dataset(fx.data.features),
             fx.model.predict_dataset(fx.data.features));
 }
 
@@ -56,8 +57,9 @@ TEST(Serialize, RoundTripPreservesRincBits) {
   const Fixture& fx = fixture();
   std::stringstream stream;
   save_model(fx.model, stream);
-  const PoetBin loaded = load_model(stream);
-  EXPECT_EQ(loaded.rinc_outputs(fx.data.features),
+  const IoResult<PoetBin> loaded = read_model(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rinc_outputs(fx.data.features),
             fx.model.rinc_outputs(fx.data.features));
 }
 
@@ -75,40 +77,109 @@ TEST(Serialize, DoubleRoundTripIsIdentity) {
   const Fixture& fx = fixture();
   std::stringstream first;
   save_model(fx.model, first);
-  const PoetBin once = load_model(first);
+  const IoResult<PoetBin> once = read_model(first);
+  ASSERT_TRUE(once.ok());
   std::stringstream second;
-  save_model(once, second);
+  save_model(*once, second);
   EXPECT_EQ(first.str(), second.str());
 }
 
 TEST(Serialize, FileRoundTrip) {
   const Fixture& fx = fixture();
   const std::string path = ::testing::TempDir() + "/poetbin_model.txt";
-  ASSERT_TRUE(save_model_file(fx.model, path));
-  PoetBin loaded;
-  ASSERT_TRUE(load_model_file(loaded, path));
-  EXPECT_EQ(loaded.predict_dataset(fx.data.features),
+  ASSERT_TRUE(write_model_file(fx.model, path).ok());
+  const IoResult<PoetBin> loaded = read_model_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->predict_dataset(fx.data.features),
             fx.model.predict_dataset(fx.data.features));
   std::remove(path.c_str());
 }
 
-TEST(Serialize, MissingFileReturnsFalse) {
-  PoetBin model;
-  EXPECT_FALSE(load_model_file(model, "/nonexistent/path/model.txt"));
+TEST(Serialize, MissingFileIsTypedError) {
+  const IoResult<PoetBin> result =
+      read_model_file("/nonexistent/path/model.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kFileNotFound);
+  EXPECT_NE(result.error().message.find("/nonexistent/path/model.txt"),
+            std::string::npos);
 }
 
-TEST(Serialize, MalformedHeaderDies) {
+TEST(Serialize, UnwritablePathIsTypedError) {
+  const Fixture& fx = fixture();
+  const IoStatus status =
+      write_model_file(fx.model, "/nonexistent/dir/model.txt");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind, ModelIoError::Kind::kWriteFailed);
+}
+
+TEST(Serialize, MalformedHeaderIsVersionMismatch) {
   std::stringstream stream("not-a-model v9\n");
-  EXPECT_DEATH(load_model(stream), "");
+  const IoResult<PoetBin> result = read_model(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
 }
 
-TEST(Serialize, TruncatedBodyDies) {
+TEST(Serialize, FutureVersionIsVersionMismatch) {
+  std::stringstream stream("poetbin-model v2\n");
+  const IoResult<PoetBin> result = read_model(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
+TEST(Serialize, TruncatedBodyIsCorruptSection) {
   const Fixture& fx = fixture();
   std::stringstream stream;
   save_model(fx.model, stream);
   const std::string text = stream.str();
   std::stringstream truncated(text.substr(0, text.size() / 2));
-  EXPECT_DEATH(load_model(truncated), "");
+  const IoResult<PoetBin> result = read_model(truncated);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+// Malformed bytes in *any* prefix must come back as a typed error, never an
+// abort or a constructed-but-broken model. This sweeps every prefix length
+// of a real saved model (a poor man's fuzzer with a deterministic corpus).
+TEST(Serialize, EveryTruncationPointFailsCleanly) {
+  const Fixture& fx = fixture();
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  const std::string text = stream.str();
+  // Stop before the final token: a cut inside it just shortens one number,
+  // which can legitimately still parse; every earlier cut drops >= 1 token.
+  const std::size_t limit = text.rfind(' ');
+  ASSERT_NE(limit, std::string::npos);
+  for (std::size_t cut = 0; cut < limit; cut += 1 + text.size() / 97) {
+    std::stringstream truncated(text.substr(0, cut));
+    const IoResult<PoetBin> result = read_model(truncated);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+// Field-level corruption: out-of-range structural values are rejected with
+// kCorruptSection instead of feeding POETBIN_CHECK aborts downstream.
+TEST(Serialize, OutOfRangeFieldsAreCorruptSection) {
+  const Fixture& fx = fixture();
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  const std::string text = stream.str();
+  // Swaps the whitespace-delimited token right after the first `anchor` for
+  // `to` (shape-agnostic: no assumption about the trained values).
+  const auto corrupt_token_after = [&](const std::string& anchor,
+                                       const std::string& to) {
+    const std::size_t at = text.find(anchor);
+    ASSERT_NE(at, std::string::npos) << anchor;
+    const std::size_t tok = at + anchor.size();
+    std::size_t end = text.find_first_of(" \n", tok);
+    if (end == std::string::npos) end = text.size();
+    std::stringstream in(text.substr(0, tok) + to + text.substr(end));
+    const IoResult<PoetBin> result = read_model(in);
+    ASSERT_FALSE(result.ok()) << anchor << " -> " << to;
+    EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+  };
+  corrupt_token_after("config ", "99");  // P beyond the 16-input cap
+  corrupt_token_after("leaf ", "0");     // LUT with no inputs
+  corrupt_token_after("module ", "1");   // first module header out of order
 }
 
 // Round-trip across several (P, L, DTs) shapes — the format must not bake
@@ -137,10 +208,11 @@ TEST_P(SerializeShapeSweep, RoundTripsEveryShape) {
 
   std::stringstream stream;
   save_model(model, stream);
-  const PoetBin loaded = load_model(stream);
-  EXPECT_EQ(loaded.predict_dataset(data.features),
+  const IoResult<PoetBin> loaded = read_model(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->predict_dataset(data.features),
             model.predict_dataset(data.features));
-  EXPECT_EQ(loaded.lut_count(), model.lut_count());
+  EXPECT_EQ(loaded->lut_count(), model.lut_count());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -286,15 +286,17 @@ TEST(FusedArgmax, MatchesScalarPredictOnRaggedSizes) {
   BackendGuard guard;
   Rng rng(89);
   const PoetBin model = make_model(/*n_classes=*/7, /*p=*/4, rng);
+  const BatchEngine inline_engine(1);
+  const BatchEngine threaded_engine(3);
   for (const std::size_t n : kRaggedSizes) {
     const BitMatrix features = testing::random_bits(n, 32, 101 + n);
     const std::vector<int> reference = model.predict_dataset(features);
     for (const auto backend : available_word_backends()) {
       set_word_backend(backend);
-      EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
+      EXPECT_EQ(model.predict_dataset_batched(features, inline_engine),
                 reference)
           << word_backend_name(backend) << " n=" << n;
-      EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/3),
+      EXPECT_EQ(model.predict_dataset_batched(features, threaded_engine),
                 reference)
           << word_backend_name(backend) << " threaded, n=" << n;
     }
@@ -313,10 +315,10 @@ TEST(FusedArgmax, TieBreaksToLowestClassLikePredictDataset) {
   const BitMatrix features = testing::random_bits(321, 32, 103);
   const std::vector<int> reference = model.predict_dataset(features);
   for (const int prediction : reference) EXPECT_EQ(prediction, 0);
+  const BatchEngine engine(1);
   for (const auto backend : available_word_backends()) {
     set_word_backend(backend);
-    EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
-              reference)
+    EXPECT_EQ(model.predict_dataset_batched(features, engine), reference)
         << word_backend_name(backend);
   }
 }
@@ -357,10 +359,10 @@ TEST(FusedArgmax, PartialTiesMatchScalar) {
   for (const int prediction : reference) {
     EXPECT_TRUE(prediction == 0 || prediction == 2) << prediction;
   }
+  const BatchEngine engine(1);
   for (const auto backend : available_word_backends()) {
     set_word_backend(backend);
-    EXPECT_EQ(model.predict_dataset_batched(features, /*n_threads=*/1),
-              reference)
+    EXPECT_EQ(model.predict_dataset_batched(features, engine), reference)
         << word_backend_name(backend);
   }
 }
@@ -371,15 +373,15 @@ TEST(FusedArgmax, DegenerateClassCounts) {
   const PoetBin one_class = make_model(/*n_classes=*/1, /*p=*/3, rng);
   const BitMatrix features = testing::random_bits(130, 32, 127);
   const std::vector<int> reference = one_class.predict_dataset(features);
+  const BatchEngine engine(1);
   for (const auto backend : available_word_backends()) {
     set_word_backend(backend);
-    EXPECT_EQ(one_class.predict_dataset_batched(features, /*n_threads=*/1),
-              reference)
+    EXPECT_EQ(one_class.predict_dataset_batched(features, engine), reference)
         << word_backend_name(backend);
   }
   // Empty dataset: no predictions, no crash.
   const BitMatrix empty(0, 32);
-  EXPECT_TRUE(one_class.predict_dataset_batched(empty).empty());
+  EXPECT_TRUE(one_class.predict_dataset_batched(empty, engine).empty());
 }
 
 TEST(FusedArgmax, AccuracyMatchesScalar) {
@@ -390,10 +392,10 @@ TEST(FusedArgmax, AccuracyMatchesScalar) {
   std::vector<int> labels(features.rows());
   for (auto& label : labels) label = static_cast<int>(rng.next_index(5));
   const double reference = model.accuracy(features, labels);
+  const BatchEngine engine(2);
   for (const auto backend : available_word_backends()) {
     set_word_backend(backend);
-    EXPECT_EQ(model.accuracy_batched(features, labels, /*n_threads=*/2),
-              reference)
+    EXPECT_EQ(model.accuracy_batched(features, labels, engine), reference)
         << word_backend_name(backend);
   }
 }

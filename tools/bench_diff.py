@@ -10,7 +10,9 @@ Only *_ms metrics are compared (wall-clock of a timed section; larger is
 worse). A metric regresses when current > previous * (1 + threshold).
 Metrics present in only one file are reported but never fail the gate, so
 adding or renaming bench rows doesn't break CI; speedup/ratio keys are
-informational and skipped. If the two runs used different scales the
+informational and skipped. Tail-latency keys (*_p999_ms) are reported but
+never gated: a p999 on a shared CI runner is one noisy sample, not a
+regression signal. If the two runs used different scales the
 comparison is skipped entirely (the numbers are not comparable).
 
 Backend-suffixed keys (*_scalar64_ms / *_avx2_ms / *_avx512_ms) time one
@@ -81,6 +83,10 @@ def main():
         old, new = prev[key], curr[key]
         delta = (new - old) / old if old > 0 else 0.0
         flag = ""
+        if key.endswith("_p999_ms"):
+            print(f"{key:<48} {old:>10.3f} {new:>10.3f} {delta:>+7.1%}"
+                  f"   (informational)")
+            continue
         if delta > args.threshold:
             flag = "  << REGRESSION"
             regressions.append((key, old, new, delta))

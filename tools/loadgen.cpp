@@ -1,0 +1,276 @@
+// Zipfian load generator for the PoET-BiN network serving front end.
+//
+//   loadgen <host> <port> [--threads=8] [--duration=5] [--theta=0.99]
+//           [--keys=1024] [--seed=42] [--pipeline=16] [--json=FILE]
+//
+// Probes the server with a kInfo request for the model's feature width,
+// builds a deterministic pool of random keys, then drives it from
+// --threads closed-loop clients. Each client pipelines bursts of
+// --pipeline predict requests over its own connection, sampling keys from
+// FastZipf(--theta) so a handful of keys take most of the traffic (the
+// YCSB-style serving skew). Burst latency is sampled per round trip.
+//
+// The generator also acts as a consistency check: the first prediction
+// seen for each key is pinned, and any later disagreement for the same
+// key counts as an error. Exit status is nonzero when any request failed,
+// any prediction flapped, or nothing was served at all, so CI can gate on
+// the exit code alone. --json additionally writes a flat metrics object
+// (requests, errors, throughput_rps, p50/p99/p999_ms) for jq assertions.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net_client.h"
+#include "serve/protocol.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace poetbin;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host;
+  std::uint16_t port = 0;
+  std::size_t threads = 8;
+  double duration_s = 5.0;
+  double theta = 0.99;
+  std::size_t keys = 1024;
+  std::uint64_t seed = 42;
+  std::size_t pipeline = 16;
+  std::string json_path;
+};
+
+struct ThreadResult {
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <host> <port> [--threads=N] [--duration=SECONDS]\n"
+               "       [--theta=T] [--keys=K] [--seed=S] [--pipeline=D] "
+               "[--json=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options* options) {
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--threads=", &value)) {
+      options->threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--duration=", &value)) {
+      options->duration_s = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--theta=", &value)) {
+      options->theta = std::strtod(value.c_str(), nullptr);
+    } else if (parse_flag(argv[i], "--keys=", &value)) {
+      options->keys = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--seed=", &value)) {
+      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--pipeline=", &value)) {
+      options->pipeline = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--json=", &value)) {
+      options->json_path = value;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return false;
+  options->host = positional[0];
+  const long port = std::strtol(positional[1], nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port: %s\n", positional[1]);
+    return false;
+  }
+  options->port = static_cast<std::uint16_t>(port);
+  if (options->threads < 1 || options->pipeline < 1 || options->keys < 1 ||
+      options->duration_s <= 0.0) {
+    std::fprintf(stderr, "threads/pipeline/keys/duration must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[at];
+}
+
+void run_client(const Options& options, const std::vector<BitVector>& pool,
+                std::size_t thread_id, Clock::time_point deadline,
+                std::vector<int>* pinned, std::atomic<bool>* abort,
+                ThreadResult* result) {
+  NetClient client;
+  std::string error;
+  if (!client.connect(options.host, options.port,
+                      std::chrono::milliseconds(5000), &error)) {
+    std::fprintf(stderr, "thread %zu: connect failed: %s\n", thread_id,
+                 error.c_str());
+    ++result->errors;
+    return;
+  }
+  Rng seeder(options.seed);
+  FastZipf zipf(seeder.fork(1000 + thread_id).next_u64(), options.theta,
+                pool.size());
+  std::vector<const BitVector*> burst(options.pipeline);
+  std::vector<std::size_t> keys(options.pipeline);
+  std::vector<wire::Response> responses;
+  while (Clock::now() < deadline && !abort->load(std::memory_order_relaxed)) {
+    for (std::size_t i = 0; i < options.pipeline; ++i) {
+      keys[i] = zipf.next();
+      burst[i] = &pool[keys[i]];
+    }
+    const auto s0 = Clock::now();
+    if (!client.predict_pipelined(burst, &responses)) {
+      std::fprintf(stderr, "thread %zu: pipelined round trip failed\n",
+                   thread_id);
+      result->errors += options.pipeline;
+      return;
+    }
+    const auto s1 = Clock::now();
+    result->latencies_ms.push_back(
+        1e3 * std::chrono::duration<double>(s1 - s0).count());
+    result->requests += options.pipeline;
+    for (std::size_t i = 0; i < options.pipeline; ++i) {
+      if (responses[i].status != wire::Status::kOk) {
+        std::fprintf(stderr, "thread %zu: predict rejected: %s\n", thread_id,
+                     wire::status_name(responses[i].status));
+        ++result->errors;
+        continue;
+      }
+      // Benign data race by design: pins are per-key ints written without a
+      // lock. Any interleaving still only ever stores a served prediction,
+      // so a flapping server is flagged, a stable one never is.
+      int& pin = (*pinned)[keys[i]];
+      const int got = responses[i].prediction;
+      if (pin < 0) {
+        pin = got;
+      } else if (pin != got) {
+        std::fprintf(stderr,
+                     "thread %zu: key %zu flapped: saw class %d then %d\n",
+                     thread_id, keys[i], pin, got);
+        ++result->errors;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) return usage(argv[0]);
+
+  // Probe the server for the model's input width.
+  NetClient probe;
+  std::string error;
+  if (!probe.connect(options.host, options.port,
+                     std::chrono::milliseconds(5000), &error)) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", options.host.c_str(),
+                 options.port, error.c_str());
+    return 1;
+  }
+  wire::Response info;
+  if (!probe.info(&info) || info.status != wire::Status::kOk) {
+    std::fprintf(stderr, "info request failed\n");
+    return 1;
+  }
+  std::printf("server %s:%u: %u features, %u classes\n", options.host.c_str(),
+              options.port, info.n_features, info.n_classes);
+
+  // Deterministic key pool: same --seed, same traffic.
+  Rng rng(options.seed);
+  std::vector<BitVector> pool;
+  pool.reserve(options.keys);
+  for (std::size_t k = 0; k < options.keys; ++k) {
+    BitVector bits(info.n_features);
+    Rng key_rng = rng.fork(k);
+    for (std::size_t w = 0; w < bits.word_count(); ++w) {
+      bits.words()[w] = key_rng.next_u64();
+    }
+    bits.mask_tail_word();
+    pool.push_back(std::move(bits));
+  }
+
+  std::printf("driving %zu thread(s), pipeline %zu, zipf theta %.2f over "
+              "%zu keys for %.1fs...\n",
+              options.threads, options.pipeline, options.theta, options.keys,
+              options.duration_s);
+  std::vector<ThreadResult> results(options.threads);
+  std::vector<int> pinned(options.keys, -1);
+  std::atomic<bool> abort{false};
+  std::vector<std::thread> clients;
+  clients.reserve(options.threads);
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(options.duration_s));
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    clients.emplace_back(run_client, std::cref(options), std::cref(pool), t,
+                         deadline, &pinned, &abort, &results[t]);
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::size_t requests = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const ThreadResult& r : results) {
+    requests += r.requests;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rps = elapsed_s > 0.0
+                         ? static_cast<double>(requests) / elapsed_s
+                         : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double p999 = percentile(latencies, 0.999);
+
+  std::printf("%zu requests in %.2fs: %.0f req/s, %zu error(s)\n", requests,
+              elapsed_s, rps, errors);
+  std::printf("burst latency p50 %.3f ms  p99 %.3f ms  p999 %.3f ms\n", p50,
+              p99, p999);
+
+  if (!options.json_path.empty()) {
+    std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\"requests\": %zu, \"errors\": %zu, "
+                 "\"throughput_rps\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"p999_ms\": %.4f}\n",
+                 requests, errors, rps, p50, p99, p999);
+    std::fclose(out);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return (errors == 0 && requests > 0) ? 0 : 1;
+}
