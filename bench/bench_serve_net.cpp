@@ -114,7 +114,7 @@ double percentile(std::vector<double>& sorted, double q) {
 ModeResult run_mode(const PoetBin& model, const std::vector<BitVector>& pool,
                     const std::vector<int>& expected, bool micro_batch,
                     std::size_t bursts_per_thread) {
-  const Runtime runtime(model, {.threads = 1});
+  Runtime runtime(model, {.threads = 1});
   NetServer server(runtime,
                    {.port = 0,
                     .micro_batch = micro_batch,

@@ -5,11 +5,22 @@
 //   $ ./poetbin_cli eval model.txt  [digits|house_numbers|textures]
 //                   [--threads=N] [--scalar]   # serving runtime options
 //   $ ./poetbin_cli export model.txt out_dir
+//   $ ./poetbin_cli pack model.txt model.pbm   # text -> packed binary
+//   $ ./poetbin_cli unpack model.pbm model.txt # packed -> text
 //   $ ./poetbin_cli serve model.txt [--port=P] [--workers=N] [--threads=N]
+//                   [--watch[=ms]]
 //
 // `serve` runs the network serving front end: N forked workers sharing one
 // TCP port via SO_REUSEPORT, each with its own Runtime + micro-batcher.
-// SIGTERM/SIGINT shut it down gracefully and print per-worker stats.
+// SIGTERM/SIGINT shut it down gracefully and print per-worker stats. With
+// --watch each worker polls the model file (default every 1000 ms) and
+// hot-swaps it in when its mtime or size changes; clients can also push a
+// swap with a kReload frame either way.
+//
+// `pack`/`unpack` convert between the text format and the mmap-ready packed
+// binary format (core/packed_model.h); both accept either format as input
+// (sniffed by magic), so `pack packed.pbm other.pbm` is a byte-identical
+// re-pack. `eval` and `serve` likewise accept either format.
 //
 // Common flags: --scale=<f> scales the dataset/teacher preset (default
 // 0.5; CI smoke uses smaller) — eval regenerates the dataset, so pass the
@@ -27,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/packed_model.h"
 #include "core/pipeline.h"
 #include "core/serialize.h"
 #include "hw/netlist_builder.h"
@@ -126,13 +138,14 @@ int cmd_eval(const std::string& path, SyntheticFamily family, double scale,
 }
 
 int cmd_export(const std::string& path, const std::string& out_dir) {
-  const IoResult<PoetBin> model = read_model_file(path);
-  if (!model.ok()) {
+  const IoResult<LoadedModel> loaded = read_model_file_any(path);
+  if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s: %s\n",
-                 model_io_error_kind_name(model.error().kind),
-                 model.error().message.c_str());
+                 model_io_error_kind_name(loaded.error().kind),
+                 loaded.error().message.c_str());
     return 1;
   }
+  const PoetBin* model = &loaded->model;
   // The serialized model does not record the feature count; use the highest
   // referenced feature index.
   std::size_t n_features = 0;
@@ -147,6 +160,33 @@ int cmd_export(const std::string& path, const std::string& out_dir) {
   std::ofstream(out_dir + "/poetbin_classifier.v") << generate_verilog(netlist);
   std::printf("exported %zu-LUT netlist (%zu inputs) to %s/{.vhd,.v}\n",
               netlist.netlist.n_luts(), n_features, out_dir.c_str());
+  return 0;
+}
+
+// Format converters. Input format is sniffed, so these also re-serialize
+// same-format files (useful as a canonicalizer: both writers are
+// deterministic).
+int cmd_pack(const std::string& in_path, const std::string& out_path,
+             bool to_packed) {
+  const IoResult<LoadedModel> loaded = read_model_file_any(in_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 model_io_error_kind_name(loaded.error().kind),
+                 loaded.error().message.c_str());
+    return 1;
+  }
+  const IoStatus written = to_packed
+                               ? write_packed_model_file(loaded->model, out_path)
+                               : write_model_file(loaded->model, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s %s (%s) -> %s (%s)\n", to_packed ? "packed" : "unpacked",
+              in_path.c_str(), model_format_name(loaded->format),
+              out_path.c_str(),
+              model_format_name(to_packed ? ModelFormat::kPacked
+                                          : ModelFormat::kText));
   return 0;
 }
 
@@ -193,6 +233,7 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   std::size_t port = 0;
   std::size_t workers = 1;
+  long watch_ms = 0;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch", 7) == 0 &&
@@ -226,6 +267,18 @@ int main(int argc, char** argv) {
       workers = parse_thread_count(argv[i], argv[i] + 10);
       continue;
     }
+    if (std::strncmp(argv[i], "--watch", 7) == 0 &&
+        (argv[i][7] == '\0' || argv[i][7] == '=')) {
+      watch_ms = argv[i][7] == '='
+                     ? static_cast<long>(
+                           parse_thread_count(argv[i], argv[i] + 8))
+                     : 1000;
+      if (watch_ms <= 0) {
+        std::fprintf(stderr, "error: bad interval in '%s'\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
     args.push_back(argv[i]);
   }
   const int n_args = static_cast<int>(args.size());
@@ -241,10 +294,17 @@ int main(int argc, char** argv) {
   if (n_args >= 4 && std::strcmp(args[1], "export") == 0) {
     return cmd_export(args[2], args[3]);
   }
+  if (n_args >= 4 && std::strcmp(args[1], "pack") == 0) {
+    return cmd_pack(args[2], args[3], /*to_packed=*/true);
+  }
+  if (n_args >= 4 && std::strcmp(args[1], "unpack") == 0) {
+    return cmd_pack(args[2], args[3], /*to_packed=*/false);
+  }
   if (n_args >= 3 && std::strcmp(args[1], "serve") == 0) {
     ShardedServeOptions options;
     options.workers = workers < 1 ? 1 : workers;
     options.threads = threads == 0 ? 1 : threads;
+    options.watch_interval = std::chrono::milliseconds(watch_ms);
     options.server.port = static_cast<std::uint16_t>(port);
     return run_sharded_server(args[2], options);
   }
@@ -252,11 +312,13 @@ int main(int argc, char** argv) {
                "usage:\n"
                "  %s train  <model.txt> [digits|house_numbers|textures]"
                " [--scale=<f>]\n"
-               "  %s eval   <model.txt> [digits|house_numbers|textures]"
+               "  %s eval   <model> [digits|house_numbers|textures]"
                " [--threads=N] [--scalar] [--scale=<f>]\n"
-               "  %s export <model.txt> <out_dir>\n"
-               "  %s serve  <model.txt> [--port=P] [--workers=N]"
-               " [--threads=N]\n",
-               argv[0], argv[0], argv[0], argv[0]);
+               "  %s export <model> <out_dir>\n"
+               "  %s pack   <model> <out.pbm>\n"
+               "  %s unpack <model> <out.txt>\n"
+               "  %s serve  <model> [--port=P] [--workers=N]"
+               " [--threads=N] [--watch[=ms]]\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -24,28 +24,20 @@ std::uint64_t tail_mask(std::size_t n_rows) {
   return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
 }
 
-// Truth table splatted to one word per entry: splat[a] is ~0 when
-// table[a] is set. The Shannon reduction below consumes these constants.
-std::vector<std::uint64_t> splat_table(const BitVector& table) {
-  std::vector<std::uint64_t> splat(table.size());
-  for (std::size_t a = 0; a < table.size(); ++a) {
-    splat[a] = table.get(a) ? ~0ULL : 0ULL;
-  }
-  return splat;
-}
-
 // Shared guts of the public word kernels once the splat table and the input
-// word streams are resolved. `columns[j]` must expose words
+// word streams are resolved. `splat` is the LUT's precomputed splat words
+// (Lut::splat_words — owned or viewing a packed-model mapping, so nothing
+// is rebuilt per chunk). `columns[j]` must expose words
 // [word_begin, word_end) of address bit j at offsets word_begin..; the
 // kernels pass either BitMatrix column words (absolute indexing) or child
 // scratch buffers (rebased to 0) through `base`. The Shannon reduction
 // itself — the 2^P - 1 word muxes per output word — runs on the active SIMD
 // word backend; only the dataset's last word needs the tail re-masked.
-void reduce_words(const std::vector<std::uint64_t>& splat, std::size_t arity,
+void reduce_words(const std::uint64_t* splat, std::size_t arity,
                   const std::vector<const std::uint64_t*>& columns,
                   std::size_t word_begin, std::size_t word_end,
                   std::size_t base, std::size_t n_rows, std::uint64_t* out) {
-  word_ops().lut_reduce(splat.data(), arity, columns.data(), base, word_begin,
+  word_ops().lut_reduce(splat, arity, columns.data(), base, word_begin,
                         word_end, out);
   const std::size_t last_word = BitVector::words_needed(n_rows);
   if (word_begin < word_end && word_end == last_word) {
@@ -66,7 +58,7 @@ void eval_lut_words(const Lut& lut, const BitMatrix& features,
     POETBIN_CHECK(lut.inputs()[j] < features.cols());
     columns[j] = features.column_words(lut.inputs()[j]).data();
   }
-  reduce_words(splat_table(lut.table()), arity, columns, word_begin, word_end,
+  reduce_words(lut.splat_words().data(), arity, columns, word_begin, word_end,
                /*base=*/0, features.rows(), out);
 }
 
@@ -88,7 +80,7 @@ void eval_rinc_words(const RincModule& module, const BitMatrix& features,
     columns[c] = child_words[c].data();
   }
   // Child buffers are rebased to the chunk, hence base = word_begin.
-  reduce_words(splat_table(module.mat_lut().table()), children.size(), columns,
+  reduce_words(module.mat_lut().splat_words().data(), children.size(), columns,
                word_begin, word_end, word_begin, features.rows(), out);
 }
 
@@ -287,35 +279,19 @@ std::vector<int> BatchEngine::predict_dataset(const PoetBin& model,
   const std::size_t p = model.lut_inputs();
   const std::size_t n_combos = std::size_t{1} << p;
 
-  // Code bit-planes: enough planes for the largest quantized code anywhere
-  // in the output layer (quant_bits in practice, but derived from the data
-  // so reconstructed models with wider codes stay exact).
-  std::uint32_t max_code = 1;
+  // Code bit-planes: each plane of each neuron's code is a boolean
+  // function of its P input bits, so it Shannon-reduces with the same word
+  // kernel as the LUT layers — the argmax becomes pure word ops. The model
+  // holds the planes precomputed (PoetBin::code_plane), owned on the heap
+  // or viewing a packed-model mapping; nothing is splatted per call.
   for (const auto& neuron : neurons) {
     POETBIN_CHECK(neuron.input_modules.size() == p);
     POETBIN_CHECK(neuron.codes.size() == n_combos);
-    for (const auto code : neuron.codes) max_code = std::max(max_code, code);
   }
-  const std::size_t n_planes =
-      static_cast<std::size_t>(std::bit_width(max_code));
+  const std::size_t n_planes = model.code_plane_count();
+  POETBIN_CHECK_MSG(n_planes >= 1, "model has no code planes");
   const std::size_t n_class_planes =
       static_cast<std::size_t>(std::bit_width(neurons.size() - 1));
-
-  // splat[c * n_planes + plane][a]: all-ones when bit `plane` of neuron c's
-  // code for combo `a` is set. Each plane of each neuron's code is a boolean
-  // function of its P input bits, so it Shannon-reduces with the same word
-  // kernel as the LUT layers — the argmax becomes pure word ops.
-  std::vector<std::vector<std::uint64_t>> plane_splat(neurons.size() *
-                                                      n_planes);
-  for (std::size_t c = 0; c < neurons.size(); ++c) {
-    for (std::size_t plane = 0; plane < n_planes; ++plane) {
-      auto& splat = plane_splat[c * n_planes + plane];
-      splat.resize(n_combos);
-      for (std::size_t a = 0; a < n_combos; ++a) {
-        splat[a] = (neurons[c].codes[a] >> plane) & 1u ? ~0ULL : 0ULL;
-      }
-    }
-  }
 
   const WordOps& ops = word_ops();
   const WordChunks chunks = chunk_words(features.word_count(), n_threads_);
@@ -366,9 +342,8 @@ std::vector<int> BatchEngine::predict_dataset(const PoetBin& model,
       std::uint64_t* const* out_ptrs = c == 0 ? best_ptrs.data()
                                               : cand_ptrs.data();
       for (std::size_t plane = 0; plane < n_planes; ++plane) {
-        ops.lut_reduce(plane_splat[c * n_planes + plane].data(), p,
-                       columns.data(), word_begin, word_begin, word_end,
-                       out_ptrs[plane]);
+        ops.lut_reduce(model.code_plane(c, plane), p, columns.data(),
+                       word_begin, word_begin, word_end, out_ptrs[plane]);
       }
       if (c != 0) {
         ops.argmax_update(cand_ptrs.data(), best_ptrs.data(), n_planes,

@@ -1,0 +1,813 @@
+#include "core/packed_model.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "boost/mat.h"
+#include "dt/lut.h"
+#include "util/bitvector.h"
+#include "util/word_storage.h"
+
+namespace poetbin {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'o', 'E', 'T', 'B', 'i', 'N', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kSectionEntryBytes = 24;
+constexpr std::size_t kNodeRecordBytes = 32;
+constexpr std::size_t kPayloadAlignment = 64;
+// Splat tables are additionally aligned to 8 words (64 bytes) inside the
+// splat section so every mapped table starts on a cache line.
+constexpr std::size_t kSplatAlignWords = 8;
+
+// Section ids. The set is closed for version 1; unknown ids are rejected so
+// a file cannot smuggle payload the checksum "covers" but no one reads.
+enum SectionId : std::uint32_t {
+  kSecConfig = 1,        // 8 u64 scalars (see pack_config)
+  kSecQuantizer = 2,     // u64 bits + f32 min + f32 max bit patterns
+  kSecNodes = 3,         // pre-order 32-byte node records
+  kSecLeafInputs = 4,    // u64 feature indices, all leaves concatenated
+  kSecMatWeights = 5,    // f64 MAT weights, all internal nodes concatenated
+  kSecSplat = 6,         // u64 splat words, every LUT table (leaf + MAT)
+  kSecOutputWiring = 7,  // u64 module indices, nc x P
+  kSecOutputWeights = 8, // f32 bit patterns, nc x (P weights + bias)
+  kSecOutputCodes = 9,   // u32 codes, nc x 2^P
+  kSecCodePlanes = 10,   // u64 plane words, nc x n_planes x 2^P
+  kSecTables = 11,       // compact truth-table bits, every node, pre-order
+};
+constexpr std::uint32_t kSectionCount = 11;
+
+struct NodeRecord {
+  std::uint32_t kind = 0;   // 0 = leaf, 1 = internal (MAT)
+  std::uint32_t fanin = 0;  // leaf arity / MAT child count
+  std::uint64_t splat_offset = 0;  // word offset of the table in kSecSplat
+  std::uint64_t aux_offset = 0;    // leaf: word offset in kSecLeafInputs;
+                                   // internal: element offset in kSecMatWeights
+  std::uint64_t reserved = 0;
+};
+
+// --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------------
+
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const std::uint32_t* table = crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- little-endian scalar plumbing ------------------------------------------
+
+// The format is little-endian by declaration; on the (currently untargeted)
+// big-endian host we reject files instead of byte-swapping.
+bool host_is_little_endian() {
+  return std::endian::native == std::endian::little;
+}
+
+template <typename T>
+T load_scalar(const std::uint8_t* at) {
+  T value;
+  std::memcpy(&value, at, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void append_scalar(std::vector<std::uint8_t>& out, T value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+void append_f32_bits(std::vector<std::uint8_t>& out, float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  append_scalar(out, bits);
+}
+
+void append_f64_bits(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  append_scalar(out, bits);
+}
+
+float f32_from_bits(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+double f64_from_bits(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// --- writer -----------------------------------------------------------------
+
+// Per-section byte buffers accumulated by the model walk, then laid out at
+// aligned offsets behind the header + section table.
+struct SectionBuffers {
+  std::vector<std::uint8_t> payload[kSectionCount];
+  std::vector<std::uint8_t>& of(SectionId id) { return payload[id - 1]; }
+};
+
+void append_splat_table(SectionBuffers& sections, const Lut& lut,
+                        std::uint64_t* splat_offset_words) {
+  std::vector<std::uint8_t>& splat = sections.of(kSecSplat);
+  while ((splat.size() / sizeof(std::uint64_t)) % kSplatAlignWords != 0) {
+    append_scalar<std::uint64_t>(splat, 0);
+  }
+  *splat_offset_words = splat.size() / sizeof(std::uint64_t);
+  for (const std::uint64_t word : lut.splat_words()) {
+    append_scalar(splat, word);
+  }
+  // The same table again, one BIT per entry, in kSecTables. The loader
+  // builds the in-memory Lut from these few compact words so a fast load
+  // never has to page the (64x larger) splat section in — the splats stay
+  // cold until the first word-parallel eval faults them.
+  std::vector<std::uint8_t>& tables = sections.of(kSecTables);
+  const BitVector& table = lut.table();
+  for (std::size_t w = 0; w < table.word_count(); ++w) {
+    append_scalar(tables, table.words()[w]);
+  }
+}
+
+void append_node_record(SectionBuffers& sections, const NodeRecord& record) {
+  std::vector<std::uint8_t>& nodes = sections.of(kSecNodes);
+  append_scalar(nodes, record.kind);
+  append_scalar(nodes, record.fanin);
+  append_scalar(nodes, record.splat_offset);
+  append_scalar(nodes, record.aux_offset);
+  append_scalar(nodes, record.reserved);
+}
+
+void pack_module(const RincModule& module, SectionBuffers& sections) {
+  NodeRecord record;
+  if (module.is_leaf()) {
+    const Lut& lut = module.leaf_lut();
+    record.kind = 0;
+    record.fanin = static_cast<std::uint32_t>(lut.arity());
+    record.aux_offset =
+        sections.of(kSecLeafInputs).size() / sizeof(std::uint64_t);
+    for (const std::size_t input : lut.inputs()) {
+      append_scalar(sections.of(kSecLeafInputs),
+                    static_cast<std::uint64_t>(input));
+    }
+    append_splat_table(sections, lut, &record.splat_offset);
+    append_node_record(sections, record);
+    return;
+  }
+  record.kind = 1;
+  record.fanin = static_cast<std::uint32_t>(module.children().size());
+  record.aux_offset =
+      sections.of(kSecMatWeights).size() / sizeof(std::uint64_t);
+  for (const double weight : module.mat().weights()) {
+    append_f64_bits(sections.of(kSecMatWeights), weight);
+  }
+  append_splat_table(sections, module.mat_lut(), &record.splat_offset);
+  append_node_record(sections, record);
+  for (const RincModule& child : module.children()) {
+    pack_module(child, sections);
+  }
+}
+
+std::size_t count_nodes(const RincModule& module) {
+  std::size_t total = 1;
+  for (const RincModule& child : module.children()) {
+    total += count_nodes(child);
+  }
+  return total;
+}
+
+// --- loader -----------------------------------------------------------------
+
+// Load-failure carrier, converted to the IoResult error arm at the API
+// boundary (same pattern as the text parser).
+struct PackFailure {
+  ModelIoError error;
+};
+
+[[noreturn]] void fail(ModelIoError::Kind kind, std::string message) {
+  throw PackFailure{{kind, std::move(message)}};
+}
+
+void expect(bool condition, const char* message) {
+  if (!condition) fail(ModelIoError::Kind::kCorruptSection, message);
+}
+
+// RAII read-only mapping of a whole file. Owned by a shared_ptr that the
+// loaded model (and every copy of it) holds as its storage keepalive.
+class PackedMapping {
+ public:
+  PackedMapping(const PackedMapping&) = delete;
+  PackedMapping& operator=(const PackedMapping&) = delete;
+
+  ~PackedMapping() {
+    if (addr_ != MAP_FAILED) munmap(addr_, size_);
+  }
+
+  // Throws PackFailure (kFileNotFound / kCorruptSection) on failure.
+  static std::shared_ptr<const PackedMapping> open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      fail(ModelIoError::Kind::kFileNotFound,
+           "cannot open '" + path + "' for reading");
+    }
+    struct stat st = {};
+    if (fstat(fd, &st) != 0 || st.st_size < 0) {
+      close(fd);
+      fail(ModelIoError::Kind::kFileNotFound, "cannot stat '" + path + "'");
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size < kHeaderBytes) {
+      close(fd);
+      fail(ModelIoError::Kind::kCorruptSection,
+           "'" + path + "' is too small to hold a packed-model header");
+    }
+    void* addr = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    close(fd);  // the mapping keeps its own reference
+    if (addr == MAP_FAILED) {
+      fail(ModelIoError::Kind::kCorruptSection, "cannot map '" + path + "'");
+    }
+    return std::shared_ptr<const PackedMapping>(new PackedMapping(addr, size));
+  }
+
+  const std::uint8_t* bytes() const {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  PackedMapping(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = MAP_FAILED;
+  std::size_t size_ = 0;
+};
+
+struct Section {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+// A validated window into one section: bounds-checked typed reads. Offsets
+// are element offsets (of the accessor's type), not bytes.
+struct SectionView {
+  const std::uint8_t* base = nullptr;
+  std::uint64_t length = 0;
+  const char* name = "";
+
+  std::uint64_t count_of(std::size_t element_bytes) const {
+    return length / element_bytes;
+  }
+  void require_range(std::uint64_t first, std::uint64_t count,
+                     std::size_t element_bytes) const {
+    const std::uint64_t total = count_of(element_bytes);
+    if (first > total || count > total - first) {
+      fail(ModelIoError::Kind::kCorruptSection,
+           std::string("reference beyond the end of the ") + name +
+               " section");
+    }
+  }
+  std::uint64_t u64_at(std::uint64_t index) const {
+    require_range(index, 1, sizeof(std::uint64_t));
+    return load_scalar<std::uint64_t>(base + index * sizeof(std::uint64_t));
+  }
+  std::uint32_t u32_at(std::uint64_t index) const {
+    require_range(index, 1, sizeof(std::uint32_t));
+    return load_scalar<std::uint32_t>(base + index * sizeof(std::uint32_t));
+  }
+  // Pointer to a validated word range (for mapping-backed WordStorage views;
+  // the section offset is 64-byte aligned so word access is aligned).
+  const std::uint64_t* words_at(std::uint64_t first,
+                                std::uint64_t count) const {
+    require_range(first, count, sizeof(std::uint64_t));
+    return reinterpret_cast<const std::uint64_t*>(
+        base + first * sizeof(std::uint64_t));
+  }
+};
+
+struct PackedFile {
+  std::shared_ptr<const PackedMapping> mapping;
+  SectionView sections[kSectionCount];
+
+  const SectionView& view(SectionId id) const { return sections[id - 1]; }
+};
+
+PackedFile parse_container(const std::string& path, PackedVerify verify) {
+  if (!host_is_little_endian()) {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "packed models are little-endian; this host is not");
+  }
+  PackedFile file;
+  file.mapping = PackedMapping::open(path);
+  const std::uint8_t* bytes = file.mapping->bytes();
+  const std::size_t size = file.mapping->size();
+
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "'" + path + "' is not a packed poetbin model (bad magic)");
+  }
+  const auto version = load_scalar<std::uint32_t>(bytes + 8);
+  if (version != kFormatVersion) {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "unsupported packed-model version " + std::to_string(version));
+  }
+  expect(load_scalar<std::uint32_t>(bytes + 12) == kHeaderBytes,
+         "unexpected header size");
+  const auto section_count = load_scalar<std::uint32_t>(bytes + 16);
+  const auto stored_crc = load_scalar<std::uint32_t>(bytes + 20);
+  const auto stored_size = load_scalar<std::uint64_t>(bytes + 24);
+  expect(stored_size == size, "header file size does not match the file");
+  expect(section_count == kSectionCount, "unexpected section count");
+  const std::size_t table_end =
+      kHeaderBytes + std::size_t{section_count} * kSectionEntryBytes;
+  expect(table_end <= size, "section table runs past the end of the file");
+
+  // The CRC pass reads the whole file — the single most expensive part of a
+  // load — so kTrustChecksum skips it (serving loads trust the producer's
+  // checksum; pack/unpack and the tests verify it).
+  if (verify == PackedVerify::kFull) {
+    const std::uint32_t actual_crc =
+        crc32(bytes + kHeaderBytes, size - kHeaderBytes);
+    if (actual_crc != stored_crc) {
+      fail(ModelIoError::Kind::kChecksumMismatch,
+           "packed-model checksum mismatch in '" + path + "'");
+    }
+  }
+
+  bool present[kSectionCount] = {};
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* entry = bytes + kHeaderBytes + i * kSectionEntryBytes;
+    const auto id = load_scalar<std::uint32_t>(entry);
+    const auto offset = load_scalar<std::uint64_t>(entry + 8);
+    const auto length = load_scalar<std::uint64_t>(entry + 16);
+    expect(id >= 1 && id <= kSectionCount, "unknown section id");
+    expect(!present[id - 1], "duplicate section id");
+    present[id - 1] = true;
+    expect(offset % kPayloadAlignment == 0, "misaligned section offset");
+    expect(offset >= table_end, "section overlaps the header");
+    expect(offset <= size && length <= size - offset,
+           "section runs past the end of the file");
+    file.sections[id - 1] = SectionView{bytes + offset, length, ""};
+  }
+  static const char* kSectionNames[kSectionCount] = {
+      "config",        "quantizer",      "nodes",       "leaf-inputs",
+      "mat-weights",   "splat",          "output-wiring",
+      "output-weights", "output-codes",  "code-planes", "tables"};
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    expect(present[id - 1], "missing section");
+    file.sections[id - 1].name = kSectionNames[id - 1];
+  }
+  return file;
+}
+
+// Pre-order node reader mirroring pack_module.
+struct NodeReader {
+  const SectionView& nodes;
+  const SectionView& leaf_inputs;
+  const SectionView& mat_weights;
+  const SectionView& splat;
+  const SectionView& tables;
+  PackedVerify verify;
+  std::uint64_t cursor = 0;
+  std::uint64_t n_records = 0;
+  std::uint64_t table_cursor = 0;  // word offset into kSecTables, pre-order
+
+  NodeRecord next_record() {
+    expect(cursor < n_records, "node tree walks past the node records");
+    const std::uint8_t* at = nodes.base + cursor * kNodeRecordBytes;
+    ++cursor;
+    NodeRecord record;
+    record.kind = load_scalar<std::uint32_t>(at);
+    record.fanin = load_scalar<std::uint32_t>(at + 4);
+    record.splat_offset = load_scalar<std::uint64_t>(at + 8);
+    record.aux_offset = load_scalar<std::uint64_t>(at + 16);
+    return record;
+  }
+
+  // Builds one node's truth table from the compact kSecTables bits and a
+  // WordStorage view over its (bounds-checked, UNREAD) splat words. Keeping
+  // the fast load off the splat section is the point of storing the table
+  // twice: this touches a few words where the splats span pages. kFull
+  // additionally reads the splat words and checks them against the table —
+  // the purity the word kernels silently rely on.
+  std::pair<WordStorage, BitVector> read_table(std::uint64_t offset,
+                                               std::size_t arity) {
+    const std::uint64_t n_entries = std::uint64_t{1} << arity;
+    const std::uint64_t* splat_words = splat.words_at(offset, n_entries);
+    const std::uint64_t n_words = (n_entries + 63) / 64;
+    const std::uint64_t* table_words = tables.words_at(table_cursor, n_words);
+    table_cursor += n_words;
+    BitVector table(static_cast<std::size_t>(n_entries));
+    std::memcpy(table.words(), table_words,
+                static_cast<std::size_t>(n_words) * sizeof(std::uint64_t));
+    expect(table.words()[table.word_count() - 1] ==
+               (table.words()[table.word_count() - 1] &
+                BitVector::tail_word_mask(table.size())),
+           "table word has bits past the table size");
+    if (verify == PackedVerify::kFull) {
+      for (std::uint64_t a = 0; a < n_entries; ++a) {
+        const std::uint64_t want =
+            table.get(static_cast<std::size_t>(a)) ? ~std::uint64_t{0} : 0;
+        expect(splat_words[a] == want,
+               "splat words do not match the packed table bits");
+      }
+    }
+    return {WordStorage(splat_words, static_cast<std::size_t>(n_entries)),
+            std::move(table)};
+  }
+
+  RincModule load_node() {
+    const NodeRecord record = next_record();
+    if (record.kind == 0) {
+      expect(record.fanin >= 1 && record.fanin <= 16, "bad leaf arity");
+      const std::size_t arity = record.fanin;
+      leaf_inputs.require_range(record.aux_offset, arity,
+                                sizeof(std::uint64_t));
+      std::vector<std::size_t> inputs(arity);
+      for (std::size_t i = 0; i < arity; ++i) {
+        const std::uint64_t input = leaf_inputs.u64_at(record.aux_offset + i);
+        expect(input <= (std::uint64_t{1} << 32),
+               "leaf input feature index implausibly large");
+        inputs[i] = static_cast<std::size_t>(input);
+      }
+      auto [view, table] = read_table(record.splat_offset, arity);
+      return RincModule::make_leaf(
+          Lut(std::move(inputs), std::move(table), std::move(view)));
+    }
+    expect(record.kind == 1, "bad node kind");
+    expect(record.fanin >= 1 && record.fanin <= 20, "bad node fanin");
+    const std::size_t fanin = record.fanin;
+    mat_weights.require_range(record.aux_offset, fanin,
+                              sizeof(std::uint64_t));
+    std::vector<double> weights(fanin);
+    for (std::size_t i = 0; i < fanin; ++i) {
+      weights[i] = f64_from_bits(mat_weights.u64_at(record.aux_offset + i));
+    }
+    auto [view, table] = read_table(record.splat_offset, fanin);
+    std::vector<RincModule> children;
+    children.reserve(fanin);
+    for (std::size_t c = 0; c < fanin; ++c) {
+      children.push_back(load_node());
+    }
+    for (const RincModule& child : children) {
+      expect(child.level() == children.front().level(),
+             "node children at mixed RINC levels");
+    }
+    MatModule mat(std::move(weights));
+    // The stored MAT table must be the table the weights imply — eval reads
+    // the mapped table while retrain/export read the weights, and the two
+    // must never diverge. Re-deriving every table is 2^fanin x fanin float
+    // work per internal node, so it rides the kFull depth.
+    if (verify == PackedVerify::kFull) {
+      const BitVector expected = mat.to_table();
+      expect(table == expected, "MAT table does not match the MAT weights");
+    }
+    Lut mat_lut(std::vector<std::size_t>(fanin, 0), std::move(table),
+                std::move(view));
+    return RincModule::make_internal(std::move(children), std::move(mat),
+                                     std::move(mat_lut));
+  }
+};
+
+PoetBin parse_packed(const std::string& path, PackedVerify verify) {
+  PackedFile file = parse_container(path, verify);
+
+  // config: 8 u64 scalars.
+  const SectionView& config_sec = file.view(kSecConfig);
+  expect(config_sec.length == 8 * sizeof(std::uint64_t),
+         "config section has the wrong size");
+  PoetBinConfig config;
+  config.rinc.lut_inputs = static_cast<std::size_t>(config_sec.u64_at(0));
+  config.rinc.levels = static_cast<std::size_t>(config_sec.u64_at(1));
+  config.rinc.total_dts = static_cast<std::size_t>(config_sec.u64_at(2));
+  config.n_classes = static_cast<std::size_t>(config_sec.u64_at(3));
+  const std::uint64_t quant_bits = config_sec.u64_at(4);
+  const std::uint64_t n_modules = config_sec.u64_at(5);
+  const std::uint64_t n_nodes = config_sec.u64_at(6);
+  const std::uint64_t n_planes = config_sec.u64_at(7);
+  expect(config.rinc.lut_inputs >= 1 && config.rinc.lut_inputs <= 16,
+         "config P out of range");
+  expect(config.n_classes >= 1 && config.n_classes <= (std::size_t{1} << 20),
+         "config class count out of range");
+  expect(quant_bits >= 1 && quant_bits <= 24,
+         "config quantizer bits out of range");
+  config.output.quant_bits = static_cast<int>(quant_bits);
+  expect(n_modules == config.n_classes * config.rinc.lut_inputs,
+         "config module count does not match nc x P");
+  expect(n_nodes >= n_modules, "config node count below the module count");
+  expect(n_planes >= 1 && n_planes <= 32, "config plane count out of range");
+
+  // quantizer: u64 bits + two f32 bit patterns.
+  const SectionView& quant_sec = file.view(kSecQuantizer);
+  expect(quant_sec.length == sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t),
+         "quantizer section has the wrong size");
+  QuantizerParams quantizer;
+  expect(quant_sec.u64_at(0) == quant_bits, "quantizer/config bit mismatch");
+  quantizer.bits = static_cast<int>(quant_bits);
+  quantizer.min_value = f32_from_bits(quant_sec.u32_at(2));
+  quantizer.max_value = f32_from_bits(quant_sec.u32_at(3));
+
+  // Whole-section splat purity scan (kFull only — it pages the biggest
+  // section in): every word the kernels might read is a pure splat (0 or
+  // ~0), padding included. A fast load trusts the checksummed producer and
+  // leaves the splats untouched until the first word-parallel eval.
+  const SectionView& splat_sec = file.view(kSecSplat);
+  expect(splat_sec.length % sizeof(std::uint64_t) == 0,
+         "splat section is not word-sized");
+  if (verify == PackedVerify::kFull) {
+    const std::uint64_t n_words = splat_sec.count_of(sizeof(std::uint64_t));
+    const std::uint64_t* words = splat_sec.words_at(0, n_words);
+    for (std::uint64_t w = 0; w < n_words; ++w) {
+      expect(words[w] == 0 || words[w] == ~std::uint64_t{0},
+             "splat word is not 0 or ~0");
+    }
+  }
+
+  // Node trees, pre-order, one per module.
+  const SectionView& nodes_sec = file.view(kSecNodes);
+  expect(nodes_sec.length == n_nodes * kNodeRecordBytes,
+         "nodes section size does not match the config node count");
+  const SectionView& tables_sec = file.view(kSecTables);
+  expect(tables_sec.length % sizeof(std::uint64_t) == 0,
+         "tables section is not word-sized");
+  NodeReader reader{nodes_sec,  file.view(kSecLeafInputs),
+                    file.view(kSecMatWeights), splat_sec,
+                    tables_sec, verify,        0,          n_nodes, 0};
+  std::vector<RincModule> modules;
+  modules.reserve(static_cast<std::size_t>(n_modules));
+  for (std::uint64_t m = 0; m < n_modules; ++m) {
+    modules.push_back(reader.load_node());
+  }
+  expect(reader.cursor == n_nodes,
+         "node records left over after the module trees");
+  expect(reader.table_cursor == tables_sec.count_of(sizeof(std::uint64_t)),
+         "table words left over after the module trees");
+
+  // Output layer.
+  const std::size_t p = config.rinc.lut_inputs;
+  const std::size_t n_combos = std::size_t{1} << p;
+  const std::uint32_t levels = quantizer.levels();
+  const SectionView& wiring_sec = file.view(kSecOutputWiring);
+  const SectionView& weights_sec = file.view(kSecOutputWeights);
+  const SectionView& codes_sec = file.view(kSecOutputCodes);
+  expect(wiring_sec.length == config.n_classes * p * sizeof(std::uint64_t),
+         "output wiring section has the wrong size");
+  expect(weights_sec.length ==
+             config.n_classes * (p + 1) * sizeof(std::uint32_t),
+         "output weights section has the wrong size");
+  expect(codes_sec.length == config.n_classes * n_combos * sizeof(std::uint32_t),
+         "output codes section has the wrong size");
+
+  std::vector<SparseOutputNeuron> output(config.n_classes);
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    SparseOutputNeuron& neuron = output[c];
+    neuron.input_modules.resize(p);
+    neuron.weights.resize(p);
+    neuron.codes.resize(n_combos);
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::uint64_t module_index = wiring_sec.u64_at(c * p + i);
+      expect(module_index < n_modules,
+             "output wiring references a missing module");
+      neuron.input_modules[i] = static_cast<std::size_t>(module_index);
+      neuron.weights[i] = f32_from_bits(weights_sec.u32_at(c * (p + 1) + i));
+    }
+    neuron.bias = f32_from_bits(weights_sec.u32_at(c * (p + 1) + p));
+    for (std::size_t a = 0; a < n_combos; ++a) {
+      const std::uint32_t code = codes_sec.u32_at(c * n_combos + a);
+      expect(code < levels, "output code beyond quantizer range");
+      expect((static_cast<std::uint64_t>(code) >> n_planes) == 0,
+             "output code has bits above the stored plane count");
+      neuron.codes[a] = code;
+    }
+  }
+
+  // Code bit-planes: must equal the splat of the stored codes bit for bit —
+  // the fused argmax trusts them without looking at the codes again.
+  const SectionView& planes_sec = file.view(kSecCodePlanes);
+  const std::uint64_t n_plane_words =
+      std::uint64_t{config.n_classes} * n_planes * n_combos;
+  expect(planes_sec.length == n_plane_words * sizeof(std::uint64_t),
+         "code-planes section has the wrong size");
+  const std::uint64_t* plane_words = planes_sec.words_at(0, n_plane_words);
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    for (std::uint64_t q = 0; q < n_planes; ++q) {
+      const std::uint64_t* plane =
+          plane_words + (c * n_planes + q) * n_combos;
+      for (std::size_t a = 0; a < n_combos; ++a) {
+        const std::uint64_t want =
+            (output[c].codes[a] >> q) & 1u ? ~std::uint64_t{0} : 0;
+        expect(plane[a] == want, "code plane does not match the codes");
+      }
+    }
+  }
+
+  return PoetBin::from_parts(
+      std::move(config), std::move(modules), std::move(output), quantizer,
+      WordStorage(plane_words, static_cast<std::size_t>(n_plane_words)),
+      static_cast<std::size_t>(n_planes), file.mapping);
+}
+
+}  // namespace
+
+const char* model_format_name(ModelFormat format) {
+  switch (format) {
+    case ModelFormat::kText: return "text";
+    case ModelFormat::kPacked: return "packed";
+  }
+  return "unknown";
+}
+
+IoStatus write_packed_model_file(const PoetBin& model,
+                                 const std::string& path) {
+  if (!host_is_little_endian()) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "packed models are little-endian; this host is not"};
+  }
+  if (model.n_classes() == 0 ||
+      model.n_modules() != model.n_classes() * model.lut_inputs()) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "refusing to pack an empty or inconsistent model"};
+  }
+
+  SectionBuffers sections;
+
+  // config
+  {
+    std::vector<std::uint8_t>& config = sections.of(kSecConfig);
+    std::uint64_t n_nodes = 0;
+    for (const RincModule& module : model.modules()) {
+      n_nodes += count_nodes(module);
+    }
+    const RincModule& first = model.modules().front();
+    append_scalar<std::uint64_t>(config, model.lut_inputs());
+    append_scalar<std::uint64_t>(config, first.level());
+    append_scalar<std::uint64_t>(config, first.leaf_dt_count());
+    append_scalar<std::uint64_t>(config, model.n_classes());
+    append_scalar<std::uint64_t>(config,
+                                 static_cast<std::uint64_t>(model.quant_bits()));
+    append_scalar<std::uint64_t>(config, model.n_modules());
+    append_scalar<std::uint64_t>(config, n_nodes);
+    append_scalar<std::uint64_t>(config, model.code_plane_count());
+  }
+
+  // quantizer
+  {
+    const QuantizerParams& q = model.quantizer();
+    std::vector<std::uint8_t>& quant = sections.of(kSecQuantizer);
+    append_scalar<std::uint64_t>(quant, static_cast<std::uint64_t>(q.bits));
+    append_f32_bits(quant, q.min_value);
+    append_f32_bits(quant, q.max_value);
+  }
+
+  // nodes + leaf inputs + MAT weights + splat tables
+  for (const RincModule& module : model.modules()) {
+    pack_module(module, sections);
+  }
+
+  // output layer + code planes
+  {
+    const std::size_t p = model.lut_inputs();
+    const std::size_t n_combos = std::size_t{1} << p;
+    const std::size_t n_planes = model.code_plane_count();
+    for (std::size_t c = 0; c < model.n_classes(); ++c) {
+      const SparseOutputNeuron& neuron = model.output_neurons()[c];
+      for (const std::size_t module_index : neuron.input_modules) {
+        append_scalar<std::uint64_t>(sections.of(kSecOutputWiring),
+                                     module_index);
+      }
+      for (const float weight : neuron.weights) {
+        append_f32_bits(sections.of(kSecOutputWeights), weight);
+      }
+      append_f32_bits(sections.of(kSecOutputWeights), neuron.bias);
+      for (const std::uint32_t code : neuron.codes) {
+        append_scalar(sections.of(kSecOutputCodes), code);
+      }
+      for (std::size_t q = 0; q < n_planes; ++q) {
+        const std::uint64_t* plane = model.code_plane(c, q);
+        for (std::size_t a = 0; a < n_combos; ++a) {
+          append_scalar(sections.of(kSecCodePlanes), plane[a]);
+        }
+      }
+    }
+  }
+
+  // Lay the file out: header, section table, aligned payloads.
+  std::vector<std::uint8_t> buffer(
+      kHeaderBytes + kSectionCount * kSectionEntryBytes, 0);
+  Section table[kSectionCount];
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    while (buffer.size() % kPayloadAlignment != 0) buffer.push_back(0);
+    const std::vector<std::uint8_t>& payload =
+        sections.of(static_cast<SectionId>(id));
+    table[id - 1] = Section{buffer.size(), payload.size()};
+    buffer.insert(buffer.end(), payload.begin(), payload.end());
+  }
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    std::uint8_t* entry =
+        buffer.data() + kHeaderBytes + (id - 1) * kSectionEntryBytes;
+    std::memcpy(entry, &id, sizeof(id));
+    std::memcpy(entry + 8, &table[id - 1].offset, sizeof(std::uint64_t));
+    std::memcpy(entry + 16, &table[id - 1].length, sizeof(std::uint64_t));
+  }
+
+  std::memcpy(buffer.data(), kMagic, sizeof(kMagic));
+  const std::uint32_t version = kFormatVersion;
+  const std::uint32_t header_bytes = kHeaderBytes;
+  const std::uint32_t section_count = kSectionCount;
+  std::memcpy(buffer.data() + 8, &version, sizeof(version));
+  std::memcpy(buffer.data() + 12, &header_bytes, sizeof(header_bytes));
+  std::memcpy(buffer.data() + 16, &section_count, sizeof(section_count));
+  const std::uint64_t file_size = buffer.size();
+  std::memcpy(buffer.data() + 24, &file_size, sizeof(file_size));
+  const std::uint32_t crc =
+      crc32(buffer.data() + kHeaderBytes, buffer.size() - kHeaderBytes);
+  std::memcpy(buffer.data() + 20, &crc, sizeof(crc));
+
+  // Publish atomically: temp file + rename. Serving workers mmap the file
+  // they loaded, and truncating a mapped inode in place SIGBUSes every
+  // reader of its pages — the rename swaps the directory entry instead, so
+  // live mappings keep the old inode and the next reload opens the new one.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot open '" + temp + "' for writing"};
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  out.close();
+  if (!out) {
+    std::remove(temp.c_str());
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "write to '" + temp + "' failed"};
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot rename '" + temp + "' over '" + path + "'"};
+  }
+  return IoStatus();
+}
+
+IoResult<PoetBin> read_packed_model_file(const std::string& path,
+                                         PackedVerify verify) {
+  try {
+    return parse_packed(path, verify);
+  } catch (const PackFailure& failure) {
+    return ModelIoError{failure.error.kind,
+                        path + ": " + failure.error.message};
+  }
+}
+
+bool is_packed_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char head[sizeof(kMagic)] = {};
+  if (!in.read(head, sizeof(head))) return false;
+  return std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
+IoResult<LoadedModel> read_model_file_any(const std::string& path,
+                                          PackedVerify verify) {
+  if (is_packed_model_file(path)) {
+    IoResult<PoetBin> packed = read_packed_model_file(path, verify);
+    if (!packed.ok()) return packed.error();
+    return LoadedModel{std::move(packed).value(), ModelFormat::kPacked};
+  }
+  IoResult<PoetBin> text = read_model_file(path);
+  if (!text.ok()) return text.error();
+  return LoadedModel{std::move(text).value(), ModelFormat::kText};
+}
+
+}  // namespace poetbin

@@ -1,0 +1,109 @@
+// Versioned, 64-byte-aligned binary packed model format with mmap loading.
+//
+// The text format (core/serialize.h) is the debuggable interchange form; a
+// serving fleet wants the opposite trade: a worker should map a model in
+// and serve, with no parsing and no per-LUT heap reconstruction. The packed
+// format lays the data out exactly the way the eval kernels consume it —
+// splatted LUT truth tables (one word per entry) and output-layer code
+// bit-planes — so the loader hands the kernels pointers INTO the read-only
+// file mapping (util/word_storage.h views) instead of copying. Truth tables
+// are stored twice: splatted for the word kernels, and compact (one bit per
+// entry, kTables) for the loader — building the in-memory skeleton off the
+// compact copy means a fast load never reads the splat section at all; its
+// pages fault in lazily at the first word-parallel eval.
+//
+// Load-time validation comes in two depths (PackedVerify):
+//   kFull (default)  — header/section structure, CRC32 over the payload,
+//     and semantic cross-checks (splat purity + splat/table agreement, MAT
+//     table consistency, code/plane agreement). O(file); what pack/unpack
+//     tooling and the tests run.
+//   kTrustChecksum   — structure and the cheap semantic checks only; skips
+//     the CRC pass and every splat-section read, trusting the producer's
+//     checksum. O(metadata); what serving loads (Runtime::load) run, and
+//     what makes a packed load orders of magnitude faster than a text
+//     parse. Content corruption inside the splat section goes undetected
+//     until it changes predictions — push through pack (which re-verifies)
+//     when that matters.
+// Either way a well-formed file loads bit-identical to the same model
+// loaded from text — every eval path, every backend.
+//
+// Layout (all integers little-endian; the format is declared LE-only and
+// loaders reject big-endian hosts rather than byte-swapping):
+//
+//   header (64 bytes):
+//     0  char[8]  magic "PoETBiNP"
+//     8  u32      format version (1)
+//     12 u32      header bytes (64)
+//     16 u32      section count
+//     20 u32      CRC32 (IEEE) over file[64, file_size)
+//     24 u64      file size in bytes
+//     32 ...      zero reserved
+//   section table (24 bytes per entry, immediately after the header):
+//     u32 id, u32 reserved, u64 payload offset, u64 payload length
+//   payloads: each section's offset is 64-byte aligned; splat tables are
+//   additionally aligned to 8-word boundaries inside kSplat.
+//
+// Sections: config scalars, quantizer, pre-order node records (leaf/MAT),
+// leaf input indices, MAT weights, splat words, output wiring/weights/
+// codes, the precomputed code bit-planes of the fused argmax, and the
+// compact truth-table bits (pre-order, each table padded to whole words).
+//
+// Error contract matches the text loader: kFileNotFound, kVersionMismatch
+// (bad magic or version), kCorruptSection (truncation, misalignment,
+// out-of-range contents), kChecksumMismatch (CRC), each as a typed
+// ModelIoError — malformed bytes never abort a loading process.
+#pragma once
+
+#include <string>
+
+#include "core/poetbin.h"
+#include "core/serialize.h"
+
+namespace poetbin {
+
+// Which on-disk representation a model came from (or should go to).
+enum class ModelFormat {
+  kText,    // core/serialize.h line format
+  kPacked,  // this header's binary format
+};
+
+const char* model_format_name(ModelFormat format);
+
+// How deep read_packed_model_file validates (see the header comment).
+enum class PackedVerify {
+  kFull,           // structure + CRC + content cross-checks; O(file)
+  kTrustChecksum,  // structure + cheap checks; never reads the splats
+};
+
+// Writes `model` in the packed format. kWriteFailed on I/O trouble. The
+// write is an atomic publish (same-directory temp file + rename): pushing
+// over a file that serving workers have mapped never truncates their inode
+// — they keep serving the old bytes until their next reload. Third-party
+// pushers must follow the same rule; overwriting a mapped packed file in
+// place SIGBUSes its readers.
+IoStatus write_packed_model_file(const PoetBin& model,
+                                 const std::string& path);
+
+// Maps and validates a packed model file. The returned model's LUT splats
+// and code bit-planes view the mapping, which stays alive (shared) for the
+// model's lifetime and every copy of it.
+IoResult<PoetBin> read_packed_model_file(
+    const std::string& path, PackedVerify verify = PackedVerify::kFull);
+
+// Cheap magic sniff: true when the file starts with the packed magic.
+// false for text models, short files, or unreadable paths.
+bool is_packed_model_file(const std::string& path);
+
+// A loaded model plus the format it was read in.
+struct LoadedModel {
+  PoetBin model;
+  ModelFormat format = ModelFormat::kText;
+};
+
+// Format-sniffing loader: packed files go through the mmap path (at the
+// given verify depth), anything else through the text parser. The error
+// comes from whichever loader ran.
+IoResult<LoadedModel> read_model_file_any(
+    const std::string& path, PackedVerify verify = PackedVerify::kFull);
+
+}  // namespace poetbin

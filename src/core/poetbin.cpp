@@ -103,7 +103,69 @@ PoetBin PoetBin::from_parts(PoetBinConfig config,
   model.modules_ = std::move(modules);
   model.output_ = std::move(output_neurons);
   model.quantizer_ = quantizer;
+  model.rebuild_code_planes();
   return model;
+}
+
+PoetBin PoetBin::from_parts(PoetBinConfig config,
+                            std::vector<RincModule> modules,
+                            std::vector<SparseOutputNeuron> output_neurons,
+                            QuantizerParams quantizer,
+                            WordStorage code_planes, std::size_t n_planes,
+                            std::shared_ptr<const void> storage_keepalive) {
+  PoetBin model;
+  {
+    // Reuse the first overload's structural validation, then replace the
+    // heap planes it builds with the supplied (mapping-backed) ones.
+    model = from_parts(std::move(config), std::move(modules),
+                       std::move(output_neurons), quantizer);
+  }
+  POETBIN_CHECK_MSG(n_planes >= 1, "code planes need at least one plane");
+  // Supplied planes must be at least as wide as the codes need (extra
+  // all-zero high planes cannot change the MSB-first comparator) and sized
+  // exactly; the packed loader additionally verifies their contents.
+  POETBIN_CHECK_MSG(n_planes >= model.n_code_planes_,
+                    "externally supplied code planes narrower than the codes");
+  const std::size_t n_combos = std::size_t{1} << model.lut_inputs();
+  POETBIN_CHECK(code_planes.size() ==
+                model.output_.size() * n_planes * n_combos);
+  model.code_planes_ = std::move(code_planes);
+  model.n_code_planes_ = n_planes;
+  model.storage_keepalive_ = std::move(storage_keepalive);
+  return model;
+}
+
+std::size_t PoetBin::n_features() const {
+  std::size_t n_features = 0;
+  for (const auto& module : modules_) {
+    for (const auto f : module.distinct_features()) {
+      n_features = std::max(n_features, f + 1);
+    }
+  }
+  return n_features;
+}
+
+void PoetBin::rebuild_code_planes() {
+  // Planes always live on the heap after a rebuild: retraining a
+  // mapping-backed model republishes its (new) output layer in owned
+  // storage while the module LUTs keep viewing the mapping.
+  const std::size_t p = config_.rinc.lut_inputs;
+  const std::size_t n_combos = std::size_t{1} << p;
+  std::uint32_t max_code = 1;
+  for (const auto& neuron : output_) {
+    for (const auto code : neuron.codes) max_code = std::max(max_code, code);
+  }
+  n_code_planes_ = static_cast<std::size_t>(std::bit_width(max_code));
+  WordVec planes(output_.size() * n_code_planes_ * n_combos);
+  for (std::size_t c = 0; c < output_.size(); ++c) {
+    for (std::size_t plane = 0; plane < n_code_planes_; ++plane) {
+      std::uint64_t* out = planes.data() + (c * n_code_planes_ + plane) * n_combos;
+      for (std::size_t a = 0; a < n_combos; ++a) {
+        out[a] = (output_[c].codes[a] >> plane) & 1u ? ~0ULL : 0ULL;
+      }
+    }
+  }
+  code_planes_ = WordStorage(std::move(planes));
 }
 
 BitMatrix PoetBin::rinc_outputs(const BitMatrix& features) const {
@@ -404,6 +466,10 @@ void PoetBin::retrain_output_layer(const BitMatrix& rinc_bits,
       output_[c].codes[combo] = quantize_value(activations(c, combo), quantizer_);
     }
   }
+  // The fused argmax reads the precomputed planes; keep them in sync with
+  // the fresh codes (heap storage — a retrained mapping-backed model keeps
+  // its module LUTs on the mapping but owns its new output layer).
+  rebuild_code_planes();
 }
 
 int PoetBin::predict(const BitVector& example_bits) const {

@@ -36,8 +36,17 @@ RincModule RincModule::make_leaf(Lut lut) {
 
 RincModule RincModule::make_internal(std::vector<RincModule> children,
                                      MatModule mat) {
+  Lut mat_lut(std::vector<std::size_t>(mat.arity(), 0), mat.to_table());
+  return make_internal(std::move(children), std::move(mat),
+                       std::move(mat_lut));
+}
+
+RincModule RincModule::make_internal(std::vector<RincModule> children,
+                                     MatModule mat, Lut mat_lut) {
   POETBIN_CHECK(!children.empty());
   POETBIN_CHECK(mat.arity() == children.size());
+  POETBIN_CHECK_MSG(mat_lut.arity() == mat.arity(),
+                    "prebuilt MAT LUT arity must match the MAT fanin");
   const std::size_t child_level = children.front().level();
   for (const auto& child : children) {
     POETBIN_CHECK_MSG(child.level() == child_level,
@@ -46,8 +55,7 @@ RincModule RincModule::make_internal(std::vector<RincModule> children,
   RincModule module;
   module.children_ = std::move(children);
   module.mat_ = std::move(mat);
-  module.mat_lut_ = Lut(std::vector<std::size_t>(module.mat_.arity(), 0),
-                        module.mat_.to_table());
+  module.mat_lut_ = std::move(mat_lut);
   return module;
 }
 

@@ -60,6 +60,13 @@ class RincModule {
   static RincModule make_leaf(Lut lut);
   static RincModule make_internal(std::vector<RincModule> children,
                                   MatModule mat);
+  // Reconstruction with a prebuilt MAT LUT (the packed-model loader passes
+  // a table whose splat words view the file mapping, skipping the 2^fanin
+  // to_table() enumeration). `mat_lut` must have fanin zero-filled inputs
+  // and a 2^fanin table equal to mat.to_table() — the loader's checksum
+  // covers that equality; sizes are validated here.
+  static RincModule make_internal(std::vector<RincModule> children,
+                                  MatModule mat, Lut mat_lut);
 
   bool is_leaf() const { return children_.empty(); }
   std::size_t level() const;

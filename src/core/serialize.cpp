@@ -1,10 +1,13 @@
 #include "core/serialize.h"
 
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <utility>
+
+#include <unistd.h>
 
 namespace poetbin {
 
@@ -182,6 +185,8 @@ const char* model_io_error_kind_name(ModelIoError::Kind kind) {
     case ModelIoError::Kind::kVersionMismatch: return "version-mismatch";
     case ModelIoError::Kind::kCorruptSection: return "corrupt-section";
     case ModelIoError::Kind::kWriteFailed: return "write-failed";
+    case ModelIoError::Kind::kChecksumMismatch: return "checksum-mismatch";
+    case ModelIoError::Kind::kIncompatibleModel: return "incompatible-model";
   }
   return "unknown";
 }
@@ -234,16 +239,28 @@ IoResult<PoetBin> read_model_file(const std::string& path) {
 }
 
 IoStatus write_model_file(const PoetBin& model, const std::string& path) {
-  std::ofstream out(path);
+  // Publish atomically: write a same-directory temp file and rename it over
+  // `path`. A concurrent reader — including a serve --watch poll racing the
+  // push — sees the complete old file or the complete new one, never a
+  // truncated half-write, and any live mmap of the old inode stays valid.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(temp);
   if (!out) {
     return ModelIoError{ModelIoError::Kind::kWriteFailed,
-                        "cannot open '" + path + "' for writing"};
+                        "cannot open '" + temp + "' for writing"};
   }
   save_model(model, out);
   out.flush();
+  out.close();
   if (!out) {
+    std::remove(temp.c_str());
     return ModelIoError{ModelIoError::Kind::kWriteFailed,
-                        "write to '" + path + "' failed"};
+                        "write to '" + temp + "' failed"};
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot rename '" + temp + "' over '" + path + "'"};
   }
   return IoStatus();
 }

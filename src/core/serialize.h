@@ -32,10 +32,12 @@ namespace poetbin {
 // the message carries the human detail ("bad leaf arity", the path, ...).
 struct ModelIoError {
   enum class Kind {
-    kFileNotFound,     // path cannot be opened for reading
-    kVersionMismatch,  // not a poetbin-model header / unsupported version
-    kCorruptSection,   // structurally invalid section contents
-    kWriteFailed,      // path cannot be opened/flushed for writing
+    kFileNotFound,       // path cannot be opened for reading
+    kVersionMismatch,    // not a poetbin-model header / unsupported version
+    kCorruptSection,     // structurally invalid section contents
+    kWriteFailed,        // path cannot be opened/flushed for writing
+    kChecksumMismatch,   // packed-file CRC does not match the payload
+    kIncompatibleModel,  // valid model, but it cannot replace the one served
   };
 
   Kind kind = Kind::kCorruptSection;

@@ -153,6 +153,26 @@ bool NetClient::query_stats(wire::Response* response) {
   return true;
 }
 
+bool NetClient::reload(wire::Response* response) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_reload_request(&frame);
+  if (!send_bytes(frame.data(), frame.size())) return false;
+  std::vector<wire::Response> responses;
+  if (!read_responses(1, &responses)) return false;
+  *response = responses[0];
+  return true;
+}
+
+bool NetClient::model_info(wire::Response* response) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_model_info_request(&frame);
+  if (!send_bytes(frame.data(), frame.size())) return false;
+  std::vector<wire::Response> responses;
+  if (!read_responses(1, &responses)) return false;
+  *response = responses[0];
+  return true;
+}
+
 bool NetClient::predict_pipelined(
     const std::vector<const BitVector*>& requests,
     std::vector<wire::Response>* responses) {

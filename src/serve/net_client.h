@@ -50,6 +50,11 @@ class NetClient {
   bool predict(const BitVector& bits, wire::Response* response);
   bool info(wire::Response* response);
   bool query_stats(wire::Response* response);
+  // Asks the server to hot-swap its model from the recorded source path.
+  // A rejected swap comes back with status kReloadFailed (and the old
+  // model keeps serving); transport failure returns false.
+  bool reload(wire::Response* response);
+  bool model_info(wire::Response* response);
 
   // Pipelined burst: encodes every request, sends them in one write, then
   // reads exactly requests.size() responses back in order.

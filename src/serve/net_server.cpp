@@ -8,6 +8,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include <ctime>
 #include <utility>
 
+#include "core/packed_model.h"
 #include "core/serialize.h"
 #include "serve/protocol.h"
 #include "util/check.h"
@@ -28,18 +31,6 @@ using Clock = std::chrono::steady_clock;
 // Poll slice for stop-aware waits: handlers and the acceptor never block
 // longer than this without re-checking the stop flag.
 constexpr int kPollSliceMs = 200;
-
-std::size_t derive_n_features(const PoetBin& model) {
-  // Same rule as the netlist exporter: the model file does not record the
-  // input width, so serve the highest referenced feature index + 1.
-  std::size_t n_features = 0;
-  for (const auto& module : model.modules()) {
-    for (const auto f : module.distinct_features()) {
-      n_features = std::max(n_features, f + 1);
-    }
-  }
-  return n_features;
-}
 
 int make_listen_socket(const std::string& host, std::uint16_t port,
                        bool reuse_port, std::uint16_t* bound_port,
@@ -115,11 +106,11 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t n,
 
 }  // namespace
 
-NetServer::NetServer(const Runtime& runtime, NetServerOptions options)
+NetServer::NetServer(Runtime& runtime, NetServerOptions options)
     : runtime_(&runtime),
       options_(options),
       n_features_(options.n_features != 0 ? options.n_features
-                                          : derive_n_features(runtime.model())) {
+                                          : runtime.model().n_features()) {
   POETBIN_CHECK_MSG(n_features_ > 0, "served model references no features");
   if (options_.micro_batch) {
     batcher_ = std::make_unique<MicroBatcher>(
@@ -297,15 +288,41 @@ void NetServer::handle_connection(int fd) {
                 &out);
             break;
           }
-          case wire::MsgType::kInfo:
+          case wire::MsgType::kInfo: {
+            // Snapshot, not model(): a concurrent kReload may retire the
+            // borrowed version between the call and the read.
+            const Runtime::Snapshot snap = runtime_->snapshot();
             wire::encode_info_response(
                 static_cast<std::uint32_t>(n_features_),
-                static_cast<std::uint32_t>(runtime_->model().n_classes()),
-                &out);
+                static_cast<std::uint32_t>(snap->model.n_classes()), &out);
             break;
+          }
           case wire::MsgType::kStats:
             wire::encode_stats_response(stats(), &out);
             break;
+          case wire::MsgType::kReload: {
+            const IoStatus swapped = runtime_->reload();
+            if (swapped.ok()) {
+              wire::encode_reload_response(wire::Status::kOk,
+                                           runtime_->model_version(), &out);
+            } else {
+              std::fprintf(stderr, "reload failed: %s: %s\n",
+                           model_io_error_kind_name(swapped.error().kind),
+                           swapped.error().message.c_str());
+              wire::encode_reload_response(wire::Status::kReloadFailed, 0,
+                                           &out);
+              ++round_errors;
+            }
+            break;
+          }
+          case wire::MsgType::kModelInfo: {
+            const Runtime::Snapshot snap = runtime_->snapshot();
+            wire::encode_model_info_response(
+                snap->version, static_cast<std::uint8_t>(snap->format),
+                static_cast<std::uint32_t>(n_features_),
+                static_cast<std::uint32_t>(snap->model.n_classes()), &out);
+            break;
+          }
         }
       }
       if (round_errors > 0 || naive_requests > 0) {
@@ -343,6 +360,24 @@ void sleep_ms(long ms) {
   ::nanosleep(&ts, nullptr);
 }
 
+// What the file watcher compares between polls: a model push is visible as
+// an mtime and/or size change (rename-into-place updates both).
+struct FileStamp {
+  std::int64_t mtime_sec = 0;
+  std::int64_t mtime_nsec = 0;
+  std::int64_t size = 0;
+  bool ok = false;
+
+  bool operator==(const FileStamp&) const = default;
+};
+
+FileStamp stamp_of(const std::string& path) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return FileStamp{};
+  return FileStamp{st.st_mtim.tv_sec, st.st_mtim.tv_nsec,
+                   static_cast<std::int64_t>(st.st_size), true};
+}
+
 void print_worker_stats(std::size_t worker, const ServeStats& stats) {
   std::printf("worker %zu: %llu requests, %llu batches (mean fill %.1f), "
               "%llu timeouts, %llu errors, %llu connections\n",
@@ -358,12 +393,19 @@ void print_worker_stats(std::size_t worker, const ServeStats& stats) {
 
 int run_sharded_server(const std::string& model_path,
                        const ShardedServeOptions& options) {
-  const IoResult<PoetBin> model = read_model_file(model_path);
-  if (!model.ok()) {
-    std::fprintf(stderr, "error: %s: %s\n",
-                 model_io_error_kind_name(model.error().kind),
-                 model.error().message.c_str());
-    return 1;
+  // Pre-validate (text or packed) before forking so a bad path fails with
+  // one typed error instead of N worker deaths; each worker then loads the
+  // file itself — a packed model maps read-only pages the kernel shares
+  // across the shard group, and per-worker loading is what records the
+  // source path its Runtime hot-reloads from.
+  {
+    const IoResult<LoadedModel> model = read_model_file_any(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n",
+                   model_io_error_kind_name(model.error().kind),
+                   model.error().message.c_str());
+      return 1;
+    }
   }
 
   const std::size_t workers = options.workers < 1 ? 1 : options.workers;
@@ -430,7 +472,15 @@ int run_sharded_server(const std::string& model_path,
       ::close(ready_pipe[0]);
       for (const int rfd : ready_fds) ::close(rfd);
       if (hold_fd >= 0) ::close(hold_fd);
-      Runtime runtime(*model, RuntimeOptions{.threads = options.threads});
+      Runtime::LoadResult loaded = Runtime::load(
+          model_path, RuntimeOptions{.threads = options.threads});
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "worker %zu: %s: %s\n", w,
+                     model_io_error_kind_name(loaded.error().kind),
+                     loaded.error().message.c_str());
+        std::_Exit(1);
+      }
+      Runtime runtime = std::move(loaded).value();
       NetServer server(runtime, server_opts);
       std::string error;
       if (!server.start(&error)) {
@@ -440,7 +490,35 @@ int run_sharded_server(const std::string& model_path,
       const char ok = 1;
       if (::write(ready_pipe[1], &ok, 1) != 1) std::_Exit(1);
       ::close(ready_pipe[1]);
-      while (!g_shutdown) sleep_ms(50);
+      // Idle loop doubling as the file watcher: when watch_interval is
+      // set, poll the model file's stamp and hot-reload on change. The
+      // stamp updates even when the reload fails, so a bad push logs once
+      // rather than every interval until the file is fixed.
+      const long watch_ms = static_cast<long>(options.watch_interval.count());
+      FileStamp last_stamp = stamp_of(model_path);
+      long since_check = 0;
+      while (!g_shutdown) {
+        sleep_ms(50);
+        if (watch_ms <= 0) continue;
+        since_check += 50;
+        if (since_check < watch_ms) continue;
+        since_check = 0;
+        const FileStamp current = stamp_of(model_path);
+        if (!current.ok || current == last_stamp) continue;
+        last_stamp = current;
+        const IoStatus swapped = runtime.reload(model_path);
+        if (swapped.ok()) {
+          std::printf("worker %zu: reloaded %s (version %llu)\n", w,
+                      model_path.c_str(),
+                      static_cast<unsigned long long>(
+                          runtime.model_version()));
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "worker %zu: reload failed: %s: %s\n", w,
+                       model_io_error_kind_name(swapped.error().kind),
+                       swapped.error().message.c_str());
+        }
+      }
       server.stop();
       print_worker_stats(w, server.stats());
       std::fflush(stdout);

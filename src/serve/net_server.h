@@ -30,6 +30,15 @@
 // Handler reads sit in short poll slices so stop() is never blocked on an
 // idle connection; a *mid-frame* stall or a blocked write is bounded by
 // io_timeout and closes the connection.
+//
+// Hot reload: a kReload frame asks the worker's Runtime to atomically swap
+// in the model from its recorded source path. The swap is RCU-style
+// (serve/runtime.h): requests already dispatched — including a whole
+// micro-batch window — finish on the old version, later requests see the
+// new one, and a failed reload answers kReloadFailed while the old model
+// keeps serving. kModelInfo reports the serving version/format so clients
+// can observe swaps. run_sharded_server can also watch the model file
+// (watch_interval) and reload on mtime/size changes without any frame.
 #pragma once
 
 #include <atomic>
@@ -72,8 +81,9 @@ struct NetServerOptions {
 
 class NetServer {
  public:
-  // The Runtime must outlive the server.
-  explicit NetServer(const Runtime& runtime, NetServerOptions options = {});
+  // The Runtime must outlive the server. Non-const: kReload frames drive
+  // Runtime::reload() (all request paths stay const/snapshot-based).
+  explicit NetServer(Runtime& runtime, NetServerOptions options = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -100,7 +110,7 @@ class NetServer {
   void accept_loop();
   void handle_connection(int fd);
 
-  const Runtime* runtime_;
+  Runtime* runtime_;
   NetServerOptions options_;
   std::size_t n_features_;
   std::unique_ptr<MicroBatcher> batcher_;  // null in naive mode
@@ -121,6 +131,11 @@ struct ShardedServeOptions {
   // Engine threads per worker Runtime. Sharding parallelism comes from the
   // worker processes; 1 keeps each worker's word pass inline.
   std::size_t threads = 1;
+  // > 0: each worker polls the model file at this interval and hot-reloads
+  // when its mtime or size changes — live model pushes without touching
+  // the processes or dropping a connection. 0 disables watching (kReload
+  // frames still work either way).
+  std::chrono::milliseconds watch_interval{0};
   NetServerOptions server;  // reuse_port is forced on when workers > 1
 };
 

@@ -68,6 +68,7 @@ const char* status_name(Status status) {
     case Status::kWrongFeatureWidth: return "wrong-feature-width";
     case Status::kUnknownType: return "unknown-type";
     case Status::kEmptyInput: return "empty-input";
+    case Status::kReloadFailed: return "reload-failed";
   }
   return "unknown";
 }
@@ -96,6 +97,18 @@ std::size_t encode_info_request(std::vector<std::uint8_t>* out) {
 std::size_t encode_stats_request(std::vector<std::uint8_t>* out) {
   const std::size_t header_at = open_frame(out);
   out->push_back(static_cast<std::uint8_t>(MsgType::kStats));
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_reload_request(std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kReload));
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_model_info_request(std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kModelInfo));
   return seal_frame(header_at, out);
 }
 
@@ -133,6 +146,30 @@ std::size_t encode_stats_response(const ServeStats& stats,
   return seal_frame(header_at, out);
 }
 
+std::size_t encode_reload_response(Status status, std::uint64_t version,
+                                   std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kReload));
+  out->push_back(static_cast<std::uint8_t>(status));
+  if (status == Status::kOk) put_u64(version, out);
+  return seal_frame(header_at, out);
+}
+
+std::size_t encode_model_info_response(std::uint64_t version,
+                                       std::uint8_t format,
+                                       std::uint32_t n_features,
+                                       std::uint32_t n_classes,
+                                       std::vector<std::uint8_t>* out) {
+  const std::size_t header_at = open_frame(out);
+  out->push_back(static_cast<std::uint8_t>(MsgType::kModelInfo));
+  out->push_back(static_cast<std::uint8_t>(Status::kOk));
+  put_u64(version, out);
+  out->push_back(format);
+  put_u32(n_features, out);
+  put_u32(n_classes, out);
+  return seal_frame(header_at, out);
+}
+
 FrameResult decode_request(const std::uint8_t* buffer, std::size_t size,
                            std::size_t* offset, Request* request,
                            Status* error, bool* fatal) {
@@ -157,7 +194,9 @@ FrameResult decode_request(const std::uint8_t* buffer, std::size_t size,
   }
   const std::uint8_t type = payload[0];
   if (type == static_cast<std::uint8_t>(MsgType::kInfo) ||
-      type == static_cast<std::uint8_t>(MsgType::kStats)) {
+      type == static_cast<std::uint8_t>(MsgType::kStats) ||
+      type == static_cast<std::uint8_t>(MsgType::kReload) ||
+      type == static_cast<std::uint8_t>(MsgType::kModelInfo)) {
     if (length != 1) {
       *error = Status::kBadFrame;
       return FrameResult::kReject;
@@ -240,6 +279,17 @@ FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
       }
       return FrameResult::kFrame;
     }
+    case MsgType::kReload:
+      if (length != 2 + 8) return FrameResult::kReject;
+      response->model_version = get_u64(payload + 2);
+      return FrameResult::kFrame;
+    case MsgType::kModelInfo:
+      if (length != 2 + 8 + 1 + 4 + 4) return FrameResult::kReject;
+      response->model_version = get_u64(payload + 2);
+      response->model_format = payload[2 + 8];
+      response->n_features = get_u32(payload + 2 + 8 + 1);
+      response->n_classes = get_u32(payload + 2 + 8 + 1 + 4);
+      return FrameResult::kFrame;
   }
   return FrameResult::kReject;
 }

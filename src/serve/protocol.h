@@ -14,6 +14,10 @@
 //   kInfo    : empty — asks the server for the model's feature width and
 //              class count
 //   kStats   : empty — asks the worker for its ServeStats snapshot
+//   kReload  : empty — asks the worker to hot-swap its model from the
+//              recorded source path (atomic: in-flight requests finish on
+//              the old version; see serve/runtime.h)
+//   kModelInfo : empty — asks for the served model's version/provenance
 //
 // Response payloads echo the request type:
 //   payload  := u8 type, u8 status, body
@@ -21,6 +25,11 @@
 //   kInfo    : u32 n_features, u32 n_classes
 //   kStats   : 5 + kFillBuckets u64 counters (requests, batches, timeouts,
 //              errors, connections, window_fill[0..])
+//   kReload  : u64 model version now serving (only when status == kOk;
+//              a failed reload answers status kReloadFailed, empty body,
+//              and the old model keeps serving)
+//   kModelInfo : u64 version, u8 format (ModelFormat), u32 n_features,
+//              u32 n_classes
 //
 // Error handling is part of the contract: malformed frames (truncated,
 // oversized, zero-bit inputs, wrong feature width, unknown type) get a
@@ -45,6 +54,8 @@ enum class MsgType : std::uint8_t {
   kPredict = 1,
   kInfo = 2,
   kStats = 3,
+  kReload = 4,
+  kModelInfo = 5,
 };
 
 // Response status codes. Anything but kOk means the request was rejected;
@@ -56,6 +67,7 @@ enum class Status : std::uint8_t {
   kWrongFeatureWidth = 3, // n_bits does not match the served model
   kUnknownType = 4,       // unrecognised MsgType tag
   kEmptyInput = 5,        // predict request with zero feature bits
+  kReloadFailed = 6,      // hot reload rejected; the old model keeps serving
 };
 
 const char* status_name(Status status);
@@ -74,6 +86,8 @@ std::size_t encode_predict_request(const BitVector& bits,
                                    std::vector<std::uint8_t>* out);
 std::size_t encode_info_request(std::vector<std::uint8_t>* out);
 std::size_t encode_stats_request(std::vector<std::uint8_t>* out);
+std::size_t encode_reload_request(std::vector<std::uint8_t>* out);
+std::size_t encode_model_info_request(std::vector<std::uint8_t>* out);
 
 // Response framing.
 std::size_t encode_predict_response(Status status, std::uint16_t prediction,
@@ -83,6 +97,15 @@ std::size_t encode_info_response(std::uint32_t n_features,
                                  std::vector<std::uint8_t>* out);
 std::size_t encode_stats_response(const ServeStats& stats,
                                   std::vector<std::uint8_t>* out);
+// `version` is encoded only when status == kOk (non-ok responses carry no
+// body, like every other type).
+std::size_t encode_reload_response(Status status, std::uint64_t version,
+                                   std::vector<std::uint8_t>* out);
+std::size_t encode_model_info_response(std::uint64_t version,
+                                       std::uint8_t format,
+                                       std::uint32_t n_features,
+                                       std::uint32_t n_classes,
+                                       std::vector<std::uint8_t>* out);
 
 // --- decoding -------------------------------------------------------------
 
@@ -116,10 +139,12 @@ FrameResult decode_request(const std::uint8_t* buffer, std::size_t size,
 struct Response {
   MsgType type = MsgType::kPredict;
   Status status = Status::kOk;
-  std::uint16_t prediction = 0;  // kPredict
-  std::uint32_t n_features = 0;  // kInfo
-  std::uint32_t n_classes = 0;   // kInfo
-  ServeStats stats;              // kStats
+  std::uint16_t prediction = 0;      // kPredict
+  std::uint32_t n_features = 0;      // kInfo, kModelInfo
+  std::uint32_t n_classes = 0;       // kInfo, kModelInfo
+  ServeStats stats;                  // kStats
+  std::uint64_t model_version = 0;   // kReload, kModelInfo
+  std::uint8_t model_format = 0;     // kModelInfo (a ModelFormat value)
 };
 
 FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,

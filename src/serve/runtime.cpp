@@ -1,20 +1,90 @@
 #include "serve/runtime.h"
 
+#include <atomic>
+#include <map>
+#include <mutex>
 #include <utility>
 
-#include "core/serialize.h"
+#include "util/check.h"
 
 namespace poetbin {
 
+namespace {
+
+// A reload may not change the request/response shape out from under
+// connected clients: kIncompatibleModel when the candidate is a perfectly
+// valid model that just doesn't fit the slot it would replace.
+IoStatus check_compatible(const PoetBin& serving, const PoetBin& candidate,
+                          const std::string& path) {
+  if (candidate.n_classes() != serving.n_classes() ||
+      candidate.n_features() != serving.n_features()) {
+    return ModelIoError{
+        ModelIoError::Kind::kIncompatibleModel,
+        "'" + path + "' serves " + std::to_string(candidate.n_features()) +
+            " features / " + std::to_string(candidate.n_classes()) +
+            " classes but the live model serves " +
+            std::to_string(serving.n_features()) + " / " +
+            std::to_string(serving.n_classes())};
+  }
+  return IoStatus();
+}
+
+}  // namespace
+
+// One atomically swappable model slot. Readers load the shared_ptr; a
+// publish is a single atomic store. The slot itself never moves once
+// created (named slots live behind unique_ptr in the registry map).
+struct Runtime::Slot {
+  std::atomic<Snapshot> current;
+};
+
+struct Runtime::State {
+  RuntimeOptions options;
+  WordBackend backend = WordBackend::kScalar64;
+  std::unique_ptr<BatchEngine> engine;
+  std::atomic<std::uint64_t> next_version{1};
+
+  Slot primary;
+
+  // Lock order: mutate_mu -> registry_mu -> engine_mu (each optional).
+  // mutate_mu serializes read-modify-write publishes (reload, retrain,
+  // load_model) so concurrent mutators can't interleave their compat
+  // check and swap. engine_mu serializes dataset passes on the one
+  // non-reentrant engine. registry_mu guards the named-slot map; Slot
+  // references are only used while it is held.
+  std::mutex mutate_mu;
+  mutable std::mutex registry_mu;
+  mutable std::mutex engine_mu;
+  std::map<std::string, std::unique_ptr<Slot>> named;
+};
+
 Runtime::Runtime(PoetBin model, RuntimeOptions options)
-    : model_(std::move(model)), options_(options) {
-  if (options_.backend.has_value()) {
+    : Runtime(std::move(model), options, ModelFormat::kText, std::string()) {}
+
+Runtime::Runtime(PoetBin model, RuntimeOptions options, ModelFormat format,
+                 std::string source_path)
+    : state_(std::make_unique<State>()) {
+  state_->options = options;
+  if (options.forced_backend.has_value()) {
     // Aborts when the backend is unavailable on this build or CPU; backend
     // dispatch is process-global (see RuntimeOptions).
-    set_word_backend(*options_.backend);
+    set_word_backend(*options.forced_backend);
   }
-  backend_ = active_word_backend();
-  engine_ = std::make_unique<BatchEngine>(options_.threads);
+  state_->backend = active_word_backend();
+  state_->engine = std::make_unique<BatchEngine>(options.threads);
+  publish(state_->primary, std::move(model), format, std::move(source_path));
+}
+
+Runtime::Runtime(Runtime&&) noexcept = default;
+Runtime& Runtime::operator=(Runtime&&) noexcept = default;
+Runtime::~Runtime() = default;
+
+void Runtime::publish(Slot& slot, PoetBin model, ModelFormat format,
+                      std::string source_path) {
+  auto version = std::make_shared<const ModelVersion>(ModelVersion{
+      std::move(model), state_->next_version.fetch_add(1), format,
+      std::move(source_path)});
+  slot.current.store(std::move(version));
 }
 
 Runtime Runtime::train(const BitMatrix& features,
@@ -24,29 +94,83 @@ Runtime Runtime::train(const BitMatrix& features,
   // Apply a forced backend before training too, so the override governs
   // the whole train-then-serve flow, not just the serving half (results
   // are bit-identical either way; this is about speed/debuggability).
-  if (options.backend.has_value()) set_word_backend(*options.backend);
+  if (options.forced_backend.has_value()) {
+    set_word_backend(*options.forced_backend);
+  }
   return Runtime(PoetBin::train(features, intermediate_targets, labels, config),
                  options);
 }
 
 Runtime::LoadResult Runtime::load(const std::string& path,
                                   RuntimeOptions options) {
-  IoResult<PoetBin> model = read_model_file(path);
-  if (!model.ok()) return model.error();
-  return Runtime(std::move(model).value(), options);
+  IoResult<LoadedModel> loaded =
+      read_model_file_any(path, PackedVerify::kTrustChecksum);
+  if (!loaded.ok()) return loaded.error();
+  return Runtime(std::move(loaded->model), options, loaded->format, path);
 }
 
 IoStatus Runtime::save(const std::string& path) const {
-  return write_model_file(model_, path);
+  return write_model_file(snapshot()->model, path);
 }
 
-std::vector<int> Runtime::predict(const BitMatrix& features) const {
-  if (options_.fused_argmax) {
-    return engine_->predict_dataset(model_, features);
+IoStatus Runtime::save_packed(const std::string& path) const {
+  return write_packed_model_file(snapshot()->model, path);
+}
+
+Runtime::Snapshot Runtime::snapshot() const {
+  return state_->primary.current.load();
+}
+
+const PoetBin& Runtime::model() const { return snapshot()->model; }
+std::uint64_t Runtime::model_version() const { return snapshot()->version; }
+ModelFormat Runtime::model_format() const { return snapshot()->format; }
+std::string Runtime::source_path() const { return snapshot()->source_path; }
+
+const RuntimeOptions& Runtime::options() const { return state_->options; }
+const BatchEngine& Runtime::engine() const { return *state_->engine; }
+std::size_t Runtime::threads() const { return state_->engine->n_threads(); }
+WordBackend Runtime::backend() const { return state_->backend; }
+
+IoStatus Runtime::reload() {
+  const std::string path = snapshot()->source_path;
+  if (path.empty()) {
+    return ModelIoError{
+        ModelIoError::Kind::kFileNotFound,
+        "runtime has no recorded model path to reload from (the model was "
+        "trained or constructed in-process)"};
+  }
+  return reload(path);
+}
+
+IoStatus Runtime::reload(const std::string& path) {
+  std::lock_guard<std::mutex> mutate(state_->mutate_mu);
+  IoResult<LoadedModel> loaded =
+      read_model_file_any(path, PackedVerify::kTrustChecksum);
+  if (!loaded.ok()) return loaded.error();
+  const Snapshot serving = snapshot();
+  IoStatus compatible = check_compatible(serving->model, loaded->model, path);
+  if (!compatible.ok()) return compatible;
+  publish(state_->primary, std::move(loaded->model), loaded->format, path);
+  return IoStatus();
+}
+
+std::vector<int> Runtime::predict_on(const ModelVersion& version,
+                                     const BitMatrix& features) const {
+  // The engine pool is not re-entrant: dataset passes from concurrent
+  // callers (and from mutators) queue here instead of aborting.
+  std::lock_guard<std::mutex> lock(state_->engine_mu);
+  if (state_->options.fused_argmax) {
+    return state_->engine->predict_dataset(version.model, features);
   }
   // Debug path: materialize the RINC bank word-parallel, then run the
   // scalar argmax — the exact loop predict_dataset's fused pass must match.
-  return model_.predict_from_rinc_bits(engine_->rinc_outputs(model_, features));
+  return version.model.predict_from_rinc_bits(
+      state_->engine->rinc_outputs(version.model, features));
+}
+
+std::vector<int> Runtime::predict(const BitMatrix& features) const {
+  const Snapshot snap = snapshot();
+  return predict_on(*snap, features);
 }
 
 double Runtime::accuracy(const BitMatrix& features,
@@ -55,17 +179,113 @@ double Runtime::accuracy(const BitMatrix& features,
 }
 
 BitMatrix Runtime::rinc_outputs(const BitMatrix& features) const {
-  return engine_->rinc_outputs(model_, features);
+  const Snapshot snap = snapshot();
+  std::lock_guard<std::mutex> lock(state_->engine_mu);
+  return state_->engine->rinc_outputs(snap->model, features);
 }
 
 int Runtime::predict_one(const BitVector& example_bits) const {
-  return model_.predict(example_bits);
+  return snapshot()->model.predict(example_bits);
 }
 
 void Runtime::retrain_output_layer(const BitMatrix& features,
                                    const std::vector<int>& labels) {
-  const BitMatrix rinc_bits = engine_->rinc_outputs(model_, features);
-  model_.retrain_output_layer(rinc_bits, labels, engine_.get());
+  std::lock_guard<std::mutex> mutate(state_->mutate_mu);
+  const Snapshot serving = snapshot();
+  // Retrain a copy off to the side; readers keep serving the old weights
+  // until the publish below. A mapping-backed copy shares the old
+  // version's LUT storage (cheap) and grows heap-owned output planes.
+  PoetBin next = serving->model;
+  {
+    std::lock_guard<std::mutex> lock(state_->engine_mu);
+    const BitMatrix rinc_bits = state_->engine->rinc_outputs(next, features);
+    next.retrain_output_layer(rinc_bits, labels, state_->engine.get());
+  }
+  publish(state_->primary, std::move(next), serving->format,
+          serving->source_path);
+}
+
+// --- named model registry ---------------------------------------------------
+
+void Runtime::add_model(const std::string& name, PoetBin model) {
+  POETBIN_CHECK_MSG(!name.empty(), "model name must be non-empty");
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  std::unique_ptr<Slot>& slot = state_->named[name];
+  if (!slot) slot = std::make_unique<Slot>();
+  publish(*slot, std::move(model), ModelFormat::kText, std::string());
+}
+
+IoStatus Runtime::load_model(const std::string& name,
+                             const std::string& path) {
+  POETBIN_CHECK_MSG(!name.empty(), "model name must be non-empty");
+  std::lock_guard<std::mutex> mutate(state_->mutate_mu);
+  IoResult<LoadedModel> loaded =
+      read_model_file_any(path, PackedVerify::kTrustChecksum);
+  if (!loaded.ok()) return loaded.error();
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  std::unique_ptr<Slot>& slot = state_->named[name];
+  if (!slot) {
+    slot = std::make_unique<Slot>();
+  } else if (const Snapshot serving = slot->current.load()) {
+    IoStatus compatible =
+        check_compatible(serving->model, loaded->model, path);
+    if (!compatible.ok()) return compatible;
+  }
+  publish(*slot, std::move(loaded->model), loaded->format, path);
+  return IoStatus();
+}
+
+IoStatus Runtime::reload_model(const std::string& name) {
+  const Snapshot serving = snapshot(name);
+  if (serving == nullptr) {
+    return ModelIoError{ModelIoError::Kind::kFileNotFound,
+                        "no model named '" + name + "'"};
+  }
+  if (serving->source_path.empty()) {
+    return ModelIoError{
+        ModelIoError::Kind::kFileNotFound,
+        "model '" + name + "' has no recorded path to reload from"};
+  }
+  return load_model(name, serving->source_path);
+}
+
+bool Runtime::remove_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  return state_->named.erase(name) > 0;
+}
+
+bool Runtime::has_model(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  return state_->named.count(name) > 0;
+}
+
+std::vector<std::string> Runtime::model_names() const {
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  std::vector<std::string> names;
+  names.reserve(state_->named.size());
+  for (const auto& [name, slot] : state_->named) names.push_back(name);
+  return names;
+}
+
+Runtime::Snapshot Runtime::snapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  const auto it = state_->named.find(name);
+  if (it == state_->named.end()) return nullptr;
+  return it->second->current.load();
+}
+
+std::vector<int> Runtime::predict(const std::string& name,
+                                  const BitMatrix& features) const {
+  const Snapshot snap = snapshot(name);
+  POETBIN_CHECK_MSG(snap != nullptr, "predict() on an unknown model name");
+  return predict_on(*snap, features);
+}
+
+int Runtime::predict_one(const std::string& name,
+                         const BitVector& example_bits) const {
+  const Snapshot snap = snapshot(name);
+  POETBIN_CHECK_MSG(snap != nullptr, "predict_one() on an unknown model name");
+  return snap->model.predict(example_bits);
 }
 
 }  // namespace poetbin

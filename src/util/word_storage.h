@@ -1,0 +1,59 @@
+// Owned-or-mapped word storage: one view abstraction for kernel constants.
+//
+// The bitsliced kernels consume flat arrays of uint64 words (splatted LUT
+// truth tables, output-layer code bit-planes). Those words either live on
+// the heap — built at construction/training time — or inside a read-only
+// mmap'd packed model file (core/packed_model.h), where loading must not
+// copy them. WordStorage holds either: an owning WordVec, or a borrowed
+// pointer+size view into a mapping whose lifetime somebody else guarantees
+// (PoetBin keeps the mapping alive via a shared keepalive handle).
+//
+// The class is rule-of-zero on purpose: copying an owned storage deep-copies
+// the words, copying a view copies the pointer — both copies read the same
+// bits, and `words()` resolves the active representation per call so moved-
+// from/copied objects can never alias a dead internal pointer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "util/aligned_vector.h"
+
+namespace poetbin {
+
+class WordStorage {
+ public:
+  WordStorage() = default;
+
+  // Owning: adopts the heap words.
+  explicit WordStorage(WordVec owned) : owned_(std::move(owned)) {}
+
+  // Borrowing: views `size` words at `data` (e.g. inside a file mapping).
+  // The caller guarantees the backing memory outlives every copy of this
+  // view; null data with size 0 is an empty view.
+  WordStorage(const std::uint64_t* data, std::size_t size)
+      : view_data_(data), view_size_(size) {}
+
+  bool owning() const { return view_data_ == nullptr; }
+
+  std::span<const std::uint64_t> words() const {
+    return view_data_ != nullptr
+               ? std::span<const std::uint64_t>(view_data_, view_size_)
+               : std::span<const std::uint64_t>(owned_);
+  }
+
+  const std::uint64_t* data() const { return words().data(); }
+  std::size_t size() const {
+    return view_data_ != nullptr ? view_size_ : owned_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  WordVec owned_;
+  const std::uint64_t* view_data_ = nullptr;
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace poetbin

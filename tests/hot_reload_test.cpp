@@ -1,0 +1,355 @@
+// Atomic hot reload under live traffic: Runtime's RCU version slots, the
+// kReload/kModelInfo wire frames, the named-model registry, and the
+// process-global forced_backend contract.
+//
+// The instrument is a version-tagged model: every output code is rigged so
+// predict() returns one constant class regardless of input. Swapping
+// between differently-tagged models while readers hammer predict_one makes
+// torn or mixed-version reads visible as impossible predictions — each
+// response must equal exactly one version's tag, and each thread must see
+// the tags in publish order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/packed_model.h"
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "core/serialize.h"
+#include "dt/lut.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
+#include "serve/runtime.h"
+#include "test_util.h"
+#include "util/bitvector.h"
+
+namespace poetbin {
+namespace {
+
+constexpr std::size_t kFeatures = 16;
+constexpr std::size_t kClasses = 3;
+
+// A model whose prediction is `tag` for every input: class `tag` gets the
+// maximum output code everywhere, everyone else zero. The LUT tables also
+// vary with the tag so differently-tagged files differ throughout, not
+// just in the output layer.
+PoetBin tagged_model(int tag, std::size_t n_classes = kClasses) {
+  const std::size_t p = 2;
+  PoetBinConfig config;
+  config.rinc.lut_inputs = p;
+  config.n_classes = n_classes;
+  std::vector<RincModule> modules;
+  for (std::size_t m = 0; m < n_classes * p; ++m) {
+    // Always reference the last feature so every tag derives the same
+    // n_features (reload's compatibility check compares shapes).
+    std::vector<std::size_t> inputs = {
+        (m + static_cast<std::size_t>(tag)) % (kFeatures - 1), kFeatures - 1};
+    BitVector table(std::size_t{1} << p);
+    for (std::size_t a = 0; a < table.size(); ++a) {
+      table.set(a, ((m + a + static_cast<std::size_t>(tag)) % 3) == 0);
+    }
+    modules.push_back(
+        RincModule::make_leaf(Lut(std::move(inputs), std::move(table))));
+  }
+  const QuantizerParams quantizer;  // 256 levels over [0, 1]
+  const std::size_t n_combos = std::size_t{1} << p;
+  std::vector<SparseOutputNeuron> neurons(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    neurons[c].input_modules.resize(p);
+    neurons[c].weights.assign(p, 0.0f);
+    neurons[c].codes.assign(
+        n_combos, c == static_cast<std::size_t>(tag) ? quantizer.levels() - 1
+                                                     : 0u);
+    for (std::size_t j = 0; j < p; ++j) {
+      neurons[c].input_modules[j] = c * p + j;
+    }
+  }
+  return PoetBin::from_parts(config, std::move(modules), std::move(neurons),
+                             quantizer);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+BitVector example_bits(std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(kFeatures);
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    if (rng.next_bool()) bits.set(f, true);
+  }
+  return bits;
+}
+
+TEST(HotReload, TaggedModelPredictsItsTagThroughBothFormats) {
+  for (int tag = 0; tag < static_cast<int>(kClasses); ++tag) {
+    const PoetBin model = tagged_model(tag);
+    for (std::uint64_t s = 0; s < 16; ++s) {
+      EXPECT_EQ(model.predict(example_bits(s)), tag);
+    }
+    const std::string text = temp_path("tagged.txt");
+    const std::string packed = temp_path("tagged.pbm");
+    ASSERT_TRUE(write_model_file(model, text).ok());
+    ASSERT_TRUE(write_packed_model_file(model, packed).ok());
+    const IoResult<PoetBin> from_text = read_model_file(text);
+    const IoResult<PoetBin> from_packed = read_packed_model_file(packed);
+    ASSERT_TRUE(from_text.ok());
+    ASSERT_TRUE(from_packed.ok()) << from_packed.error().message;
+    EXPECT_EQ(from_text->predict(example_bits(tag)), tag);
+    EXPECT_EQ(from_packed->predict(example_bits(tag)), tag);
+  }
+}
+
+// The tentpole invariant at the Runtime level: 8 threads hammer
+// predict_one while the main thread publishes tag 0 -> 1 -> 2 via
+// reload(). Every response must be some published tag, and each thread
+// must observe tags in publish order (RCU swaps are totally ordered).
+TEST(HotReload, ReloadIsAtomicUnderConcurrentPredictOne) {
+  const std::string path = temp_path("hot_reload_rt.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(0), path).ok());
+  Runtime::LoadResult loaded = Runtime::load(path, {.threads = 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  Runtime runtime = std::move(loaded).value();
+  EXPECT_EQ(runtime.model_version(), 1u);
+  EXPECT_EQ(runtime.model_format(), ModelFormat::kPacked);
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> out_of_order{0};
+  std::atomic<std::size_t> invalid{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const BitVector bits = example_bits(t);
+      int last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int tag = runtime.predict_one(bits);
+        if (tag < 0 || tag >= static_cast<int>(kClasses)) {
+          invalid.fetch_add(1, std::memory_order_relaxed);
+        } else if (tag < last) {
+          out_of_order.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          last = tag;
+        }
+      }
+    });
+  }
+  for (int tag = 1; tag < static_cast<int>(kClasses); ++tag) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(write_packed_model_file(tagged_model(tag), path).ok());
+    const IoStatus swapped = runtime.reload();
+    ASSERT_TRUE(swapped.ok()) << swapped.error().message;
+    EXPECT_EQ(runtime.predict_one(example_bits(99)), tag);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(invalid.load(), 0u);
+  EXPECT_EQ(out_of_order.load(), 0u);
+  EXPECT_EQ(runtime.model_version(), 3u);
+}
+
+// The ISSUE acceptance at the wire level: a live kReload under 8
+// concurrent client threads. Every served prediction must be the old tag
+// or the new tag — exactly one model version per response — and the swap
+// must be visible to model_info. A follow-up corrupt push must come back
+// kReloadFailed with the good model still serving.
+TEST(HotReload, NetServerKReloadUnderEightClientThreads) {
+  const std::string path = temp_path("hot_reload_srv.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(0), path).ok());
+  Runtime::LoadResult loaded = Runtime::load(path, {.threads = 1});
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  Runtime runtime = std::move(loaded).value();
+  NetServer server(runtime, {.port = 0,
+                             .micro_batch = true,
+                             .max_batch = 16,
+                             .max_wait = std::chrono::microseconds(200),
+                             .n_features = kFeatures});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRequestsPerThread = 300;
+  std::atomic<std::size_t> transport_errors{0};
+  std::atomic<std::size_t> bad_tags{0};
+  std::atomic<std::size_t> out_of_order{0};
+  std::atomic<std::size_t> saw_new_tag{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      NetClient client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      const BitVector bits = example_bits(100 + t);
+      wire::Response response;
+      int last = 0;
+      for (std::size_t r = 0; r < kRequestsPerThread; ++r) {
+        if (!client.predict(bits, &response) ||
+            response.status != wire::Status::kOk) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        const int tag = response.prediction;
+        if (tag != 0 && tag != 1) {
+          bad_tags.fetch_add(1);
+        } else if (tag < last) {
+          out_of_order.fetch_add(1);
+        } else {
+          last = tag;
+        }
+        if (tag == 1) saw_new_tag.fetch_add(1);
+      }
+    });
+  }
+
+  // Push the new version roughly mid-run and fire the live kReload.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(write_packed_model_file(tagged_model(1), path).ok());
+  NetClient control;
+  ASSERT_TRUE(control.connect("127.0.0.1", server.port()));
+  wire::Response response;
+  ASSERT_TRUE(control.reload(&response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.model_version, 2u);
+
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(transport_errors.load(), 0u);
+  EXPECT_EQ(bad_tags.load(), 0u);
+  EXPECT_EQ(out_of_order.load(), 0u);
+  EXPECT_GT(saw_new_tag.load(), 0u);
+
+  // kModelInfo reflects the swap.
+  ASSERT_TRUE(control.model_info(&response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.model_version, 2u);
+  EXPECT_EQ(response.model_format,
+            static_cast<std::uint8_t>(ModelFormat::kPacked));
+  EXPECT_EQ(response.n_classes, kClasses);
+
+  // A corrupt push is rejected over the wire and the good model keeps
+  // serving. Pushed via rename like a real deploy — overwriting a mapped
+  // file in place is forbidden by the format contract.
+  {
+    const std::string staged = path + ".push";
+    std::ofstream corrupt(staged, std::ios::binary | std::ios::trunc);
+    corrupt << "PoETBiNP and then garbage";
+    corrupt.close();
+    ASSERT_EQ(std::rename(staged.c_str(), path.c_str()), 0);
+  }
+  ASSERT_TRUE(control.reload(&response));
+  EXPECT_EQ(response.status, wire::Status::kReloadFailed);
+  ASSERT_TRUE(control.predict(example_bits(7), &response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.prediction, 1);
+  ASSERT_TRUE(control.model_info(&response));
+  EXPECT_EQ(response.model_version, 2u);
+  server.stop();
+}
+
+// Every reload failure mode leaves the serving version untouched: missing
+// file, corrupt bytes, and a valid-but-incompatible model.
+TEST(HotReload, FailedReloadKeepsOldVersionServing) {
+  const std::string path = temp_path("hot_reload_fail.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(2), path).ok());
+  Runtime::LoadResult loaded = Runtime::load(path, {.threads = 1});
+  ASSERT_TRUE(loaded.ok());
+  Runtime runtime = std::move(loaded).value();
+  const BitVector bits = example_bits(5);
+  ASSERT_EQ(runtime.predict_one(bits), 2);
+
+  IoStatus status = runtime.reload(temp_path("does_not_exist.pbm"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind, ModelIoError::Kind::kFileNotFound);
+
+  const std::string corrupt = temp_path("hot_reload_corrupt.pbm");
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << "PoETBiNP short";
+  }
+  status = runtime.reload(corrupt);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind, ModelIoError::Kind::kCorruptSection);
+
+  const std::string incompatible = temp_path("hot_reload_incompat.pbm");
+  ASSERT_TRUE(
+      write_packed_model_file(tagged_model(1, kClasses + 1), incompatible)
+          .ok());
+  status = runtime.reload(incompatible);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind, ModelIoError::Kind::kIncompatibleModel);
+
+  EXPECT_EQ(runtime.predict_one(bits), 2);
+  EXPECT_EQ(runtime.model_version(), 1u);
+  EXPECT_EQ(runtime.source_path(), path);
+}
+
+// The named-model registry shares the engine but swaps independently of
+// the primary slot.
+TEST(HotReload, NamedModelRegistryPublishesAndReloads) {
+  Runtime runtime(tagged_model(0), {.threads = 1});
+  const BitVector bits = example_bits(11);
+  EXPECT_FALSE(runtime.has_model("candidate"));
+  EXPECT_EQ(runtime.snapshot("candidate"), nullptr);
+
+  runtime.add_model("candidate", tagged_model(1));
+  ASSERT_TRUE(runtime.has_model("candidate"));
+  EXPECT_EQ(runtime.predict_one("candidate", bits), 1);
+  EXPECT_EQ(runtime.predict_one(bits), 0);  // primary untouched
+
+  const std::string path = temp_path("hot_reload_named.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(2), path).ok());
+  ASSERT_TRUE(runtime.load_model("candidate", path).ok());
+  EXPECT_EQ(runtime.predict_one("candidate", bits), 2);
+  Runtime::Snapshot snap = runtime.snapshot("candidate");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->format, ModelFormat::kPacked);
+  EXPECT_EQ(snap->source_path, path);
+
+  // reload_model re-reads the recorded path after a push.
+  ASSERT_TRUE(write_packed_model_file(tagged_model(1), path).ok());
+  ASSERT_TRUE(runtime.reload_model("candidate").ok());
+  EXPECT_EQ(runtime.predict_one("candidate", bits), 1);
+  // The old snapshot still pins the version it captured.
+  EXPECT_EQ(snap->model.predict(bits), 2);
+
+  EXPECT_EQ(runtime.model_names(),
+            std::vector<std::string>{"candidate"});
+  EXPECT_TRUE(runtime.remove_model("candidate"));
+  EXPECT_FALSE(runtime.remove_model("candidate"));
+  EXPECT_FALSE(runtime.has_model("candidate"));
+}
+
+// RuntimeOptions::forced_backend is process-global by contract: the last
+// construction wins for every Runtime in the process, and predictions stay
+// bit-identical regardless (the backends only differ in speed).
+TEST(HotReload, ForcedBackendIsProcessGlobalLastConstructionWins) {
+  const std::vector<WordBackend> backends = available_word_backends();
+  if (backends.size() < 2) {
+    GTEST_SKIP() << "only one word backend available";
+  }
+  testing::BackendGuard guard;
+  const PoetBin model = tagged_model(1);
+  const Runtime first(model, {.threads = 1, .forced_backend = backends[0]});
+  EXPECT_EQ(active_word_backend(), backends[0]);
+  EXPECT_EQ(first.backend(), backends[0]);
+  const Runtime second(model, {.threads = 1, .forced_backend = backends[1]});
+  // The second construction repinned dispatch for the whole process.
+  EXPECT_EQ(active_word_backend(), backends[1]);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    const BitVector bits = example_bits(s);
+    EXPECT_EQ(first.predict_one(bits), 1);
+    EXPECT_EQ(second.predict_one(bits), 1);
+  }
+}
+
+}  // namespace
+}  // namespace poetbin

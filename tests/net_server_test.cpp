@@ -73,7 +73,7 @@ NetServerOptions loopback_options(bool micro_batch) {
 TEST(NetServer, LoopbackPredictionsMatchScalarUnderConcurrency) {
   const ServeFixture& fx = fixture();
   for (const bool micro_batch : {true, false}) {
-    const Runtime runtime(fx.model, {.threads = 1});
+    Runtime runtime(fx.model, {.threads = 1});
     NetServer server(runtime, loopback_options(micro_batch));
     std::string error;
     ASSERT_TRUE(server.start(&error)) << error;
@@ -121,7 +121,7 @@ TEST(NetServer, LoopbackPredictionsMatchScalarUnderConcurrency) {
 
 TEST(NetServer, InfoReportsServedShape) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServer server(runtime, loopback_options(true));
   ASSERT_TRUE(server.start());
   NetClient client;
@@ -136,7 +136,7 @@ TEST(NetServer, InfoReportsServedShape) {
 
 TEST(NetServer, DerivedFeatureWidthCoversEveryReferencedFeature) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServerOptions options = loopback_options(true);
   options.n_features = 0;  // derive from the model
   NetServer server(runtime, options);
@@ -154,7 +154,7 @@ TEST(NetServer, DerivedFeatureWidthCoversEveryReferencedFeature) {
 
 TEST(NetServer, WrongWidthIsRejectedAndConnectionSurvives) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServer server(runtime, loopback_options(true));
   ASSERT_TRUE(server.start());
   NetClient client;
@@ -175,7 +175,7 @@ TEST(NetServer, WrongWidthIsRejectedAndConnectionSurvives) {
 
 TEST(NetServer, MalformedFramesGetCleanErrorReplies) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServer server(runtime, loopback_options(true));
   ASSERT_TRUE(server.start());
   NetClient client;
@@ -206,7 +206,7 @@ TEST(NetServer, MalformedFramesGetCleanErrorReplies) {
 
 TEST(NetServer, OversizedFrameAnswersThenCloses) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServer server(runtime, loopback_options(true));
   ASSERT_TRUE(server.start());
   NetClient client;
@@ -230,7 +230,7 @@ TEST(NetServer, OversizedFrameAnswersThenCloses) {
 
 TEST(NetServer, StatsRequestReturnsLiveCounters) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   NetServer server(runtime, loopback_options(true));
   ASSERT_TRUE(server.start());
   NetClient client;
@@ -251,7 +251,7 @@ TEST(NetServer, StatsRequestReturnsLiveCounters) {
 
 TEST(NetServer, StopUnblocksIdleConnectionsAndIsRestartable) {
   const ServeFixture& fx = fixture();
-  const Runtime runtime(fx.model, {.threads = 1});
+  Runtime runtime(fx.model, {.threads = 1});
   std::uint16_t first_port = 0;
   {
     NetServer server(runtime, loopback_options(true));

@@ -1,0 +1,487 @@
+#include "core/packed_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/batch_eval.h"
+#include "test_util.h"
+
+namespace poetbin {
+namespace {
+
+// Trains a small PoET-BiN model once for all packed-format tests.
+struct Fixture {
+  BinaryDataset data;
+  PoetBin model;
+
+  Fixture() {
+    data = testing::prototype_dataset(400, 48, 91);
+    const std::size_t p = 4;
+    BitMatrix intermediate(data.size(), data.n_classes * p);
+    Rng rng(5);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+        const bool is_class = data.labels[i] == static_cast<int>(j / p);
+        intermediate.set(i, j, is_class != rng.next_bool(0.05));
+      }
+    }
+    PoetBinConfig config;
+    config.rinc = {.lut_inputs = p, .levels = 2, .total_dts = 8};
+    config.n_classes = data.n_classes;
+    config.output.epochs = 60;
+    model = PoetBin::train(data.features, intermediate, data.labels, config);
+  }
+};
+
+const Fixture& fixture() {
+  return *[] {
+    static const Fixture* fx = new Fixture;
+    return fx;
+  }();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Writes the fixture model once; every read-side test maps this file.
+const std::string& packed_fixture_path() {
+  static const std::string path = [] {
+    const std::string p = temp_path("poetbin_fixture.pbm");
+    const IoStatus status = write_packed_model_file(fixture().model, p);
+    POETBIN_CHECK_MSG(status.ok(), "fixture pack failed");
+    return p;
+  }();
+  return path;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Test-local CRC32 (same IEEE polynomial as the format) so structural
+// corruptions can be re-checksummed — otherwise every mutation would stop at
+// kChecksumMismatch and never reach the structural validators.
+std::uint32_t test_crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) ? 0xEDB88320u ^ (crc >> 1) : (crc >> 1);
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void fix_crc(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 64u);
+  const std::uint32_t crc = test_crc32(bytes.data() + 64, bytes.size() - 64);
+  std::memcpy(bytes.data() + 20, &crc, sizeof(crc));
+}
+
+// Reads a u64 field of section-table entry `index` (0-based, id order).
+std::uint64_t section_field(const std::vector<std::uint8_t>& bytes,
+                            std::size_t index, std::size_t field_offset) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes.data() + 64 + index * 24 + field_offset,
+              sizeof(value));
+  return value;
+}
+
+// Applies `mutate` to a copy of the packed fixture, rewrites it, and returns
+// the load result.
+IoResult<PoetBin> load_mutated(
+    const std::string& name,
+    const std::function<void(std::vector<std::uint8_t>&)>& mutate,
+    PackedVerify verify = PackedVerify::kFull) {
+  std::vector<std::uint8_t> bytes = read_bytes(packed_fixture_path());
+  mutate(bytes);
+  const std::string path = temp_path(name);
+  write_bytes(path, bytes);
+  IoResult<PoetBin> result = read_packed_model_file(path, verify);
+  std::remove(path.c_str());
+  return result;
+}
+
+TEST(PackedModel, RoundTripPreservesPredictions) {
+  const Fixture& fx = fixture();
+  const IoResult<PoetBin> loaded =
+      read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->n_modules(), fx.model.n_modules());
+  EXPECT_EQ(loaded->n_classes(), fx.model.n_classes());
+  EXPECT_EQ(loaded->lut_count(), fx.model.lut_count());
+  EXPECT_EQ(loaded->n_features(), fx.model.n_features());
+  EXPECT_EQ(loaded->predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+  EXPECT_EQ(loaded->rinc_outputs(fx.data.features),
+            fx.model.rinc_outputs(fx.data.features));
+}
+
+// The binary format stores exact float/double bit patterns, so a model that
+// went text -> packed -> text must reproduce the text byte for byte.
+TEST(PackedModel, TextPackedTextIsByteIdentical) {
+  const Fixture& fx = fixture();
+  std::stringstream original;
+  save_model(fx.model, original);
+
+  const IoResult<PoetBin> unpacked =
+      read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(unpacked.ok());
+  std::stringstream reprinted;
+  save_model(*unpacked, reprinted);
+  EXPECT_EQ(original.str(), reprinted.str());
+}
+
+// Packing the unpacked model again must reproduce the packed bytes too —
+// the writer is deterministic and nothing is lost in the mapping round trip.
+TEST(PackedModel, PackedRoundTripIsByteIdentical) {
+  const IoResult<PoetBin> unpacked =
+      read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(unpacked.ok());
+  const std::string again = temp_path("poetbin_repacked.pbm");
+  ASSERT_TRUE(write_packed_model_file(*unpacked, again).ok());
+  EXPECT_EQ(read_bytes(packed_fixture_path()), read_bytes(again));
+  std::remove(again.c_str());
+}
+
+// The acceptance bar: packed-loaded predictions are bit-identical to the
+// trained model on every available backend, every eval path, and several
+// thread counts.
+TEST(PackedModel, BitIdenticalAcrossBackendsAndThreads) {
+  const Fixture& fx = fixture();
+  const IoResult<PoetBin> loaded =
+      read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<int> want = fx.model.predict_dataset(fx.data.features);
+
+  testing::BackendGuard guard;
+  for (const WordBackend backend : available_word_backends()) {
+    set_word_backend(backend);
+    EXPECT_EQ(loaded->predict_dataset(fx.data.features), want)
+        << word_backend_name(backend);
+    for (const std::size_t threads : {1u, 2u, 5u}) {
+      const BatchEngine engine(threads);
+      EXPECT_EQ(loaded->predict_dataset_batched(fx.data.features, engine),
+                want)
+          << word_backend_name(backend) << " x" << threads;
+      EXPECT_EQ(loaded->rinc_outputs_batched(fx.data.features, engine),
+                fx.model.rinc_outputs(fx.data.features))
+          << word_backend_name(backend) << " x" << threads;
+    }
+  }
+}
+
+// Every mapped splat table starts on a cache line: the section is 64-byte
+// aligned in the file, tables are padded to 8-word boundaries inside it, and
+// mmap returns page-aligned bases.
+TEST(PackedModel, MappedSplatTablesAreCacheLineAligned) {
+  const IoResult<PoetBin> loaded =
+      read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(loaded.ok());
+  for (const RincModule& module : loaded->modules()) {
+    for (const Lut* lut : module.leaf_luts()) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lut->splat_words().data()) %
+                    64,
+                0u);
+    }
+  }
+}
+
+// Copies of a mapping-backed model share the mapping keepalive: the copy
+// stays valid after the original is destroyed.
+TEST(PackedModel, CopySurvivesOriginalDestruction) {
+  const Fixture& fx = fixture();
+  auto original = std::make_unique<PoetBin>();
+  {
+    IoResult<PoetBin> loaded = read_packed_model_file(packed_fixture_path());
+    ASSERT_TRUE(loaded.ok());
+    *original = std::move(loaded).value();
+  }
+  PoetBin copy = *original;
+  original.reset();
+  EXPECT_EQ(copy.predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+}
+
+// Retraining a mapping-backed model rebuilds heap-owned code planes while
+// the module LUTs keep reading the mapping — and stays bit-identical to
+// retraining the same model loaded from text.
+TEST(PackedModel, RetrainOutputLayerMatchesTextLoadedRetrain) {
+  const Fixture& fx = fixture();
+  IoResult<PoetBin> packed = read_packed_model_file(packed_fixture_path());
+  ASSERT_TRUE(packed.ok());
+  std::stringstream stream;
+  save_model(fx.model, stream);
+  IoResult<PoetBin> text = read_model(stream);
+  ASSERT_TRUE(text.ok());
+
+  const BitMatrix rinc_bits = fx.model.rinc_outputs(fx.data.features);
+  packed->retrain_output_layer(rinc_bits, fx.data.labels);
+  text->retrain_output_layer(rinc_bits, fx.data.labels);
+  EXPECT_EQ(packed->predict_dataset(fx.data.features),
+            text->predict_dataset(fx.data.features));
+}
+
+TEST(PackedModel, SniffsFormats) {
+  const Fixture& fx = fixture();
+  EXPECT_TRUE(is_packed_model_file(packed_fixture_path()));
+
+  const std::string text_path = temp_path("poetbin_fixture.txt");
+  ASSERT_TRUE(write_model_file(fx.model, text_path).ok());
+  EXPECT_FALSE(is_packed_model_file(text_path));
+  EXPECT_FALSE(is_packed_model_file("/nonexistent/model.pbm"));
+
+  const IoResult<LoadedModel> packed =
+      read_model_file_any(packed_fixture_path());
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->format, ModelFormat::kPacked);
+  const IoResult<LoadedModel> text = read_model_file_any(text_path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->format, ModelFormat::kText);
+  EXPECT_EQ(packed->model.predict_dataset(fx.data.features),
+            text->model.predict_dataset(fx.data.features));
+  std::remove(text_path.c_str());
+
+  EXPECT_STREQ(model_format_name(ModelFormat::kText), "text");
+  EXPECT_STREQ(model_format_name(ModelFormat::kPacked), "packed");
+}
+
+TEST(PackedModel, MissingFileIsTypedError) {
+  const IoResult<PoetBin> result =
+      read_packed_model_file("/nonexistent/model.pbm");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kFileNotFound);
+}
+
+TEST(PackedModel, BadMagicIsVersionMismatch) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_magic.pbm", [](std::vector<std::uint8_t>& bytes) { bytes[0] = 'X'; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
+TEST(PackedModel, FutureVersionIsVersionMismatch) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_version.pbm",
+      [](std::vector<std::uint8_t>& bytes) { bytes[8] = 9; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
+TEST(PackedModel, FlippedPayloadByteIsChecksumMismatch) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_crc.pbm", [](std::vector<std::uint8_t>& bytes) {
+        bytes[bytes.size() / 2] ^= 0x40;  // no CRC fix-up
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kChecksumMismatch);
+}
+
+// The serving fast path (PackedVerify::kTrustChecksum, what Runtime::load
+// runs) must load bit-identical to the full-verification depth on a good
+// file.
+TEST(PackedModel, TrustChecksumLoadsIdenticallyToFullVerify) {
+  const Fixture& fx = fixture();
+  const IoResult<PoetBin> trusting = read_packed_model_file(
+      packed_fixture_path(), PackedVerify::kTrustChecksum);
+  ASSERT_TRUE(trusting.ok()) << trusting.error().message;
+  EXPECT_EQ(trusting->predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+  std::stringstream reprinted;
+  save_model(*trusting, reprinted);
+  std::stringstream original;
+  save_model(fx.model, original);
+  EXPECT_EQ(original.str(), reprinted.str());
+}
+
+// The documented trade of the trusting depth: a wrong checksum FIELD (the
+// payload itself intact) fails kFull and sails through kTrustChecksum with
+// identical predictions — the fast path never runs the CRC pass.
+TEST(PackedModel, TrustChecksumSkipsTheCrcPass) {
+  const auto corrupt_crc_field = [](std::vector<std::uint8_t>& bytes) {
+    bytes[20] ^= 0xFF;  // stored CRC32, not covered by itself
+  };
+  const IoResult<PoetBin> full =
+      load_mutated("crc_field_full.pbm", corrupt_crc_field);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().kind, ModelIoError::Kind::kChecksumMismatch);
+
+  const Fixture& fx = fixture();
+  const IoResult<PoetBin> trusting = load_mutated(
+      "crc_field_trust.pbm", corrupt_crc_field, PackedVerify::kTrustChecksum);
+  ASSERT_TRUE(trusting.ok()) << trusting.error().message;
+  EXPECT_EQ(trusting->predict_dataset(fx.data.features),
+            fx.model.predict_dataset(fx.data.features));
+}
+
+// Trusting the checksum does not mean trusting the structure: truncation
+// and header corruption still fail with the same typed errors.
+TEST(PackedModel, TrustChecksumStillRejectsStructuralDamage) {
+  const IoResult<PoetBin> truncated = load_mutated(
+      "trust_trunc.pbm",
+      [](std::vector<std::uint8_t>& bytes) { bytes.resize(bytes.size() / 2); },
+      PackedVerify::kTrustChecksum);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.error().kind, ModelIoError::Kind::kCorruptSection);
+
+  const IoResult<PoetBin> bad_magic = load_mutated(
+      "trust_magic.pbm",
+      [](std::vector<std::uint8_t>& bytes) { bytes[0] = 'X'; },
+      PackedVerify::kTrustChecksum);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
+// Writers publish via temp-file + rename; a push over an existing path must
+// leave no temp droppings and the previous bytes must never coexist with
+// the new ones (the file is either absent-then-complete or old-then-new).
+TEST(PackedModel, WriteIsAtomicPublishWithNoTempLeftovers) {
+  const Fixture& fx = fixture();
+  const std::string path = temp_path("atomic_publish.pbm");
+  ASSERT_TRUE(write_packed_model_file(fx.model, path).ok());
+  ASSERT_TRUE(write_packed_model_file(fx.model, path).ok());  // overwrite
+  EXPECT_EQ(read_bytes(path), read_bytes(packed_fixture_path()));
+  // No "<path>.tmp.<pid>" sibling left behind.
+  const std::string temp_sibling =
+      path + ".tmp." + std::to_string(::getpid());
+  std::ifstream leftover(temp_sibling);
+  EXPECT_FALSE(leftover.good());
+  std::remove(path.c_str());
+}
+
+TEST(PackedModel, TruncatedFileIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "truncated.pbm", [](std::vector<std::uint8_t>& bytes) {
+        bytes.resize(bytes.size() / 2);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, HeaderSizedStubIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "stub.pbm",
+      [](std::vector<std::uint8_t>& bytes) { bytes.resize(40); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, MisalignedSectionOffsetIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "misaligned.pbm", [](std::vector<std::uint8_t>& bytes) {
+        std::uint64_t offset = section_field(bytes, 0, 8) + 8;
+        std::memcpy(bytes.data() + 64 + 8, &offset, sizeof(offset));
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, SectionLengthMismatchIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_length.pbm", [](std::vector<std::uint8_t>& bytes) {
+        std::uint64_t length = section_field(bytes, 0, 16) + 8;
+        std::memcpy(bytes.data() + 64 + 16, &length, sizeof(length));
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, SectionBeyondFileIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "runaway_section.pbm", [](std::vector<std::uint8_t>& bytes) {
+        const std::uint64_t offset = bytes.size() * 2;
+        std::memcpy(bytes.data() + 64 + 8, &offset, sizeof(offset));
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, HeaderFileSizeMismatchIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_filesize.pbm", [](std::vector<std::uint8_t>& bytes) {
+        const std::uint64_t size = bytes.size() + 64;
+        std::memcpy(bytes.data() + 24, &size, sizeof(size));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, ImpureSplatWordIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "impure_splat.pbm", [](std::vector<std::uint8_t>& bytes) {
+        const std::uint64_t splat_offset = section_field(bytes, 5, 8);
+        bytes[splat_offset] ^= 0x02;  // neither 0 nor ~0 afterwards
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, CodePlaneMismatchIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_plane.pbm", [](std::vector<std::uint8_t>& bytes) {
+        const std::uint64_t planes_offset = section_field(bytes, 9, 8);
+        for (std::size_t i = 0; i < 8; ++i) {
+          bytes[planes_offset + i] = ~bytes[planes_offset + i];
+        }
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+TEST(PackedModel, OutOfRangeWiringIsCorruptSection) {
+  const IoResult<PoetBin> result = load_mutated(
+      "bad_wiring.pbm", [](std::vector<std::uint8_t>& bytes) {
+        const std::uint64_t wiring_offset = section_field(bytes, 6, 8);
+        const std::uint64_t bogus = 1u << 20;
+        std::memcpy(bytes.data() + wiring_offset, &bogus, sizeof(bogus));
+        fix_crc(bytes);
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+}
+
+// Coarse truncation sweep: every prefix must come back as a typed error —
+// never an abort, never out-of-bounds reads (ASan-clean).
+TEST(PackedModel, EveryTruncationPointFailsCleanly) {
+  const std::vector<std::uint8_t> bytes = read_bytes(packed_fixture_path());
+  const std::string path = temp_path("trunc_sweep.pbm");
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += 1 + bytes.size() / 61) {
+    write_bytes(path,
+                std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut));
+    const IoResult<PoetBin> result = read_packed_model_file(path);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes loaded";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace poetbin

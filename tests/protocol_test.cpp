@@ -191,9 +191,12 @@ TEST(ProtocolRequest, FuzzRandomBuffersNeverCrash) {
     for (auto& byte : buffer) {
       byte = static_cast<std::uint8_t>(rng.next_u64());
     }
-    // Keep declared lengths small so non-fatal paths dominate.
-    buffer[2] = 0;
-    buffer[3] = 0;
+    // Keep declared lengths small so non-fatal paths dominate. Buffers
+    // shorter than the length prefix stay as drawn (header kNeedMore).
+    if (buffer.size() >= 4) {
+      buffer[2] = 0;
+      buffer[3] = 0;
+    }
     std::size_t offset = 0;
     while (offset < buffer.size()) {
       Request request;
@@ -277,6 +280,86 @@ TEST(ProtocolResponse, TruncatedResponseNeedsMore) {
 TEST(ProtocolResponse, WrongBodyLengthIsRejected) {
   // A kOk predict response whose body is missing the u16 class.
   const std::vector<std::uint8_t> buffer = {2, 0, 0, 0, 1, 0};
+  std::size_t offset = 0;
+  Response response;
+  EXPECT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kReject);
+}
+
+TEST(ProtocolRequest, ReloadAndModelInfoRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  encode_reload_request(&buffer);
+  encode_model_info_request(&buffer);
+  std::size_t offset = 0;
+  EXPECT_EQ(expect_frame(buffer, &offset).type, MsgType::kReload);
+  EXPECT_EQ(expect_frame(buffer, &offset).type, MsgType::kModelInfo);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolRequest, ReloadWithStrayPayloadIsBadFrame) {
+  // The empty-body request types carry exactly the type byte; a stray
+  // payload byte must reject without desyncing the stream.
+  std::vector<std::uint8_t> buffer;
+  encode_reload_request(&buffer);
+  buffer[0] = 2;  // patch the length and grow the payload
+  buffer.push_back(0xEE);
+  expect_reject(buffer, Status::kBadFrame);
+}
+
+TEST(ProtocolResponse, ReloadRoundTripOkAndFailed) {
+  std::vector<std::uint8_t> buffer;
+  encode_reload_response(Status::kOk, 42, &buffer);
+  encode_reload_response(Status::kReloadFailed, 999, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.type, MsgType::kReload);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.model_version, 42u);
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.status, Status::kReloadFailed);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolResponse, ModelInfoRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  encode_model_info_response(7, 1, 784, 10, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.type, MsgType::kModelInfo);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.model_version, 7u);
+  EXPECT_EQ(response.model_format, 1);
+  EXPECT_EQ(response.n_features, 784u);
+  EXPECT_EQ(response.n_classes, 10u);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolResponse, TruncatedReloadAndModelInfoNeedMore) {
+  for (const bool model_info : {false, true}) {
+    std::vector<std::uint8_t> buffer;
+    if (model_info) {
+      encode_model_info_response(3, 0, 16, 3, &buffer);
+    } else {
+      encode_reload_response(Status::kOk, 3, &buffer);
+    }
+    for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+      std::size_t offset = 0;
+      Response response;
+      EXPECT_EQ(decode_response(buffer.data(), cut, &offset, &response),
+                FrameResult::kNeedMore)
+          << (model_info ? "model_info" : "reload") << " cut at " << cut;
+    }
+  }
+}
+
+TEST(ProtocolResponse, WrongReloadBodyLengthIsRejected) {
+  // A kOk reload response whose version field is truncated to 4 bytes.
+  const std::vector<std::uint8_t> buffer = {6, 0, 0, 0, 4, 0, 1, 2, 3, 4};
   std::size_t offset = 0;
   Response response;
   EXPECT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),

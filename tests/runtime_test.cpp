@@ -101,7 +101,7 @@ TEST(Runtime, SerializedReloadIsBitIdenticalUnderEveryBackend) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                       std::size_t{5}}) {
       Runtime::LoadResult runtime =
-          Runtime::load(path, {.threads = threads, .backend = backend});
+          Runtime::load(path, {.threads = threads, .forced_backend = backend});
       ASSERT_TRUE(runtime.ok());
       EXPECT_EQ(runtime->backend(), backend);
       EXPECT_EQ(runtime->threads(), threads);

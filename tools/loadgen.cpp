@@ -2,6 +2,7 @@
 //
 //   loadgen <host> <port> [--threads=8] [--duration=5] [--theta=0.99]
 //           [--keys=1024] [--seed=42] [--pipeline=16] [--json=FILE]
+//           [--allow-repin] [--reload-at=SECONDS]
 //
 // Probes the server with a kInfo request for the model's feature width,
 // builds a deterministic pool of random keys, then drives it from
@@ -15,7 +16,14 @@
 // key counts as an error. Exit status is nonzero when any request failed,
 // any prediction flapped, or nothing was served at all, so CI can gate on
 // the exit code alone. --json additionally writes a flat metrics object
-// (requests, errors, throughput_rps, p50/p99/p999_ms) for jq assertions.
+// (requests, errors, repins, throughput_rps, p50/p99/p999_ms) for jq
+// assertions.
+//
+// Hot-reload drills: --reload-at=T sends one kReload frame T seconds into
+// the run (a failed swap counts as an error), and --allow-repin tolerates
+// an INTENTIONAL mid-run model swap — a disagreeing prediction re-pins the
+// key and bumps the `repins` counter instead of erroring, so the
+// flap-detector stays armed for everything except the swap itself.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,11 +55,14 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t pipeline = 16;
   std::string json_path;
+  bool allow_repin = false;
+  double reload_at_s = -1.0;  // < 0: never send a kReload
 };
 
 struct ThreadResult {
   std::size_t requests = 0;
   std::size_t errors = 0;
+  std::size_t repins = 0;
   std::vector<double> latencies_ms;
 };
 
@@ -66,7 +77,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <host> <port> [--threads=N] [--duration=SECONDS]\n"
                "       [--theta=T] [--keys=K] [--seed=S] [--pipeline=D] "
-               "[--json=FILE]\n",
+               "[--json=FILE]\n"
+               "       [--allow-repin] [--reload-at=SECONDS]\n",
                argv0);
   return 2;
 }
@@ -89,6 +101,14 @@ bool parse_args(int argc, char** argv, Options* options) {
       options->pipeline = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--json=", &value)) {
       options->json_path = value;
+    } else if (std::strcmp(argv[i], "--allow-repin") == 0) {
+      options->allow_repin = true;
+    } else if (parse_flag(argv[i], "--reload-at=", &value)) {
+      options->reload_at_s = std::strtod(value.c_str(), nullptr);
+      if (options->reload_at_s < 0.0) {
+        std::fprintf(stderr, "bad --reload-at value: %s\n", value.c_str());
+        return false;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -170,10 +190,19 @@ void run_client(const Options& options, const std::vector<BitVector>& pool,
       if (pin < 0) {
         pin = got;
       } else if (pin != got) {
-        std::fprintf(stderr,
-                     "thread %zu: key %zu flapped: saw class %d then %d\n",
-                     thread_id, keys[i], pin, got);
-        ++result->errors;
+        if (options.allow_repin) {
+          // An intentional model swap is in play: adopt the new answer.
+          // Responses already in flight on the old version may re-pin the
+          // key back and forth briefly; each flip is one repin, never an
+          // error.
+          pin = got;
+          ++result->repins;
+        } else {
+          std::fprintf(stderr,
+                       "thread %zu: key %zu flapped: saw class %d then %d\n",
+                       thread_id, keys[i], pin, got);
+          ++result->errors;
+        }
       }
     }
   }
@@ -233,18 +262,51 @@ int main(int argc, char** argv) {
     clients.emplace_back(run_client, std::cref(options), std::cref(pool), t,
                          deadline, &pinned, &abort, &results[t]);
   }
+
+  // Mid-run hot-reload trigger: one kReload frame on its own connection at
+  // the requested offset, while the client threads keep hammering predicts.
+  std::atomic<std::size_t> reload_errors{0};
+  std::thread reloader;
+  if (options.reload_at_s >= 0.0) {
+    reloader = std::thread([&options, t0, &reload_errors] {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(options.reload_at_s)));
+      NetClient client;
+      wire::Response response;
+      if (!client.connect(options.host, options.port,
+                          std::chrono::milliseconds(5000)) ||
+          !client.reload(&response) ||
+          response.status != wire::Status::kOk) {
+        std::fprintf(stderr, "reload at %.1fs failed%s\n", options.reload_at_s,
+                     client.connected()
+                         ? (std::string(": ") +
+                            wire::status_name(response.status)).c_str()
+                         : ": connect/transport error");
+        reload_errors.fetch_add(1);
+        return;
+      }
+      std::printf("reload at %.1fs: server now at model version %llu\n",
+                  options.reload_at_s,
+                  static_cast<unsigned long long>(response.model_version));
+    });
+  }
+
   for (auto& client : clients) client.join();
+  if (reloader.joinable()) reloader.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
-  std::size_t requests = 0, errors = 0;
+  std::size_t requests = 0, errors = 0, repins = 0;
   std::vector<double> latencies;
   for (const ThreadResult& r : results) {
     requests += r.requests;
     errors += r.errors;
+    repins += r.repins;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
   }
+  errors += reload_errors.load();
   std::sort(latencies.begin(), latencies.end());
   const double rps = elapsed_s > 0.0
                          ? static_cast<double>(requests) / elapsed_s
@@ -253,8 +315,9 @@ int main(int argc, char** argv) {
   const double p99 = percentile(latencies, 0.99);
   const double p999 = percentile(latencies, 0.999);
 
-  std::printf("%zu requests in %.2fs: %.0f req/s, %zu error(s)\n", requests,
-              elapsed_s, rps, errors);
+  std::printf("%zu requests in %.2fs: %.0f req/s, %zu error(s), "
+              "%zu repin(s)\n",
+              requests, elapsed_s, rps, errors, repins);
   std::printf("burst latency p50 %.3f ms  p99 %.3f ms  p999 %.3f ms\n", p50,
               p99, p999);
 
@@ -265,10 +328,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(out,
-                 "{\"requests\": %zu, \"errors\": %zu, "
+                 "{\"requests\": %zu, \"errors\": %zu, \"repins\": %zu, "
                  "\"throughput_rps\": %.1f, \"p50_ms\": %.4f, "
                  "\"p99_ms\": %.4f, \"p999_ms\": %.4f}\n",
-                 requests, errors, rps, p50, p99, p999);
+                 requests, errors, repins, rps, p50, p99, p999);
     std::fclose(out);
     std::printf("wrote %s\n", options.json_path.c_str());
   }
