@@ -1,0 +1,430 @@
+// Prediction cache: micro-batched serving with the lock-free PredictCache
+// on vs off, swept across zipf skew, plus a hot-swap churn phase.
+//
+// The sweep drives an in-process MicroBatcher (no TCP — this isolates the
+// cache's effect on the fused predict path itself) from 8 submit()-burst
+// threads at zipf theta 0.6 / 0.9 / 0.99, cache off then on. The cache-on
+// rows measure steady state: the cache is sized to the key set and
+// prefilled the way a long-running server's would be (a cold run this
+// short would mostly measure compulsory misses). Every returned
+// prediction is checked against the scalar PoetBin::predict of its key,
+// so every row is also a bit-identity test — a single mismatch fails the
+// bench at any scale.
+//
+// The churn phase then turns the cache on and hammers one runtime while a
+// mutator thread alternates retrain_output_layer (which CHANGES the
+// answers) and a packed-file hot reload. Each publication appends a
+// versioned expected table; every served prediction must match one of the
+// published tables (a result computed between a publish and its table
+// append is re-verified at the end). The phase also asserts the epoch
+// invalidation actually fired (stale > 0) and that the cache kept serving
+// (hits > 0) across the swaps.
+//
+// Acceptance (gated only at POETBIN_BENCH_SCALE >= 1): cache-on throughput
+// >= 2x cache-off at theta 0.99. Bit-identity and churn consistency are
+// hard failures at any scale.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/poetbin.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
+#include "serve/micro_batcher.h"
+#include "serve/runtime.h"
+#include "util/bit_matrix.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace poetbin;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kClientThreads = 8;
+constexpr std::size_t kBurst = 64;
+constexpr std::size_t kCacheBytes = 256u << 10;  // 16Ki entries of 16 bytes
+
+Lut random_lut(std::size_t arity, std::size_t n_features, Rng& rng) {
+  std::vector<std::size_t> inputs(arity);
+  for (auto& input : inputs) input = rng.next_index(n_features);
+  BitVector table(std::size_t{1} << arity);
+  for (std::size_t a = 0; a < table.size(); ++a) table.set(a, rng.next_bool());
+  return Lut(std::move(inputs), std::move(table));
+}
+
+RincModule random_rinc(std::size_t level, std::size_t fanin,
+                       std::size_t leaf_arity, std::size_t n_features,
+                       Rng& rng) {
+  if (level == 0) {
+    return RincModule::make_leaf(random_lut(leaf_arity, n_features, rng));
+  }
+  std::vector<RincModule> children;
+  for (std::size_t c = 0; c < fanin; ++c) {
+    children.push_back(
+        random_rinc(level - 1, fanin, leaf_arity, n_features, rng));
+  }
+  std::vector<double> alphas(fanin);
+  for (auto& alpha : alphas) alpha = rng.next_double() + 0.1;
+  return RincModule::make_internal(std::move(children), MatModule(alphas));
+}
+
+// Same 10-class random model shape as bench_serve_net: realistic output
+// layer without a training run.
+PoetBin random_model(std::size_t p, std::size_t n_features, Rng& rng) {
+  PoetBinConfig config;
+  config.rinc.lut_inputs = p;
+  config.n_classes = 10;
+  const std::size_t n_modules = config.n_classes * p;
+  std::vector<RincModule> modules;
+  for (std::size_t m = 0; m < n_modules; ++m) {
+    modules.push_back(random_rinc(1, p, p, n_features, rng));
+  }
+  const QuantizerParams quantizer;
+  const std::size_t n_combos = std::size_t{1} << p;
+  std::vector<SparseOutputNeuron> neurons(config.n_classes);
+  for (std::size_t c = 0; c < config.n_classes; ++c) {
+    neurons[c].input_modules.resize(p);
+    neurons[c].weights.assign(p, 0.0f);
+    neurons[c].codes.resize(n_combos);
+    for (std::size_t j = 0; j < p; ++j) {
+      neurons[c].input_modules[j] = c * p + j;
+    }
+    for (std::size_t a = 0; a < n_combos; ++a) {
+      neurons[c].codes[a] = rng.next_index(quantizer.levels());
+    }
+  }
+  return PoetBin::from_parts(config, std::move(modules), std::move(neurons),
+                             quantizer);
+}
+
+std::vector<BitVector> random_pool(std::size_t keys, std::size_t n_features,
+                                   Rng& rng) {
+  std::vector<BitVector> pool;
+  pool.reserve(keys);
+  for (std::size_t k = 0; k < keys; ++k) {
+    BitVector bits(n_features);
+    Rng key_rng = rng.fork(k);
+    for (std::size_t w = 0; w < bits.word_count(); ++w) {
+      bits.words()[w] = key_rng.next_u64();
+    }
+    bits.mask_tail_word();
+    pool.push_back(std::move(bits));
+  }
+  return pool;
+}
+
+// Bitslices `rows` of the pool into the column-major matrix shape
+// Runtime::predict takes (the same scatter the MicroBatcher does).
+BitMatrix pack_rows(const std::vector<BitVector>& pool, std::size_t rows) {
+  const std::size_t n_features = pool[0].size();
+  BitMatrix packed(rows, n_features);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t row_bit = 1ULL << (i & 63);
+    const std::size_t row_word = i >> 6;
+    for (std::size_t f = 0; f < n_features; ++f) {
+      if (pool[i].get(f)) packed.column(f).words()[row_word] |= row_bit;
+    }
+  }
+  return packed;
+}
+
+struct SweepResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t mismatches = 0;
+  ServeStats stats;
+};
+
+SweepResult run_sweep(const PoetBin& model, const std::vector<BitVector>& pool,
+                      const std::vector<int>& expected, double theta,
+                      std::size_t cache_bytes, std::size_t bursts_per_thread) {
+  Runtime runtime(model, {.threads = 1, .cache_bytes = cache_bytes});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(200)});
+  if (PredictCache* cache = runtime.cache()) {
+    // Steady state: a long-running server's cache already holds the hot
+    // set. Prefill through the public insert path at the live version.
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      cache->insert(PredictCache::make_key(pool[k]), expected[k],
+                    runtime.model_version());
+    }
+  }
+  std::vector<std::size_t> mismatches(kClientThreads, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  const auto t0 = Clock::now();
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      FastZipf zipf(0xcac4eULL * (t + 1), theta, pool.size());
+      std::vector<std::size_t> keys(kBurst);
+      std::vector<MicroBatcher::Ticket> tickets;
+      for (std::size_t b = 0; b < bursts_per_thread; ++b) {
+        tickets.clear();
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          keys[i] = zipf.next();
+          tickets.push_back(batcher.submit(pool[keys[i]]));
+        }
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          if (tickets[i].get() != expected[keys[i]]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const auto t1 = Clock::now();
+
+  SweepResult result;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.requests = kClientThreads * bursts_per_thread * kBurst;
+  for (const std::size_t m : mismatches) result.mismatches += m;
+  result.stats = batcher.stats();
+  return result;
+}
+
+// One published expected table: every pool key's prediction under one model
+// version. Clients match results against any published table.
+using Table = std::shared_ptr<const std::vector<int>>;
+
+struct ChurnOutcome {
+  std::size_t requests = 0;
+  std::size_t unresolved = 0;  // results matching NO published table
+  std::size_t publishes = 0;
+  ServeStats stats;
+};
+
+ChurnOutcome run_churn(const PoetBin& model,
+                       const std::vector<BitVector>& pool,
+                       std::size_t rounds) {
+  Runtime runtime(model, {.threads = 1, .cache_bytes = kCacheBytes});
+  MicroBatcher batcher(runtime,
+                       {.max_batch = 64,
+                        .max_wait = std::chrono::microseconds(200)});
+  const BitMatrix packed_pool = pack_rows(pool, pool.size());
+  const std::size_t n_train = std::min<std::size_t>(512, pool.size());
+  const BitMatrix train = pack_rows(pool, n_train);
+
+  std::mutex tables_mu;
+  std::vector<Table> tables;
+  tables.push_back(
+      std::make_shared<const std::vector<int>>(runtime.predict(packed_pool)));
+
+  const std::filesystem::path swap_path =
+      std::filesystem::temp_directory_path() /
+      ("bench_serve_cache_model." + std::to_string(::getpid()) + ".pbm");
+  if (!runtime.save_packed(swap_path.string()).ok()) {
+    std::printf("  ERROR: cannot write swap file %s\n",
+                swap_path.string().c_str());
+    return {};
+  }
+
+  std::atomic<bool> done{false};
+  struct Suspect {
+    std::size_t key;
+    int got;
+  };
+  std::vector<std::size_t> requests(kClientThreads, 0);
+  std::vector<std::vector<Suspect>> suspects(kClientThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (std::size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      FastZipf zipf(0xc4aa5ULL * (t + 1), 0.9, pool.size());
+      std::vector<std::size_t> keys(kBurst);
+      std::vector<MicroBatcher::Ticket> tickets;
+      std::vector<Table> snapshot;
+      while (!done.load(std::memory_order_relaxed)) {
+        {
+          std::lock_guard<std::mutex> lock(tables_mu);
+          snapshot = tables;
+        }
+        tickets.clear();
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          keys[i] = zipf.next();
+          tickets.push_back(batcher.submit(pool[keys[i]]));
+        }
+        for (std::size_t i = 0; i < kBurst; ++i) {
+          const int got = tickets[i].get();
+          bool matched = false;
+          // Newest table first: steady state matches on the first probe.
+          for (std::size_t j = snapshot.size(); j-- > 0 && !matched;) {
+            matched = (*snapshot[j])[keys[i]] == got;
+          }
+          // A result computed on a version whose table isn't appended yet
+          // (publish and table append are not atomic) is re-checked below
+          // once every table is in.
+          if (!matched) suspects[t].push_back({keys[i], got});
+        }
+        requests[t] += kBurst;
+      }
+    });
+  }
+
+  // The mutator: alternate an answers-changing retrain with a same-bytes
+  // packed-file reload. Both publish a new version, so both must fire the
+  // cache's epoch invalidation.
+  std::size_t publishes = 0;
+  Rng label_rng(0x10ad5);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    if (round % 2 == 0) {
+      std::vector<int> labels(n_train);
+      for (auto& label : labels) {
+        label = static_cast<int>(label_rng.next_index(10));
+      }
+      runtime.retrain_output_layer(train, labels);
+    } else {
+      if (!runtime.reload(swap_path.string()).ok()) {
+        std::printf("  ERROR: hot reload from %s failed\n",
+                    swap_path.string().c_str());
+        break;
+      }
+    }
+    ++publishes;
+    const std::vector<int> table = runtime.predict(packed_pool);
+    std::lock_guard<std::mutex> lock(tables_mu);
+    tables.push_back(std::make_shared<const std::vector<int>>(table));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  done.store(true);
+  for (auto& client : clients) client.join();
+  std::filesystem::remove(swap_path);
+
+  ChurnOutcome outcome;
+  outcome.publishes = publishes;
+  outcome.stats = batcher.stats();
+  for (const std::size_t r : requests) outcome.requests += r;
+  for (const auto& thread_suspects : suspects) {
+    for (const Suspect& s : thread_suspects) {
+      bool matched = false;
+      for (const Table& table : tables) {
+        if ((*table)[s.key] == s.got) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) ++outcome.unresolved;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Prediction cache: fused predict path with PredictCache on vs off",
+      "8 submit-burst threads, zipf sweep + hot-swap churn; acceptance: "
+      "cache on >= 2x off at theta 0.99, bit-identity always");
+  bench::JsonResults json("serve_cache");
+
+  Rng rng(20260807);
+  const std::size_t p = 6;
+  const std::size_t n_features = 256;
+  const PoetBin model = random_model(p, n_features, rng);
+
+  const std::size_t keys = std::max(
+      std::size_t{4096},
+      static_cast<std::size_t>(65536 * bench::bench_scale()));
+  const std::vector<BitVector> pool = random_pool(keys, n_features, rng);
+  std::vector<int> expected(keys);
+  for (std::size_t k = 0; k < keys; ++k) expected[k] = model.predict(pool[k]);
+
+  const std::size_t bursts_per_thread = std::max(
+      std::size_t{20},
+      static_cast<std::size_t>(150 * bench::bench_scale()));
+  // Two entries of headroom per key: with 4-way buckets and
+  // replace-on-collision eviction this keeps the whole key set resident,
+  // so the sweep measures hit-path cost, not capacity churn.
+  const std::size_t sweep_cache_bytes = 2 * keys * 16;
+  std::printf("P=%zu model, %zu features, %zu keys vs %zu-entry cache, "
+              "%zu clients x %zu bursts x %zu wide:\n",
+              p, n_features, keys, sweep_cache_bytes / 16, kClientThreads,
+              bursts_per_thread, kBurst);
+
+  bool pass = true;
+  double speedup_099 = 0.0;
+  for (const double theta : {0.6, 0.9, 0.99}) {
+    const SweepResult off =
+        run_sweep(model, pool, expected, theta, 0, bursts_per_thread);
+    const SweepResult on = run_sweep(model, pool, expected, theta,
+                                     sweep_cache_bytes, bursts_per_thread);
+    if (off.mismatches > 0 || on.mismatches > 0) {
+      std::printf("  ERROR: served predictions disagree with scalar predict "
+                  "(theta %.2f: off %zu, on %zu)\n",
+                  theta, off.mismatches, on.mismatches);
+      return 1;
+    }
+    const double off_rps = static_cast<double>(off.requests) / off.seconds;
+    const double on_rps = static_cast<double>(on.requests) / on.seconds;
+    std::printf("  theta %.2f: off %9.0f req/s  on %9.0f req/s  (%.2fx, "
+                "hit rate %.1f%%)\n",
+                theta, off_rps, on_rps, on_rps / off_rps,
+                100.0 * on.stats.cache_hit_rate());
+    const int theta_key = static_cast<int>(theta * 100 + 0.5);
+    char key[64];
+    std::snprintf(key, sizeof(key), "serve_cache_theta%03d_off_kqps",
+                  theta_key);
+    json.add(key, off_rps / 1e3);
+    std::snprintf(key, sizeof(key), "serve_cache_theta%03d_on_kqps",
+                  theta_key);
+    json.add(key, on_rps / 1e3);
+    std::snprintf(key, sizeof(key), "serve_cache_theta%03d_hit_rate",
+                  theta_key);
+    json.add(key, on.stats.cache_hit_rate());
+    if (theta_key == 99) {
+      speedup_099 = on_rps / off_rps;
+      if (on.stats.cache_hits == 0) {
+        std::printf("  ERROR: cache-on run at theta 0.99 never hit\n");
+        return 1;
+      }
+    }
+  }
+  json.add("serve_cache_speedup_theta099", speedup_099);
+  std::printf("  -> cache on vs off at theta 0.99: %.2fx (target 2x)\n",
+              speedup_099);
+  if (speedup_099 < 2.0) pass = false;
+
+  // Churn: correctness under concurrent retrain + hot reload.
+  const std::size_t churn_keys = std::min<std::size_t>(2048, keys);
+  const std::vector<BitVector> churn_pool(pool.begin(),
+                                          pool.begin() + churn_keys);
+  const ChurnOutcome churn = run_churn(model, churn_pool, /*rounds=*/6);
+  std::printf("  churn: %zu requests across %zu publishes, %llu stale, "
+              "%llu hits, %zu unresolved\n",
+              churn.requests, churn.publishes,
+              static_cast<unsigned long long>(churn.stats.cache_stale),
+              static_cast<unsigned long long>(churn.stats.cache_hits),
+              churn.unresolved);
+  if (churn.requests == 0 || churn.publishes < 6 || churn.unresolved > 0) {
+    std::printf("  ERROR: churn phase failed (see counters above)\n");
+    return 1;
+  }
+  if (churn.stats.cache_stale == 0 || churn.stats.cache_hits == 0) {
+    std::printf("  ERROR: churn phase never exercised epoch invalidation\n");
+    return 1;
+  }
+  json.add("serve_cache_churn_stale",
+           static_cast<double>(churn.stats.cache_stale));
+  json.add("acceptance_pass", pass ? 1.0 : 0.0);
+
+  if (bench::bench_scale() < 1.0) {
+    std::printf("acceptance check skipped (scale < 1.0); measured %s target\n",
+                pass ? "above" : "below");
+    return 0;
+  }
+  std::printf("acceptance (cache on >= 2x off at theta 0.99): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -12,6 +12,11 @@
 // Acceptance (gated only at POETBIN_BENCH_SCALE >= 1): micro-batched
 // throughput >= 3x the naive server on the same workload. Bit-identity is
 // a hard failure at any scale.
+//
+// Three rows run: naive, micro-batch with the prediction cache OFF — the
+// gated pair, so the 3x target keeps measuring the uncached dispatch path —
+// and micro-batch with the cache ON (informational here; the dedicated
+// cache sweep with its own acceptance lives in bench_serve_cache).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -113,8 +118,8 @@ double percentile(std::vector<double>& sorted, double q) {
 // expected scalar predictions are shared, read-only.
 ModeResult run_mode(const PoetBin& model, const std::vector<BitVector>& pool,
                     const std::vector<int>& expected, bool micro_batch,
-                    std::size_t bursts_per_thread) {
-  Runtime runtime(model, {.threads = 1});
+                    std::size_t cache_bytes, std::size_t bursts_per_thread) {
+  Runtime runtime(model, {.threads = 1, .cache_bytes = cache_bytes});
   NetServer server(runtime,
                    {.port = 0,
                     .micro_batch = micro_batch,
@@ -236,36 +241,50 @@ int main() {
 
   const ModeResult naive =
       run_mode(model, pool, expected, /*micro_batch=*/false,
-               bursts_per_thread);
+               /*cache_bytes=*/0, bursts_per_thread);
   report("naive dispatch", naive);
   const ModeResult micro =
       run_mode(model, pool, expected, /*micro_batch=*/true,
-               bursts_per_thread);
+               /*cache_bytes=*/0, bursts_per_thread);
   report("micro-batch (window 64)", micro);
+  const ModeResult cached =
+      run_mode(model, pool, expected, /*micro_batch=*/true,
+               /*cache_bytes=*/8u << 20, bursts_per_thread);
+  report("micro-batch + cache", cached);
 
   bool pass = true;
-  if (naive.requests == 0 || micro.requests == 0 ||
-      naive.transport_errors > 0 || micro.transport_errors > 0) {
-    std::printf("  ERROR: transport failures (naive %zu, micro %zu)\n",
-                naive.transport_errors, micro.transport_errors);
+  if (naive.requests == 0 || micro.requests == 0 || cached.requests == 0 ||
+      naive.transport_errors > 0 || micro.transport_errors > 0 ||
+      cached.transport_errors > 0) {
+    std::printf("  ERROR: transport failures (naive %zu, micro %zu, "
+                "cached %zu)\n",
+                naive.transport_errors, micro.transport_errors,
+                cached.transport_errors);
     return 1;
   }
-  if (naive.mismatches > 0 || micro.mismatches > 0) {
+  if (naive.mismatches > 0 || micro.mismatches > 0 || cached.mismatches > 0) {
     std::printf("  ERROR: served predictions disagree with scalar predict "
-                "(naive %zu, micro %zu)\n",
-                naive.mismatches, micro.mismatches);
+                "(naive %zu, micro %zu, cached %zu)\n",
+                naive.mismatches, micro.mismatches, cached.mismatches);
     return 1;
   }
 
   const double naive_rps = static_cast<double>(naive.requests) / naive.seconds;
   const double micro_rps = static_cast<double>(micro.requests) / micro.seconds;
+  const double cached_rps =
+      static_cast<double>(cached.requests) / cached.seconds;
   const double speedup = micro_rps / naive_rps;
   std::printf("  -> micro-batch vs naive throughput: %.2fx (target 3x)\n",
               speedup);
+  std::printf("  -> cache on vs off: %.2fx (hit rate %.1f%%, informational)\n",
+              cached_rps / micro_rps, 100.0 * cached.stats.cache_hit_rate());
   if (speedup < 3.0) pass = false;
 
   json.add("serve_net_naive_kqps", naive_rps / 1e3);
   json.add("serve_net_micro_kqps", micro_rps / 1e3);
+  json.add("serve_net_micro_cached_kqps", cached_rps / 1e3);
+  json.add("serve_net_cache_hit_rate", cached.stats.cache_hit_rate());
+  json.add("serve_net_speedup_cache", cached_rps / micro_rps);
   json.add("serve_net_micro_p50_ms", micro.p50_ms);
   json.add("serve_net_micro_p99_ms", micro.p99_ms);
   json.add("serve_net_micro_p999_ms", micro.p999_ms);

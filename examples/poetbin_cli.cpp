@@ -8,14 +8,17 @@
 //   $ ./poetbin_cli pack model.txt model.pbm   # text -> packed binary
 //   $ ./poetbin_cli unpack model.pbm model.txt # packed -> text
 //   $ ./poetbin_cli serve model.txt [--port=P] [--workers=N] [--threads=N]
-//                   [--watch[=ms]]
+//                   [--watch[=ms]] [--cache-mb=N] [--no-cache]
 //
 // `serve` runs the network serving front end: N forked workers sharing one
 // TCP port via SO_REUSEPORT, each with its own Runtime + micro-batcher.
 // SIGTERM/SIGINT shut it down gracefully and print per-worker stats. With
 // --watch each worker polls the model file (default every 1000 ms) and
 // hot-swaps it in when its mtime or size changes; clients can also push a
-// swap with a kReload frame either way.
+// swap with a kReload frame either way. Each worker fronts its model with a
+// lock-free prediction cache (serve/predict_cache.h, default 8 MiB) — hits
+// are bit-identical and every reload/retrain invalidates by epoch; size it
+// with --cache-mb=N or turn it off with --no-cache.
 //
 // `pack`/`unpack` convert between the text format and the mmap-ready packed
 // binary format (core/packed_model.h); both accept either format as input
@@ -234,6 +237,8 @@ int main(int argc, char** argv) {
   std::size_t port = 0;
   std::size_t workers = 1;
   long watch_ms = 0;
+  std::size_t cache_mb = 8;
+  bool no_cache = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch", 7) == 0 &&
@@ -265,6 +270,15 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = parse_thread_count(argv[i], argv[i] + 10);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
+      cache_mb = parse_thread_count(argv[i], argv[i] + 11);
+      if (cache_mb == 0) no_cache = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
       continue;
     }
     if (std::strncmp(argv[i], "--watch", 7) == 0 &&
@@ -305,6 +319,7 @@ int main(int argc, char** argv) {
     options.workers = workers < 1 ? 1 : workers;
     options.threads = threads == 0 ? 1 : threads;
     options.watch_interval = std::chrono::milliseconds(watch_ms);
+    options.cache_bytes = no_cache ? 0 : cache_mb << 20;
     options.server.port = static_cast<std::uint16_t>(port);
     return run_sharded_server(args[2], options);
   }
@@ -318,7 +333,7 @@ int main(int argc, char** argv) {
                "  %s pack   <model> <out.pbm>\n"
                "  %s unpack <model> <out.txt>\n"
                "  %s serve  <model> [--port=P] [--workers=N]"
-               " [--threads=N] [--watch[=ms]]\n",
+               " [--threads=N] [--watch[=ms]] [--cache-mb=N] [--no-cache]\n",
                argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

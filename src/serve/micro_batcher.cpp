@@ -73,11 +73,21 @@ void MicroBatcher::dispatch(const std::shared_ptr<Batch>& batch,
     }
   }
   std::vector<int> predictions;
+  Runtime::Snapshot snap;
   {
     // One fused pass at a time: the Runtime's engine is not re-entrant, and
-    // a second window can close while the first is still in flight.
+    // a second window can close while the first is still in flight. Pin the
+    // version here so cache inserts below tag results with the version that
+    // actually computed them, not whatever is current by insert time.
     std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
-    predictions = runtime_->predict(packed);
+    snap = runtime_->snapshot();
+    predictions = runtime_->predict_snapshot(snap, packed);
+  }
+  if (PredictCache* cache = runtime_->cache()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      cache->insert(PredictCache::make_key(*batch->examples[i]),
+                    predictions[i], snap->version);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -110,7 +120,20 @@ int MicroBatcher::await(const std::shared_ptr<Batch>& batch, std::size_t index,
   return batch->results[index];
 }
 
+bool MicroBatcher::probe_cache(const BitVector& example_bits,
+                               int* prediction) {
+  PredictCache* cache = runtime_->cache();
+  if (cache == nullptr ||
+      !cache->probe(PredictCache::make_key(example_bits), prediction)) {
+    return false;
+  }
+  cache_hit_requests_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 int MicroBatcher::predict_one(const BitVector& example_bits) {
+  int prediction = 0;
+  if (probe_cache(example_bits, &prediction)) return prediction;
   std::size_t index = 0;
   bool dispatch_claimed = false;
   bool leader = false;
@@ -123,6 +146,8 @@ int MicroBatcher::predict_one(const BitVector& example_bits) {
 }
 
 MicroBatcher::Ticket MicroBatcher::submit(const BitVector& example_bits) {
+  int prediction = 0;
+  if (probe_cache(example_bits, &prediction)) return Ticket(prediction);
   std::size_t index = 0;
   bool dispatch_claimed = false;
   bool leader = false;
@@ -133,6 +158,8 @@ MicroBatcher::Ticket MicroBatcher::submit(const BitVector& example_bits) {
 }
 
 int MicroBatcher::Ticket::get() {
+  // A cache hit resolved at submit() time and carries no batch.
+  if (batch_ == nullptr) return resolved_;
   // The window may still be open (submit-only traffic with no blocking
   // leader). Act as a leader: give it max_wait to fill, then dispatch.
   return parent_->await(batch_, index_, /*leader=*/true);
@@ -149,8 +176,24 @@ void MicroBatcher::flush() {
 }
 
 ServeStats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServeStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  // Cache hits never touch a window, so they live in their own atomic;
+  // fold them in so `requests` counts every prediction served, and pull
+  // the cache's own counters so one snapshot tells the whole story.
+  snapshot.requests += cache_hit_requests_.load(std::memory_order_relaxed);
+  if (const PredictCache* cache = runtime_->cache()) {
+    const PredictCacheStats c = cache->stats();
+    snapshot.cache_hits = c.hits;
+    snapshot.cache_misses = c.misses;
+    snapshot.cache_inserts = c.inserts;
+    snapshot.cache_evictions = c.evictions;
+    snapshot.cache_stale = c.stale;
+  }
+  return snapshot;
 }
 
 }  // namespace poetbin

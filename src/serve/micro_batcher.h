@@ -26,11 +26,22 @@
 // batcher stores pointers, not copies. Dispatches are serialized on an
 // internal mutex (the Runtime's engine is not re-entrant), so the batcher
 // may be shared freely across producer threads.
+//
+// Prediction cache: when the Runtime has one (RuntimeOptions::cache_bytes),
+// both entry points probe it BEFORE joining a window — a hit skips the
+// window entirely (predict_one returns immediately; submit hands back an
+// already-resolved Ticket) — and a dispatched window inserts its results
+// tagged with the model version that computed them. Hits are bit-identical
+// to the fused pass by the cache's epoch-invalidation contract
+// (serve/predict_cache.h). stats() folds the cache's counters into its
+// snapshot, so one read tells the whole serving story.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -75,11 +86,12 @@ class MicroBatcher {
   // Dispatches the open partial window, if any. Called by the destructor.
   void flush();
 
-  // Snapshot of the serving counters (serve/serve_stats.h): requests,
-  // dispatched windows, leader-timeout dispatches and the window-fill
-  // histogram. Monotonic; racing reads see a consistent snapshot. The
-  // network-layer fields (errors, connections) stay zero here — the
-  // NetServer fills them in its own snapshot.
+  // Snapshot of the serving counters (serve/serve_stats.h): requests
+  // (cache hits included — every prediction returned counts), dispatched
+  // windows, leader-timeout dispatches, the window-fill histogram, and the
+  // Runtime cache's counters. Monotonic; racing reads see a consistent
+  // snapshot. The network-layer fields (errors, connections) stay zero
+  // here — the NetServer fills them in its own snapshot.
   ServeStats stats() const;
 
  private:
@@ -112,6 +124,10 @@ class MicroBatcher {
   // has. Returns the result at `index`.
   int await(const std::shared_ptr<Batch>& batch, std::size_t index,
             bool leader);
+  // Cache probe shared by both entry points. True = *prediction is the
+  // served answer (bit-identical to the current version's predict) and the
+  // request never joins a window.
+  bool probe_cache(const BitVector& example_bits, int* prediction);
 
   const Runtime* runtime_;
   MicroBatcherOptions options_;
@@ -120,13 +136,17 @@ class MicroBatcher {
   std::mutex dispatch_mu_;  // serializes Runtime::predict calls
   std::shared_ptr<Batch> open_;
   ServeStats stats_;
+  // Requests answered straight from the cache — kept out of mu_ so the
+  // lock-free hit path stays lock-free; stats() folds them into requests.
+  std::atomic<std::uint64_t> cache_hit_requests_{0};
 
   friend class Ticket;
 };
 
 // Handle to one submitted example. get() may be called once from any
 // thread; the ticket (and the example bits it refers to) must not outlive
-// the MicroBatcher.
+// the MicroBatcher. A cache hit hands back an already-resolved ticket
+// (no batch behind it) whose get() returns immediately.
 class MicroBatcher::Ticket {
  public:
   int get();
@@ -135,10 +155,13 @@ class MicroBatcher::Ticket {
   friend class MicroBatcher;
   Ticket(MicroBatcher* parent, std::shared_ptr<Batch> batch, std::size_t index)
       : parent_(parent), batch_(std::move(batch)), index_(index) {}
+  explicit Ticket(int resolved)
+      : parent_(nullptr), index_(0), resolved_(resolved) {}
 
   MicroBatcher* parent_;
   std::shared_ptr<Batch> batch_;
   std::size_t index_;
+  int resolved_ = 0;
 };
 
 }  // namespace poetbin

@@ -155,7 +155,18 @@ ServeStats NetServer::stats() const {
     std::lock_guard<std::mutex> lock(conn_mu_);
     merged = net_stats_;
   }
-  if (batcher_ != nullptr) merged.merge(batcher_->stats());
+  if (batcher_ != nullptr) {
+    // The batcher's snapshot already folds in the Runtime cache's counters.
+    merged.merge(batcher_->stats());
+  } else if (const PredictCache* cache = runtime_->cache()) {
+    // Naive mode probes the cache through Runtime::predict_one.
+    const PredictCacheStats c = cache->stats();
+    merged.cache_hits += c.hits;
+    merged.cache_misses += c.misses;
+    merged.cache_inserts += c.inserts;
+    merged.cache_evictions += c.evictions;
+    merged.cache_stale += c.stale;
+  }
   return merged;
 }
 
@@ -387,6 +398,15 @@ void print_worker_stats(std::size_t worker, const ServeStats& stats) {
               static_cast<unsigned long long>(stats.timeouts),
               static_cast<unsigned long long>(stats.errors),
               static_cast<unsigned long long>(stats.connections));
+  if (stats.cache_hits + stats.cache_misses > 0) {
+    std::printf("worker %zu: cache %llu hits / %llu misses (%.1f%% hit "
+                "rate), %llu evictions, %llu stale\n",
+                worker, static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses),
+                100.0 * stats.cache_hit_rate(),
+                static_cast<unsigned long long>(stats.cache_evictions),
+                static_cast<unsigned long long>(stats.cache_stale));
+  }
 }
 
 }  // namespace
@@ -473,7 +493,8 @@ int run_sharded_server(const std::string& model_path,
       for (const int rfd : ready_fds) ::close(rfd);
       if (hold_fd >= 0) ::close(hold_fd);
       Runtime::LoadResult loaded = Runtime::load(
-          model_path, RuntimeOptions{.threads = options.threads});
+          model_path, RuntimeOptions{.threads = options.threads,
+                                     .cache_bytes = options.cache_bytes});
       if (!loaded.ok()) {
         std::fprintf(stderr, "worker %zu: %s: %s\n", w,
                      model_io_error_kind_name(loaded.error().kind),

@@ -103,7 +103,8 @@ class NetServer {
   std::size_t n_features() const { return n_features_; }
 
   // Merged counters: connection/error counts from the network layer plus
-  // the MicroBatcher's window stats (or naive-path request counts).
+  // the MicroBatcher's window + cache stats (or naive-path request counts,
+  // with the cache counters folded from the Runtime directly).
   ServeStats stats() const;
 
  private:
@@ -136,6 +137,11 @@ struct ShardedServeOptions {
   // the processes or dropping a connection. 0 disables watching (kReload
   // frames still work either way).
   std::chrono::milliseconds watch_interval{0};
+  // Per-worker prediction cache size (RuntimeOptions::cache_bytes). The
+  // serving default is ON — repeated inputs skip the word pass entirely,
+  // bit-identically — unlike the library default; 0 disables
+  // (`serve --no-cache`).
+  std::size_t cache_bytes = 8u << 20;
   NetServerOptions server;  // reuse_port is forced on when workers > 1
 };
 

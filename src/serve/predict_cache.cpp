@@ -1,0 +1,204 @@
+#include "serve/predict_cache.h"
+
+#include "util/check.h"
+
+namespace poetbin {
+
+namespace {
+
+// splitmix64 finalizer: a cheap full-avalanche bijection over u64.
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Chained xor-mix over the packed words plus the bit width. The tail word
+// is masked so the hash depends only on bits [0, size) — two equal
+// BitVectors always key identically regardless of stale tail bits.
+std::uint64_t hash_bits(const BitVector& bits, std::uint64_t seed) {
+  std::uint64_t h = mix64(seed ^ bits.size());
+  const std::uint64_t* words = bits.words();
+  const std::size_t n_words = bits.word_count();
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t word = words[w];
+    if (w + 1 == n_words) word &= BitVector::tail_word_mask(bits.size());
+    h = mix64(h ^ word);
+  }
+  return h;
+}
+
+std::size_t floor_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+std::size_t log2_pow2(std::size_t v) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < v) ++bits;
+  return bits;
+}
+
+constexpr std::uint64_t kTagMask = 0xFFFFULL;
+
+std::uint64_t pack_entry(int prediction, std::uint64_t version,
+                         std::uint64_t hash) {
+  return (static_cast<std::uint64_t>(prediction) << 48) |
+         ((version & 0xFFFFFFFFULL) << 16) | (hash >> 48);
+}
+
+std::uint32_t entry_epoch(std::uint64_t data) {
+  return static_cast<std::uint32_t>(data >> 16);
+}
+
+int entry_prediction(std::uint64_t data) {
+  return static_cast<int>(data >> 48);
+}
+
+}  // namespace
+
+PredictCache::PredictCache(PredictCacheOptions options) {
+  const std::size_t total_entries =
+      floor_pow2(options.capacity_bytes / sizeof(Entry) < kBucketEntries
+                     ? kBucketEntries
+                     : options.capacity_bytes / sizeof(Entry));
+  std::size_t shards = floor_pow2(options.shards < 1 ? 1 : options.shards);
+  if (shards < options.shards) shards *= 2;  // round UP to a power of two
+  // Every shard needs at least one bucket.
+  while (shards > 1 && total_entries / shards < kBucketEntries) shards /= 2;
+  n_shards_ = shards;
+  shard_bits_ = log2_pow2(shards);
+  shard_entries_ = total_entries / shards;
+  bucket_mask_ = shard_entries_ / kBucketEntries - 1;
+  shards_ = std::make_unique<Shard[]>(n_shards_);
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    shards_[s].entries = std::make_unique<Entry[]>(shard_entries_);
+  }
+}
+
+PredictCache::Key PredictCache::make_key(const BitVector& bits) {
+  return Key{hash_bits(bits, 0x9E3779B97F4A7C15ULL),
+             hash_bits(bits, 0xC2B2AE3D27D4EB4FULL)};
+}
+
+PredictCache::Entry* PredictCache::bucket_for(const Key& key, Shard** shard) {
+  *shard = &shards_[key.hash & (n_shards_ - 1)];
+  const std::size_t bucket = (key.hash >> shard_bits_) & bucket_mask_;
+  return &(*shard)->entries[bucket * kBucketEntries];
+}
+
+bool PredictCache::probe(const Key& key, int* prediction) {
+  Shard* shard = nullptr;
+  Entry* bucket = bucket_for(key, &shard);
+  // Acquire pairs with insert()'s release store: a hit synchronizes with
+  // the inserter, so the hitter's later snapshot loads can never see a
+  // model version older than the one that computed this entry.
+  const std::uint32_t current =
+      static_cast<std::uint32_t>(epoch_.load(std::memory_order_acquire));
+  const std::uint64_t tag = key.hash >> 48;
+  for (std::size_t e = 0; e < kBucketEntries; ++e) {
+    const std::uint64_t data = bucket[e].data.load(std::memory_order_acquire);
+    const std::uint64_t check =
+        bucket[e].check.load(std::memory_order_relaxed);
+    if ((check ^ data) != key.verify || (data & kTagMask) != tag) continue;
+    if (entry_epoch(data) != current) {
+      // The key matched but the entry predates the serving version: a
+      // reload/retrain published since it was inserted. Miss, never serve.
+      shard->counters.stale.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    *prediction = entry_prediction(data);
+    shard->counters.hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  shard->counters.misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PredictCache::insert(const Key& key, int prediction,
+                          std::uint64_t version) {
+  POETBIN_CHECK_MSG(prediction >= 0 && prediction < (1 << 16),
+                    "prediction does not fit the cache's 16-bit class field");
+  Shard* shard = nullptr;
+  Entry* bucket = bucket_for(key, &shard);
+  const std::uint64_t data = pack_entry(prediction, version, key.hash);
+  const std::uint64_t tag = key.hash >> 48;
+  const std::uint32_t current =
+      static_cast<std::uint32_t>(epoch_.load(std::memory_order_relaxed));
+  // Victim policy: refresh the same key in place; otherwise reclaim a
+  // stale-or-empty entry; otherwise replace-on-collision at a hash-chosen
+  // index (bits below the tag, disjoint from the bucket selector).
+  std::size_t victim = kBucketEntries;
+  bool evicting = false;
+  for (std::size_t e = 0; e < kBucketEntries; ++e) {
+    const std::uint64_t old = bucket[e].data.load(std::memory_order_relaxed);
+    const std::uint64_t check =
+        bucket[e].check.load(std::memory_order_relaxed);
+    if ((check ^ old) == key.verify && (old & kTagMask) == tag) {
+      victim = e;
+      evicting = false;
+      break;
+    }
+    // old == 0: a never-written (or cleared) slot. It must be tested
+    // explicitly — at epoch 0 its zero epoch field would read as current.
+    if (victim == kBucketEntries &&
+        (old == 0 || entry_epoch(old) != current)) {
+      victim = e;
+    }
+  }
+  if (victim == kBucketEntries) {
+    victim = static_cast<std::size_t>((key.hash >> 46) & (kBucketEntries - 1));
+    evicting = true;
+  }
+  // check first (relaxed), then data with release: a reader that observes
+  // the new data also observes the matching check, and a half-visible pair
+  // XOR-mismatches into a miss.
+  bucket[victim].check.store(key.verify ^ data, std::memory_order_relaxed);
+  bucket[victim].data.store(data, std::memory_order_release);
+  shard->counters.inserts.fetch_add(1, std::memory_order_relaxed);
+  if (evicting) {
+    shard->counters.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PredictCache::set_epoch(std::uint64_t version) {
+  const std::uint64_t previous = epoch_.load(std::memory_order_relaxed);
+  if ((version >> 32) != (previous >> 32)) {
+    // Epoch wraparound: the 32-bit entry tags are about to repeat, so an
+    // entry from 2^32 publishes ago could read as current. Drop everything.
+    clear();
+  }
+  epoch_.store(version, std::memory_order_release);
+}
+
+std::uint64_t PredictCache::epoch() const {
+  return epoch_.load(std::memory_order_acquire);
+}
+
+void PredictCache::clear() {
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    for (std::size_t e = 0; e < shard_entries_; ++e) {
+      shards_[s].entries[e].check.store(0, std::memory_order_relaxed);
+      shards_[s].entries[e].data.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+PredictCacheStats PredictCache::stats() const {
+  PredictCacheStats total;
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    const Counters& c = shards_[s].counters;
+    total.hits += c.hits.load(std::memory_order_relaxed);
+    total.misses += c.misses.load(std::memory_order_relaxed);
+    total.inserts += c.inserts.load(std::memory_order_relaxed);
+    total.evictions += c.evictions.load(std::memory_order_relaxed);
+    total.stale += c.stale.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace poetbin

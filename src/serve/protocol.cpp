@@ -143,6 +143,13 @@ std::size_t encode_stats_response(const ServeStats& stats,
   put_u64(stats.errors, out);
   put_u64(stats.connections, out);
   for (const std::uint64_t count : stats.window_fill) put_u64(count, out);
+  // Cache counters ride at the end so pre-cache decoders that check the
+  // old length still line up on everything before them.
+  put_u64(stats.cache_hits, out);
+  put_u64(stats.cache_misses, out);
+  put_u64(stats.cache_inserts, out);
+  put_u64(stats.cache_evictions, out);
+  put_u64(stats.cache_stale, out);
   return seal_frame(header_at, out);
 }
 
@@ -265,8 +272,14 @@ FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
       response->n_classes = get_u32(payload + 2 + 4);
       return FrameResult::kFrame;
     case MsgType::kStats: {
-      const std::size_t want = 2 + 8 * (5 + ServeStats::kFillBuckets);
-      if (length != want) return FrameResult::kReject;
+      // Two body layouts are valid: the pre-cache one (5 + kFillBuckets
+      // u64s) and the current one with 5 cache counters appended. The short
+      // form decodes with the cache fields left at zero — explicit
+      // version tolerance, not a sloppy prefix read: anything between or
+      // beyond the two lengths is rejected.
+      const std::size_t legacy = 2 + 8 * (5 + ServeStats::kFillBuckets);
+      const std::size_t want = legacy + 8 * 5;
+      if (length != want && length != legacy) return FrameResult::kReject;
       const std::uint8_t* p = payload + 2;
       response->stats = ServeStats();
       response->stats.requests = get_u64(p);
@@ -276,6 +289,14 @@ FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
       response->stats.connections = get_u64(p + 32);
       for (std::size_t b = 0; b < ServeStats::kFillBuckets; ++b) {
         response->stats.window_fill[b] = get_u64(p + 40 + 8 * b);
+      }
+      if (length == want) {
+        const std::uint8_t* c = p + 40 + 8 * ServeStats::kFillBuckets;
+        response->stats.cache_hits = get_u64(c);
+        response->stats.cache_misses = get_u64(c + 8);
+        response->stats.cache_inserts = get_u64(c + 16);
+        response->stats.cache_evictions = get_u64(c + 24);
+        response->stats.cache_stale = get_u64(c + 32);
       }
       return FrameResult::kFrame;
     }

@@ -23,8 +23,13 @@
 //   payload  := u8 type, u8 status, body
 //   kPredict : u16 predicted class (only when status == kOk)
 //   kInfo    : u32 n_features, u32 n_classes
-//   kStats   : 5 + kFillBuckets u64 counters (requests, batches, timeouts,
-//              errors, connections, window_fill[0..])
+//   kStats   : 10 + kFillBuckets u64 counters (requests, batches, timeouts,
+//              errors, connections, window_fill[0..], cache_hits,
+//              cache_misses, cache_inserts, cache_evictions, cache_stale).
+//              The decoder also accepts the pre-cache layout (5 +
+//              kFillBuckets counters) with the cache fields read as zero,
+//              so a new client can poll an old worker; any other length is
+//              rejected.
 //   kReload  : u64 model version now serving (only when status == kOk;
 //              a failed reload answers status kReloadFailed, empty body,
 //              and the old model keeps serving)

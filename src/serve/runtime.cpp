@@ -45,6 +45,9 @@ struct Runtime::State {
   std::atomic<std::uint64_t> next_version{1};
 
   Slot primary;
+  // Prediction cache for the primary slot (null when cache_bytes == 0).
+  // Its epoch is pinned to the primary version sequence in publish().
+  std::unique_ptr<PredictCache> cache;
 
   // Lock order: mutate_mu -> registry_mu -> engine_mu (each optional).
   // mutate_mu serializes read-modify-write publishes (reload, retrain,
@@ -72,6 +75,10 @@ Runtime::Runtime(PoetBin model, RuntimeOptions options, ModelFormat format,
   }
   state_->backend = active_word_backend();
   state_->engine = std::make_unique<BatchEngine>(options.threads);
+  if (options.cache_bytes > 0) {
+    state_->cache = std::make_unique<PredictCache>(
+        PredictCacheOptions{.capacity_bytes = options.cache_bytes});
+  }
   publish(state_->primary, std::move(model), format, std::move(source_path));
 }
 
@@ -84,6 +91,13 @@ void Runtime::publish(Slot& slot, PoetBin model, ModelFormat format,
   auto version = std::make_shared<const ModelVersion>(ModelVersion{
       std::move(model), state_->next_version.fetch_add(1), format,
       std::move(source_path)});
+  // Invalidate the cache generation BEFORE the slot store: any reader that
+  // can see the new model already sees the new epoch, so a probe can never
+  // resurrect an old version's answer after the swap. (Named slots share
+  // the version counter but not the cache.)
+  if (&slot == &state_->primary && state_->cache != nullptr) {
+    state_->cache->set_epoch(version->version);
+  }
   slot.current.store(std::move(version));
 }
 
@@ -173,6 +187,12 @@ std::vector<int> Runtime::predict(const BitMatrix& features) const {
   return predict_on(*snap, features);
 }
 
+std::vector<int> Runtime::predict_snapshot(const Snapshot& snap,
+                                           const BitMatrix& features) const {
+  POETBIN_CHECK_MSG(snap != nullptr, "predict_snapshot() on a null snapshot");
+  return predict_on(*snap, features);
+}
+
 double Runtime::accuracy(const BitMatrix& features,
                          const std::vector<int>& labels) const {
   return prediction_accuracy(predict(features), labels);
@@ -185,8 +205,21 @@ BitMatrix Runtime::rinc_outputs(const BitMatrix& features) const {
 }
 
 int Runtime::predict_one(const BitVector& example_bits) const {
-  return snapshot()->model.predict(example_bits);
+  PredictCache* cache = state_->cache.get();
+  if (cache == nullptr) return snapshot()->model.predict(example_bits);
+  const PredictCache::Key key = PredictCache::make_key(example_bits);
+  int prediction = 0;
+  if (cache->probe(key, &prediction)) return prediction;
+  // Tag the insert with the version of the snapshot that computed it: a
+  // reload between the predict and the insert leaves the entry stale
+  // (harmless) instead of labeling an old answer as current (wrong).
+  const Snapshot snap = snapshot();
+  prediction = snap->model.predict(example_bits);
+  cache->insert(key, prediction, snap->version);
+  return prediction;
 }
+
+PredictCache* Runtime::cache() const { return state_->cache.get(); }
 
 void Runtime::retrain_output_layer(const BitMatrix& features,
                                    const std::vector<int>& labels) {

@@ -63,6 +63,7 @@
 #include "core/packed_model.h"
 #include "core/poetbin.h"
 #include "core/serialize.h"
+#include "serve/predict_cache.h"
 #include "util/bit_matrix.h"
 #include "util/word_backend.h"
 
@@ -87,6 +88,17 @@ struct RuntimeOptions {
   // word-parallel, then run the scalar argmax over the materialized bank —
   // same results bit for bit, useful for debugging the fused path.
   bool fused_argmax = true;
+  // Size in bytes of the lock-free prediction cache
+  // (serve/predict_cache.h) in front of the primary model's predict_one
+  // path and the MicroBatcher's fused windows. 0 disables caching — the
+  // library default, so offline/batch users and exact-count tests see no
+  // behavior change; the serving CLI turns it on (`serve --cache-mb=N`).
+  // A hit is bit-identical to what the serving version's scalar predict
+  // would return: every reload/retrain publication invalidates by epoch,
+  // and entries are XOR-verified against a second hash so collisions read
+  // as misses. Named-model requests bypass the cache (it is pinned to the
+  // primary slot's version sequence).
+  std::size_t cache_bytes = 0;
 };
 
 // One published model version: the immutable unit requests snapshot. The
@@ -170,13 +182,26 @@ class Runtime {
 
   // Dataset-level requests; callers may overlap (they queue on the engine).
   std::vector<int> predict(const BitMatrix& features) const;
+  // Dataset predict pinned to a caller-held snapshot. The MicroBatcher
+  // dispatches windows through this so it can tag its cache inserts with
+  // the version that actually computed them (never the version that
+  // happens to be current by insert time).
+  std::vector<int> predict_snapshot(const Snapshot& snap,
+                                    const BitMatrix& features) const;
   double accuracy(const BitMatrix& features,
                   const std::vector<int>& labels) const;
   BitMatrix rinc_outputs(const BitMatrix& features) const;
 
   // Scalar single-example request; lock-free snapshot, safe concurrently
-  // with everything including reload/retrain.
+  // with everything including reload/retrain. With cache_bytes set, probes
+  // the prediction cache first and inserts on a miss — bit-identical
+  // either way.
   int predict_one(const BitVector& example_bits) const;
+
+  // The prediction cache, or nullptr when cache_bytes was 0. Probe/insert
+  // are lock-free and safe from any thread; serving front ends fold
+  // cache()->stats() into their ServeStats snapshots.
+  PredictCache* cache() const;
 
   // Re-adapt the output layer to new labeled data without re-distilling the
   // RINC bank (the paper's A4 step), spreading classes over this engine.

@@ -29,12 +29,26 @@ ServeStats& ServeStats::merge(const ServeStats& other) {
   for (std::size_t b = 0; b < kFillBuckets; ++b) {
     window_fill[b] += other.window_fill[b];
   }
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_inserts += other.cache_inserts;
+  cache_evictions += other.cache_evictions;
+  cache_stale += other.cache_stale;
   return *this;
 }
 
 double ServeStats::mean_window_fill() const {
   if (batches == 0) return 0.0;
-  return static_cast<double>(requests) / static_cast<double>(batches);
+  // Cache hits count as served requests but never enter a window.
+  const std::uint64_t windowed =
+      requests > cache_hits ? requests - cache_hits : 0;
+  return static_cast<double>(windowed) / static_cast<double>(batches);
+}
+
+double ServeStats::cache_hit_rate() const {
+  const std::uint64_t probes = cache_hits + cache_misses;
+  if (probes == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(probes);
 }
 
 }  // namespace poetbin

@@ -5,8 +5,9 @@
 // of ad-hoc per-class counters, so benches, the load generator and the CI
 // smoke all read one shape: how many requests were answered, how many
 // micro-batch windows were dispatched (and how full they were), how many
-// windows went out on a leader timeout rather than full, and how many
-// protocol/config errors and connections a network front end saw.
+// windows went out on a leader timeout rather than full, how many
+// protocol/config errors and connections a network front end saw, and what
+// the prediction cache (serve/predict_cache.h) did in front of it all.
 //
 // A ServeStats is a plain value: producers keep one under their own lock
 // and hand out copies; shards merge() their workers' snapshots.
@@ -32,6 +33,14 @@ struct ServeStats {
   std::uint64_t connections = 0;  // accepted connections (network layer)
   std::array<std::uint64_t, kFillBuckets> window_fill{};
 
+  // Prediction-cache counters (PredictCacheStats, folded in by the front
+  // end that owns the Runtime). All zero when the cache is disabled.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_stale = 0;
+
   // Bucket index for a window of `batch_size` examples under `max_batch`.
   static std::size_t fill_bucket(std::size_t batch_size,
                                  std::size_t max_batch);
@@ -48,6 +57,9 @@ struct ServeStats {
 
   // Mean examples per dispatched window (0 when nothing dispatched).
   double mean_window_fill() const;
+
+  // Fraction of cache probes that hit (0 when the cache never probed).
+  double cache_hit_rate() const;
 
   bool operator==(const ServeStats& other) const = default;
 };

@@ -27,6 +27,7 @@
 #include "serve/runtime.h"
 #include "test_util.h"
 #include "util/bitvector.h"
+#include "util/rng.h"
 
 namespace poetbin {
 namespace {
@@ -252,6 +253,168 @@ TEST(HotReload, NetServerKReloadUnderEightClientThreads) {
   EXPECT_EQ(response.prediction, 1);
   ASSERT_TRUE(control.model_info(&response));
   EXPECT_EQ(response.model_version, 2u);
+  server.stop();
+}
+
+// The Runtime-level reload invariant again, with the prediction cache ON:
+// every response must still be a published tag, in publish order per
+// thread. A cache that lagged a publication (epoch set after the slot
+// store, or a missing release/acquire pair) would resurrect an old tag
+// after a thread has already seen the new one.
+TEST(HotReload, CacheOnReloadKeepsPerThreadTagOrder) {
+  const std::string path = temp_path("hot_reload_cache.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(0), path).ok());
+  Runtime::LoadResult loaded =
+      Runtime::load(path, {.threads = 1, .cache_bytes = 1u << 16});
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  Runtime runtime = std::move(loaded).value();
+  ASSERT_NE(runtime.cache(), nullptr);
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> out_of_order{0};
+  std::atomic<std::size_t> invalid{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      // Few distinct keys per thread so the cache hits constantly.
+      const BitVector keys[2] = {example_bits(t), example_bits(50 + t)};
+      int last = 0;
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int tag = runtime.predict_one(keys[i++ & 1]);
+        if (tag < 0 || tag >= static_cast<int>(kClasses)) {
+          invalid.fetch_add(1, std::memory_order_relaxed);
+        } else if (tag < last) {
+          out_of_order.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          last = tag;
+        }
+      }
+    });
+  }
+  for (int tag = 1; tag < static_cast<int>(kClasses); ++tag) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(write_packed_model_file(tagged_model(tag), path).ok());
+    ASSERT_TRUE(runtime.reload().ok());
+    EXPECT_EQ(runtime.predict_one(example_bits(99)), tag);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(invalid.load(), 0u);
+  EXPECT_EQ(out_of_order.load(), 0u);
+  const PredictCacheStats stats = runtime.cache()->stats();
+  EXPECT_GT(stats.hits, 0u);   // the cache actually served
+  EXPECT_GT(stats.stale, 0u);  // and the publishes actually invalidated
+}
+
+// retrain_output_layer publishes mid-run while 8 cache-on threads hammer
+// one key each. Per thread, the served value may switch from the old
+// model's answer to the retrained model's answer exactly once — any third
+// transition means a stale cached answer resurfaced after the swap.
+TEST(HotReload, CacheOnRetrainSwitchesEachThreadAtMostOnce) {
+  Runtime runtime(tagged_model(0), {.threads = 1, .cache_bytes = 1u << 16});
+  ASSERT_NE(runtime.cache(), nullptr);
+
+  constexpr std::size_t kThreads = 8;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<int>> transitions(kThreads);
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const BitVector bits = example_bits(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int got = runtime.predict_one(bits);
+        if (transitions[t].empty() || transitions[t].back() != got) {
+          transitions[t].push_back(got);
+        }
+      }
+    });
+  }
+
+  // Retrain toward constant class 1 on a random feature matrix. What the
+  // retrained model actually predicts per key is read back afterwards —
+  // the invariant is single-switch, not any particular class.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::size_t n_train = 64;
+  BitMatrix train(n_train, kFeatures);
+  Rng rng(23);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      train.set(i, f, rng.next_bool());
+    }
+  }
+  runtime.retrain_output_layer(train, std::vector<int>(n_train, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(runtime.model_version(), 2u);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const int before = 0;  // tagged_model(0) predicts 0 everywhere
+    const int after = runtime.model().predict(example_bits(t));
+    ASSERT_LE(transitions[t].size(), 2u) << "thread " << t << " flapped";
+    if (!transitions[t].empty()) {
+      EXPECT_TRUE(transitions[t].front() == before ||
+                  transitions[t].front() == after);
+    }
+    if (transitions[t].size() == 2) {
+      EXPECT_EQ(transitions[t].front(), before);
+      EXPECT_EQ(transitions[t].back(), after);
+    }
+  }
+}
+
+// End-to-end cache-on serving: a client hammering one key over the wire
+// gets cache hits, a kReload mid-stream flips the answer immediately (the
+// stale entry must not outlive the publish), and the kStats frame carries
+// the cache counters back out.
+TEST(HotReload, NetServerCacheOnReloadAndWireStats) {
+  const std::string path = temp_path("hot_reload_cache_srv.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(0), path).ok());
+  Runtime::LoadResult loaded =
+      Runtime::load(path, {.threads = 1, .cache_bytes = 1u << 16});
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  Runtime runtime = std::move(loaded).value();
+  NetServer server(runtime, {.port = 0,
+                             .micro_batch = true,
+                             .max_batch = 16,
+                             .max_wait = std::chrono::microseconds(200),
+                             .n_features = kFeatures});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const BitVector bits = example_bits(42);
+  wire::Response response;
+  for (int r = 0; r < 50; ++r) {
+    ASSERT_TRUE(client.predict(bits, &response));
+    ASSERT_EQ(response.status, wire::Status::kOk);
+    EXPECT_EQ(response.prediction, 0);
+  }
+
+  ASSERT_TRUE(write_packed_model_file(tagged_model(1), path).ok());
+  ASSERT_TRUE(client.reload(&response));
+  ASSERT_EQ(response.status, wire::Status::kOk);
+  // The very first post-reload probe of the hot key must miss the cached
+  // tag-0 entry and serve the new model.
+  for (int r = 0; r < 10; ++r) {
+    ASSERT_TRUE(client.predict(bits, &response));
+    ASSERT_EQ(response.status, wire::Status::kOk);
+    EXPECT_EQ(response.prediction, 1);
+  }
+
+  ASSERT_TRUE(client.query_stats(&response));
+  ASSERT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.stats.requests, 60u);
+  EXPECT_GT(response.stats.cache_hits, 0u);
+  EXPECT_GT(response.stats.cache_inserts, 0u);
+  EXPECT_GT(response.stats.cache_stale, 0u);
+  EXPECT_EQ(response.stats.cache_hits, server.stats().cache_hits);
   server.stop();
 }
 

@@ -255,6 +255,11 @@ TEST(ProtocolResponse, StatsRoundTripPreservesEveryCounter) {
   for (std::size_t b = 0; b < ServeStats::kFillBuckets; ++b) {
     stats.window_fill[b] = 100 + b;
   }
+  stats.cache_hits = 4001;
+  stats.cache_misses = 4002;
+  stats.cache_inserts = 4003;
+  stats.cache_evictions = 4004;
+  stats.cache_stale = 4005;
   std::vector<std::uint8_t> buffer;
   encode_stats_response(stats, &buffer);
   std::size_t offset = 0;
@@ -263,6 +268,68 @@ TEST(ProtocolResponse, StatsRoundTripPreservesEveryCounter) {
             FrameResult::kFrame);
   EXPECT_EQ(response.type, MsgType::kStats);
   EXPECT_EQ(response.stats, stats);
+}
+
+TEST(ProtocolResponse, StatsAcceptsPreCacheLengthWithZeroCounters) {
+  // A pre-cache-era server sends the shorter kStats body (no cache
+  // counters). The decoder must accept it and report zeroed cache fields,
+  // not reject the peer.
+  ServeStats stats;
+  stats.requests = 777;
+  stats.cache_hits = 999;  // must NOT survive the legacy round trip
+  std::vector<std::uint8_t> buffer;
+  encode_stats_response(stats, &buffer);
+  const std::size_t trimmed = 8 * 5;  // the five cache counters
+  buffer.resize(buffer.size() - trimmed);
+  const std::uint32_t body = static_cast<std::uint32_t>(buffer.size()) - 4;
+  buffer[0] = static_cast<std::uint8_t>(body);
+  buffer[1] = static_cast<std::uint8_t>(body >> 8);
+  buffer[2] = static_cast<std::uint8_t>(body >> 16);
+  buffer[3] = static_cast<std::uint8_t>(body >> 24);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(response.stats.requests, 777u);
+  EXPECT_EQ(response.stats.cache_hits, 0u);
+  EXPECT_EQ(response.stats.cache_misses, 0u);
+  EXPECT_EQ(response.stats.cache_stale, 0u);
+}
+
+TEST(ProtocolResponse, StatsBetweenKnownLengthsIsRejected) {
+  // Only the exact legacy and exact current body lengths are valid — a
+  // body one counter short of current matches neither and must reject.
+  ServeStats stats;
+  std::vector<std::uint8_t> buffer;
+  encode_stats_response(stats, &buffer);
+  buffer.resize(buffer.size() - 8);
+  const std::uint32_t body = static_cast<std::uint32_t>(buffer.size()) - 4;
+  buffer[0] = static_cast<std::uint8_t>(body);
+  buffer[1] = static_cast<std::uint8_t>(body >> 8);
+  buffer[2] = static_cast<std::uint8_t>(body >> 16);
+  buffer[3] = static_cast<std::uint8_t>(body >> 24);
+  std::size_t offset = 0;
+  Response response;
+  EXPECT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kReject);
+}
+
+TEST(ProtocolResponse, TruncatedStatsResponseNeedsMore) {
+  // Same contract as TruncatedResponseNeedsMore, for the (much longer)
+  // cache-era kStats frame: every cut point asks for more bytes.
+  ServeStats stats;
+  stats.requests = 1;
+  stats.cache_hits = 2;
+  std::vector<std::uint8_t> buffer;
+  encode_stats_response(stats, &buffer);
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::size_t offset = 0;
+    Response response;
+    EXPECT_EQ(decode_response(buffer.data(), cut, &offset, &response),
+              FrameResult::kNeedMore)
+        << "cut at " << cut;
+  }
 }
 
 TEST(ProtocolResponse, TruncatedResponseNeedsMore) {

@@ -2,7 +2,7 @@
 //
 //   loadgen <host> <port> [--threads=8] [--duration=5] [--theta=0.99]
 //           [--keys=1024] [--seed=42] [--pipeline=16] [--json=FILE]
-//           [--allow-repin] [--reload-at=SECONDS]
+//           [--allow-repin] [--reload-at=SECONDS] [--min-hit-rate=F]
 //
 // Probes the server with a kInfo request for the model's feature width,
 // builds a deterministic pool of random keys, then drives it from
@@ -24,6 +24,14 @@
 // an INTENTIONAL mid-run model swap — a disagreeing prediction re-pins the
 // key and bumps the `repins` counter instead of erroring, so the
 // flap-detector stays armed for everything except the swap itself.
+//
+// After the run, one kStats frame reads the server-side counters and the
+// prediction-cache hit rate lands on stdout and in the JSON (cache_hits,
+// cache_misses, cache_hit_rate). Under SO_REUSEPORT sharding the frame
+// samples whichever worker accepts the connection, not the shard group.
+// --min-hit-rate=F additionally fails the run (nonzero exit) when the
+// sampled hit rate comes in below F — the CI gate that proves the cache is
+// actually absorbing the zipf head.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -56,7 +64,8 @@ struct Options {
   std::size_t pipeline = 16;
   std::string json_path;
   bool allow_repin = false;
-  double reload_at_s = -1.0;  // < 0: never send a kReload
+  double reload_at_s = -1.0;    // < 0: never send a kReload
+  double min_hit_rate = -1.0;   // < 0: don't gate on the cache hit rate
 };
 
 struct ThreadResult {
@@ -78,7 +87,8 @@ int usage(const char* argv0) {
                "usage: %s <host> <port> [--threads=N] [--duration=SECONDS]\n"
                "       [--theta=T] [--keys=K] [--seed=S] [--pipeline=D] "
                "[--json=FILE]\n"
-               "       [--allow-repin] [--reload-at=SECONDS]\n",
+               "       [--allow-repin] [--reload-at=SECONDS] "
+               "[--min-hit-rate=F]\n",
                argv0);
   return 2;
 }
@@ -107,6 +117,12 @@ bool parse_args(int argc, char** argv, Options* options) {
       options->reload_at_s = std::strtod(value.c_str(), nullptr);
       if (options->reload_at_s < 0.0) {
         std::fprintf(stderr, "bad --reload-at value: %s\n", value.c_str());
+        return false;
+      }
+    } else if (parse_flag(argv[i], "--min-hit-rate=", &value)) {
+      options->min_hit_rate = std::strtod(value.c_str(), nullptr);
+      if (options->min_hit_rate < 0.0 || options->min_hit_rate > 1.0) {
+        std::fprintf(stderr, "bad --min-hit-rate value: %s\n", value.c_str());
         return false;
       }
     } else if (argv[i][0] == '-') {
@@ -321,6 +337,39 @@ int main(int argc, char** argv) {
   std::printf("burst latency p50 %.3f ms  p99 %.3f ms  p999 %.3f ms\n", p50,
               p99, p999);
 
+  // Read the server-side counters back over a fresh connection. Under
+  // sharding this samples ONE worker (whichever the kernel routes this
+  // connection to), which is enough to see whether the cache is working.
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  double hit_rate = 0.0;
+  bool have_stats = false;
+  {
+    NetClient stats_client;
+    wire::Response stats_resp;
+    if (stats_client.connect(options.host, options.port,
+                             std::chrono::milliseconds(5000)) &&
+        stats_client.query_stats(&stats_resp) &&
+        stats_resp.status == wire::Status::kOk) {
+      have_stats = true;
+      cache_hits = stats_resp.stats.cache_hits;
+      cache_misses = stats_resp.stats.cache_misses;
+      hit_rate = stats_resp.stats.cache_hit_rate();
+      std::printf("server cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(cache_misses),
+                  100.0 * hit_rate);
+    } else {
+      std::fprintf(stderr, "stats query failed; cache counters unavailable\n");
+    }
+  }
+  bool hit_rate_ok = true;
+  if (options.min_hit_rate >= 0.0 &&
+      (!have_stats || hit_rate < options.min_hit_rate)) {
+    std::fprintf(stderr, "cache hit rate %.4f below required %.4f\n",
+                 hit_rate, options.min_hit_rate);
+    hit_rate_ok = false;
+  }
+
   if (!options.json_path.empty()) {
     std::FILE* out = std::fopen(options.json_path.c_str(), "w");
     if (out == nullptr) {
@@ -330,10 +379,14 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "{\"requests\": %zu, \"errors\": %zu, \"repins\": %zu, "
                  "\"throughput_rps\": %.1f, \"p50_ms\": %.4f, "
-                 "\"p99_ms\": %.4f, \"p999_ms\": %.4f}\n",
-                 requests, errors, repins, rps, p50, p99, p999);
+                 "\"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"cache_hit_rate\": %.4f}\n",
+                 requests, errors, repins, rps, p50, p99, p999,
+                 static_cast<unsigned long long>(cache_hits),
+                 static_cast<unsigned long long>(cache_misses), hit_rate);
     std::fclose(out);
     std::printf("wrote %s\n", options.json_path.c_str());
   }
-  return (errors == 0 && requests > 0) ? 0 : 1;
+  return (errors == 0 && requests > 0 && hit_rate_ok) ? 0 : 1;
 }
