@@ -4,11 +4,11 @@
 #include <atomic>
 #include <bit>
 #include <condition_variable>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "core/rinc_conv.h"
 #include "util/aligned_vector.h"
 #include "util/check.h"
 #include "util/word_backend.h"
@@ -82,6 +82,40 @@ void eval_rinc_words(const RincModule& module, const BitMatrix& features,
   // Child buffers are rebased to the chunk, hence base = word_begin.
   reduce_words(module.mat_lut().splat_words().data(), children.size(), columns,
                word_begin, word_end, word_begin, features.rows(), out);
+}
+
+void eval_rinc_patch_words(const RincModule& module,
+                           const std::uint64_t* const* patch_columns,
+                           std::size_t n_patch_bits, std::size_t n_rows,
+                           std::size_t word_begin, std::size_t word_end,
+                           std::uint64_t* out) {
+  POETBIN_CHECK(word_begin <= word_end);
+  POETBIN_CHECK(word_end <= BitVector::words_needed(n_rows));
+  if (module.is_leaf()) {
+    const Lut& lut = module.leaf_lut();
+    const std::size_t arity = lut.arity();
+    std::vector<const std::uint64_t*> columns(arity);
+    for (std::size_t j = 0; j < arity; ++j) {
+      POETBIN_CHECK(lut.inputs()[j] < n_patch_bits);
+      columns[j] = patch_columns[lut.inputs()[j]];
+    }
+    reduce_words(lut.splat_words().data(), arity, columns, word_begin,
+                 word_end, /*base=*/0, n_rows, out);
+    return;
+  }
+  const auto& children = module.children();
+  const std::size_t n_words = word_end - word_begin;
+  std::vector<WordVec> child_words(children.size());
+  std::vector<const std::uint64_t*> columns(children.size());
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    child_words[c].resize(n_words);
+    eval_rinc_patch_words(children[c], patch_columns, n_patch_bits, n_rows,
+                          word_begin, word_end, child_words[c].data());
+    columns[c] = child_words[c].data();
+  }
+  // Child buffers are rebased to the chunk, hence base = word_begin.
+  reduce_words(module.mat_lut().splat_words().data(), children.size(), columns,
+               word_begin, word_end, word_begin, n_rows, out);
 }
 
 BitVector Lut::eval_dataset_bitsliced(const BitMatrix& features) const {
@@ -391,57 +425,84 @@ double PoetBin::accuracy_batched(const BitMatrix& features,
   return engine.accuracy(*this, features, labels);
 }
 
-namespace {
+// --- RincConvLayer / ConvModel (declared in core/rinc_conv.h) --------------
 
-// Process-shared engines for the deprecated thread-count shims below: one
-// persistent pool per resolved thread count, created on first use and kept
-// for the life of the process, so repeated shim calls reuse worker threads
-// instead of constructing (and joining) a pool per call. Each engine
-// carries a mutex because BatchEngine is not re-entrant: concurrent shim
-// calls at the same thread count (legal before the engines were shared,
-// when every call built its own) serialize instead of aborting. Serving
-// code should own its engine via a poetbin::Runtime instead.
-struct SharedEngine {
-  BatchEngine engine;
-  std::mutex in_use;
+BitMatrix RincConvLayer::eval_dataset_batched(const BitMatrix& inputs,
+                                              const BatchEngine& engine) const {
+  POETBIN_CHECK(inputs.cols() == in_shape_.flat());
+  const std::size_t n = inputs.rows();
+  const std::size_t positions = out_shape_.height * out_shape_.width;
+  const std::size_t n_bits = patch_bits();
+  BitMatrix out(n, out_shape_.flat());
+  if (n == 0 || modules_.empty()) return out;
 
-  explicit SharedEngine(std::size_t n_threads) : engine(n_threads) {}
-};
+  // One shared all-zero column backs every padding bit of every position:
+  // "padding bits pre-masked" is simply reading packed zeros.
+  const WordVec zeros(inputs.word_count(), 0);
 
-SharedEngine& shared_engine(std::size_t n_threads) {
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  // The im2col transpose as pointers instead of copied bits:
+  // table[p * n_bits + j] is the packed input column behind patch bit j of
+  // output position p (same c -> ky -> kx bit order as gather_patches).
+  std::vector<const std::uint64_t*> table(positions * n_bits);
+  const std::size_t in_h = in_shape_.height;
+  const std::size_t in_w = in_shape_.width;
+  const std::size_t plane = in_h * in_w;
+  const std::size_t kernel = config_.kernel;
+  for (std::size_t oy = 0; oy < out_shape_.height; ++oy) {
+    for (std::size_t ox = 0; ox < out_shape_.width; ++ox) {
+      const std::size_t p = oy * out_shape_.width + ox;
+      std::size_t bit = 0;
+      for (std::size_t c = 0; c < in_shape_.channels; ++c) {
+        for (std::size_t ky = 0; ky < kernel; ++ky) {
+          const long iy = static_cast<long>(oy * config_.stride + ky) -
+                          static_cast<long>(config_.padding);
+          for (std::size_t kx = 0; kx < kernel; ++kx, ++bit) {
+            const long ix = static_cast<long>(ox * config_.stride + kx) -
+                            static_cast<long>(config_.padding);
+            const bool in_frame = iy >= 0 && ix >= 0 &&
+                                  iy < static_cast<long>(in_h) &&
+                                  ix < static_cast<long>(in_w);
+            table[p * n_bits + bit] =
+                in_frame ? inputs
+                               .column_words(c * plane +
+                                             static_cast<std::size_t>(iy) *
+                                                 in_w +
+                                             static_cast<std::size_t>(ix))
+                               .data()
+                         : zeros.data();
+          }
+        }
+      }
+    }
   }
-  static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<SharedEngine>> engines;
-  std::lock_guard<std::mutex> lock(mu);
-  std::unique_ptr<SharedEngine>& shared = engines[n_threads];
-  if (shared == nullptr) shared = std::make_unique<SharedEngine>(n_threads);
-  return *shared;
+
+  // One job per (channel, position, chunk): each writes a disjoint word
+  // range of one output column, so any thread count is race-free and
+  // bit-identical (word kernels are exact).
+  const WordChunks chunks =
+      chunk_words(inputs.word_count(), engine.n_threads());
+  engine.parallel_for(
+      modules_.size() * positions * chunks.n_chunks, [&](std::size_t job) {
+        const std::size_t channel = job / (positions * chunks.n_chunks);
+        const std::size_t rest = job % (positions * chunks.n_chunks);
+        const std::size_t p = rest / chunks.n_chunks;
+        const std::size_t chunk = rest % chunks.n_chunks;
+        const std::size_t begin = chunk * chunks.chunk_words;
+        const std::size_t end =
+            std::min(chunks.n_words, begin + chunks.chunk_words);
+        eval_rinc_patch_words(
+            modules_[channel], table.data() + p * n_bits, n_bits, n, begin,
+            end, out.column(channel * positions + p).words() + begin);
+      });
+  return out;
 }
 
-}  // namespace
-
-BitMatrix PoetBin::rinc_outputs_batched(const BitMatrix& features,
-                                        std::size_t n_threads) const {
-  SharedEngine& shared = shared_engine(n_threads);
-  std::lock_guard<std::mutex> lock(shared.in_use);
-  return shared.engine.rinc_outputs(*this, features);
-}
-
-std::vector<int> PoetBin::predict_dataset_batched(const BitMatrix& features,
-                                                  std::size_t n_threads) const {
-  SharedEngine& shared = shared_engine(n_threads);
-  std::lock_guard<std::mutex> lock(shared.in_use);
-  return shared.engine.predict_dataset(*this, features);
-}
-
-double PoetBin::accuracy_batched(const BitMatrix& features,
-                                 const std::vector<int>& labels,
-                                 std::size_t n_threads) const {
-  SharedEngine& shared = shared_engine(n_threads);
-  std::lock_guard<std::mutex> lock(shared.in_use);
-  return shared.engine.accuracy(*this, features, labels);
+std::vector<int> ConvModel::predict_dataset_batched(
+    const BitMatrix& frames, const BatchEngine& engine) const {
+  // Two sequential passes on one engine (parallel_for is not re-entrant,
+  // but back-to-back calls are the intended use).
+  return engine.predict_dataset(classifier,
+                                conv.eval_dataset_batched(frames, engine));
 }
 
 }  // namespace poetbin

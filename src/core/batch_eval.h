@@ -41,6 +41,18 @@ void eval_rinc_words(const RincModule& module, const BitMatrix& features,
                      std::size_t word_begin, std::size_t word_end,
                      std::uint64_t* out);
 
+// Same contract over a *virtual* feature matrix given as column-word
+// pointers: patch bit j resolves to patch_columns[j], absolute-indexed
+// packed words (word w holds examples [64w, 64w + 64)) — a real input
+// column, or a shared all-zero buffer for conv padding bits. This is what
+// lets RincConvLayer::eval_dataset_batched skip the im2col materialization:
+// the transpose is a pointer table, not a copied patch matrix.
+void eval_rinc_patch_words(const RincModule& module,
+                           const std::uint64_t* const* patch_columns,
+                           std::size_t n_patch_bits, std::size_t n_rows,
+                           std::size_t word_begin, std::size_t word_end,
+                           std::uint64_t* out);
+
 // Multithreaded batch driver. Owns a persistent pool of worker threads and
 // chunks the example range (in whole words) across them. All eval methods
 // return bit-identical results to the scalar paths; the pool is not

@@ -25,7 +25,7 @@ namespace poetbin {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'o', 'E', 'T', 'B', 'i', 'N', 'P'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::size_t kHeaderBytes = 64;
 constexpr std::size_t kSectionEntryBytes = 24;
 constexpr std::size_t kNodeRecordBytes = 32;
@@ -34,8 +34,9 @@ constexpr std::size_t kPayloadAlignment = 64;
 // splat section so every mapped table starts on a cache line.
 constexpr std::size_t kSplatAlignWords = 8;
 
-// Section ids. The set is closed for version 1; unknown ids are rejected so
+// Section ids. The set is closed per version; unknown ids are rejected so
 // a file cannot smuggle payload the checksum "covers" but no one reads.
+// Version 1 files carry sections 1..11; version 2 adds kSecConvConfig.
 enum SectionId : std::uint32_t {
   kSecConfig = 1,        // 8 u64 scalars (see pack_config)
   kSecQuantizer = 2,     // u64 bits + f32 min + f32 max bit patterns
@@ -48,8 +49,10 @@ enum SectionId : std::uint32_t {
   kSecOutputCodes = 9,   // u32 codes, nc x 2^P
   kSecCodePlanes = 10,   // u64 plane words, nc x n_planes x 2^P
   kSecTables = 11,       // compact truth-table bits, every node, pre-order
+  kSecConvConfig = 12,   // 8 u64 conv scalars (v2); zero length = dense
 };
-constexpr std::uint32_t kSectionCount = 11;
+constexpr std::uint32_t kSectionCount = 12;
+constexpr std::uint32_t kSectionCountV1 = 11;
 
 struct NodeRecord {
   std::uint32_t kind = 0;   // 0 = leaf, 1 = internal (MAT)
@@ -338,17 +341,21 @@ PackedFile parse_container(const std::string& path, PackedVerify verify) {
          "'" + path + "' is not a packed poetbin model (bad magic)");
   }
   const auto version = load_scalar<std::uint32_t>(bytes + 8);
-  if (version != kFormatVersion) {
+  if (version != 1 && version != kFormatVersion) {
     fail(ModelIoError::Kind::kVersionMismatch,
          "unsupported packed-model version " + std::to_string(version));
   }
+  // Version 1 predates the conv-config section; its files carry 11
+  // sections and parse as dense models (the conv view stays empty).
+  const std::uint32_t expected_sections =
+      version == 1 ? kSectionCountV1 : kSectionCount;
   expect(load_scalar<std::uint32_t>(bytes + 12) == kHeaderBytes,
          "unexpected header size");
   const auto section_count = load_scalar<std::uint32_t>(bytes + 16);
   const auto stored_crc = load_scalar<std::uint32_t>(bytes + 20);
   const auto stored_size = load_scalar<std::uint64_t>(bytes + 24);
   expect(stored_size == size, "header file size does not match the file");
-  expect(section_count == kSectionCount, "unexpected section count");
+  expect(section_count == expected_sections, "unexpected section count");
   const std::size_t table_end =
       kHeaderBytes + std::size_t{section_count} * kSectionEntryBytes;
   expect(table_end <= size, "section table runs past the end of the file");
@@ -371,7 +378,7 @@ PackedFile parse_container(const std::string& path, PackedVerify verify) {
     const auto id = load_scalar<std::uint32_t>(entry);
     const auto offset = load_scalar<std::uint64_t>(entry + 8);
     const auto length = load_scalar<std::uint64_t>(entry + 16);
-    expect(id >= 1 && id <= kSectionCount, "unknown section id");
+    expect(id >= 1 && id <= expected_sections, "unknown section id");
     expect(!present[id - 1], "duplicate section id");
     present[id - 1] = true;
     expect(offset % kPayloadAlignment == 0, "misaligned section offset");
@@ -383,9 +390,12 @@ PackedFile parse_container(const std::string& path, PackedVerify verify) {
   static const char* kSectionNames[kSectionCount] = {
       "config",        "quantizer",      "nodes",       "leaf-inputs",
       "mat-weights",   "splat",          "output-wiring",
-      "output-weights", "output-codes",  "code-planes", "tables"};
-  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+      "output-weights", "output-codes",  "code-planes", "tables",
+      "conv-config"};
+  for (std::uint32_t id = 1; id <= expected_sections; ++id) {
     expect(present[id - 1], "missing section");
+  }
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
     file.sections[id - 1].name = kSectionNames[id - 1];
   }
   return file;
@@ -500,7 +510,14 @@ struct NodeReader {
   }
 };
 
-PoetBin parse_packed(const std::string& path, PackedVerify verify) {
+// A parsed packed file: the classifier plus, for conv files, the conv
+// front end (which holds the mapping keepalive its LUT splats view).
+struct ParsedPacked {
+  PoetBin model;
+  std::shared_ptr<const RincConvLayer> conv;  // null = dense model
+};
+
+ParsedPacked parse_packed(const std::string& path, PackedVerify verify) {
   PackedFile file = parse_container(path, verify);
 
   // config: 8 u64 scalars.
@@ -538,6 +555,50 @@ PoetBin parse_packed(const std::string& path, PackedVerify verify) {
   quantizer.min_value = f32_from_bits(quant_sec.u32_at(2));
   quantizer.max_value = f32_from_bits(quant_sec.u32_at(3));
 
+  // conv config (version 2): 8 u64 scalars, or a zero-length section for a
+  // dense model (version-1 files always land here with an empty view).
+  // Every geometry contract RincConvLayer::from_parts would abort on is
+  // replicated as a typed error first — corrupt bytes must never abort a
+  // loading process.
+  const SectionView& conv_sec = file.view(kSecConvConfig);
+  const bool has_conv = conv_sec.length != 0;
+  BinShape3 conv_in_shape;
+  RincConvConfig conv_config;
+  std::uint64_t n_conv_nodes = 0;
+  if (has_conv) {
+    expect(conv_sec.length == 8 * sizeof(std::uint64_t),
+           "conv-config section has the wrong size");
+    conv_in_shape.channels = static_cast<std::size_t>(conv_sec.u64_at(0));
+    conv_in_shape.height = static_cast<std::size_t>(conv_sec.u64_at(1));
+    conv_in_shape.width = static_cast<std::size_t>(conv_sec.u64_at(2));
+    conv_config.out_channels = static_cast<std::size_t>(conv_sec.u64_at(3));
+    conv_config.kernel = static_cast<std::size_t>(conv_sec.u64_at(4));
+    conv_config.stride = static_cast<std::size_t>(conv_sec.u64_at(5));
+    conv_config.padding = static_cast<std::size_t>(conv_sec.u64_at(6));
+    n_conv_nodes = conv_sec.u64_at(7);
+    const std::size_t dim_cap = std::size_t{1} << 16;
+    expect(conv_in_shape.channels >= 1 && conv_in_shape.channels <= dim_cap &&
+               conv_in_shape.height >= 1 && conv_in_shape.height <= dim_cap &&
+               conv_in_shape.width >= 1 && conv_in_shape.width <= dim_cap,
+           "conv input shape out of range");
+    expect(conv_config.out_channels >= 1 &&
+               conv_config.out_channels <= dim_cap,
+           "conv output channel count out of range");
+    expect(conv_config.kernel >= 1 && conv_config.kernel <= dim_cap,
+           "conv kernel out of range");
+    expect(conv_config.stride >= 1 && conv_config.stride <= dim_cap,
+           "conv stride out of range");
+    expect(conv_config.padding < conv_config.kernel,
+           "conv padding must be smaller than the kernel");
+    expect(conv_in_shape.height + 2 * conv_config.padding >=
+                   conv_config.kernel &&
+               conv_in_shape.width + 2 * conv_config.padding >=
+                   conv_config.kernel,
+           "conv kernel does not fit the padded frame");
+    expect(n_conv_nodes >= conv_config.out_channels,
+           "conv node count below the channel count");
+  }
+
   // Whole-section splat purity scan (kFull only — it pages the biggest
   // section in): every word the kernels might read is a pure splat (0 or
   // ~0), padding included. A fast load trusts the checksummed producer and
@@ -554,22 +615,43 @@ PoetBin parse_packed(const std::string& path, PackedVerify verify) {
     }
   }
 
-  // Node trees, pre-order, one per module.
+  // Node trees, pre-order: one per classifier module, then (for conv
+  // files) one per conv output channel, all in the same shared sections.
+  // The config node count covers the classifier trees only.
   const SectionView& nodes_sec = file.view(kSecNodes);
-  expect(nodes_sec.length == n_nodes * kNodeRecordBytes,
-         "nodes section size does not match the config node count");
+  expect(nodes_sec.length == (n_nodes + n_conv_nodes) * kNodeRecordBytes,
+         "nodes section size does not match the config node counts");
   const SectionView& tables_sec = file.view(kSecTables);
   expect(tables_sec.length % sizeof(std::uint64_t) == 0,
          "tables section is not word-sized");
   NodeReader reader{nodes_sec,  file.view(kSecLeafInputs),
                     file.view(kSecMatWeights), splat_sec,
-                    tables_sec, verify,        0,          n_nodes, 0};
+                    tables_sec, verify,        0,
+                    n_nodes + n_conv_nodes,    0};
   std::vector<RincModule> modules;
   modules.reserve(static_cast<std::size_t>(n_modules));
   for (std::uint64_t m = 0; m < n_modules; ++m) {
     modules.push_back(reader.load_node());
   }
   expect(reader.cursor == n_nodes,
+         "classifier trees do not cover the config node count");
+  std::vector<RincModule> conv_modules;
+  if (has_conv) {
+    const std::size_t patch_bits =
+        conv_in_shape.channels * conv_config.kernel * conv_config.kernel;
+    conv_modules.reserve(conv_config.out_channels);
+    for (std::size_t channel = 0; channel < conv_config.out_channels;
+         ++channel) {
+      conv_modules.push_back(reader.load_node());
+      for (const std::size_t feature :
+           conv_modules.back().distinct_features()) {
+        expect(feature < patch_bits,
+               "conv channel module references a feature beyond the patch "
+               "width");
+      }
+    }
+  }
+  expect(reader.cursor == n_nodes + n_conv_nodes,
          "node records left over after the module trees");
   expect(reader.table_cursor == tables_sec.count_of(sizeof(std::uint64_t)),
          "table words left over after the module trees");
@@ -632,24 +714,30 @@ PoetBin parse_packed(const std::string& path, PackedVerify verify) {
     }
   }
 
-  return PoetBin::from_parts(
-      std::move(config), std::move(modules), std::move(output), quantizer,
-      WordStorage(plane_words, static_cast<std::size_t>(n_plane_words)),
-      static_cast<std::size_t>(n_planes), file.mapping);
-}
-
-}  // namespace
-
-const char* model_format_name(ModelFormat format) {
-  switch (format) {
-    case ModelFormat::kText: return "text";
-    case ModelFormat::kPacked: return "packed";
+  ParsedPacked parsed{
+      PoetBin::from_parts(
+          std::move(config), std::move(modules), std::move(output), quantizer,
+          WordStorage(plane_words, static_cast<std::size_t>(n_plane_words)),
+          static_cast<std::size_t>(n_planes), file.mapping),
+      nullptr};
+  if (has_conv) {
+    // Every from_parts contract was expect()-checked above, so this cannot
+    // abort on file contents. The layer keeps the mapping alive for the
+    // conv LUT splats it views.
+    parsed.conv = std::make_shared<const RincConvLayer>(
+        RincConvLayer::from_parts(conv_in_shape, std::move(conv_config),
+                                  std::move(conv_modules), file.mapping));
+    expect(parsed.model.n_features() <= parsed.conv->output_shape().flat(),
+           "classifier wired beyond the conv output width");
   }
-  return "unknown";
+  return parsed;
 }
 
-IoStatus write_packed_model_file(const PoetBin& model,
-                                 const std::string& path) {
+// Shared writer body: the classifier sections, plus (when `conv` is
+// non-null) the conv-config section and the conv channel trees appended to
+// the shared node/splat/table sections after the classifier trees.
+IoStatus write_packed_common(const PoetBin& model, const RincConvLayer* conv,
+                             const std::string& path) {
   if (!host_is_little_endian()) {
     return ModelIoError{ModelIoError::Kind::kWriteFailed,
                         "packed models are little-endian; this host is not"};
@@ -693,6 +781,29 @@ IoStatus write_packed_model_file(const PoetBin& model,
   // nodes + leaf inputs + MAT weights + splat tables
   for (const RincModule& module : model.modules()) {
     pack_module(module, sections);
+  }
+
+  // conv config + channel trees (after the classifier trees, same
+  // sections, same dual splat/compact table storage)
+  if (conv != nullptr) {
+    std::uint64_t n_conv_nodes = 0;
+    for (const RincModule& module : conv->channel_modules()) {
+      n_conv_nodes += count_nodes(module);
+    }
+    const BinShape3 shape = conv->input_shape();
+    const RincConvConfig& cc = conv->config();
+    std::vector<std::uint8_t>& conv_sec = sections.of(kSecConvConfig);
+    append_scalar<std::uint64_t>(conv_sec, shape.channels);
+    append_scalar<std::uint64_t>(conv_sec, shape.height);
+    append_scalar<std::uint64_t>(conv_sec, shape.width);
+    append_scalar<std::uint64_t>(conv_sec, cc.out_channels);
+    append_scalar<std::uint64_t>(conv_sec, cc.kernel);
+    append_scalar<std::uint64_t>(conv_sec, cc.stride);
+    append_scalar<std::uint64_t>(conv_sec, cc.padding);
+    append_scalar<std::uint64_t>(conv_sec, n_conv_nodes);
+    for (const RincModule& module : conv->channel_modules()) {
+      pack_module(module, sections);
+    }
   }
 
   // output layer + code planes
@@ -781,10 +892,57 @@ IoStatus write_packed_model_file(const PoetBin& model,
   return IoStatus();
 }
 
+// Cheap text sniff for read_model_file_any: true when the file's first
+// token is the conv text header.
+bool is_text_conv_model_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string token;
+  return static_cast<bool>(in >> token) && token == "poetbin-conv-model";
+}
+
+}  // namespace
+
+const char* model_format_name(ModelFormat format) {
+  switch (format) {
+    case ModelFormat::kText: return "text";
+    case ModelFormat::kPacked: return "packed";
+  }
+  return "unknown";
+}
+
+IoStatus write_packed_model_file(const PoetBin& model,
+                                 const std::string& path) {
+  return write_packed_common(model, nullptr, path);
+}
+
+IoStatus write_packed_conv_model_file(const ConvModel& model,
+                                      const std::string& path) {
+  if (model.conv.channel_modules().empty() ||
+      model.conv.channel_modules().size() !=
+          model.conv.config().out_channels) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "refusing to pack an empty or inconsistent conv "
+                        "layer"};
+  }
+  if (model.classifier.n_features() > model.conv.output_shape().flat()) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "refusing to pack a conv model whose classifier is "
+                        "wired beyond the conv output width"};
+  }
+  return write_packed_common(model.classifier, &model.conv, path);
+}
+
 IoResult<PoetBin> read_packed_model_file(const std::string& path,
                                          PackedVerify verify) {
   try {
-    return parse_packed(path, verify);
+    ParsedPacked parsed = parse_packed(path, verify);
+    if (parsed.conv != nullptr) {
+      return ModelIoError{
+          ModelIoError::Kind::kIncompatibleModel,
+          path + ": packed file holds a convolutional model; load it "
+                 "through read_model_file_any"};
+    }
+    return std::move(parsed.model);
   } catch (const PackFailure& failure) {
     return ModelIoError{failure.error.kind,
                         path + ": " + failure.error.message};
@@ -801,13 +959,26 @@ bool is_packed_model_file(const std::string& path) {
 IoResult<LoadedModel> read_model_file_any(const std::string& path,
                                           PackedVerify verify) {
   if (is_packed_model_file(path)) {
-    IoResult<PoetBin> packed = read_packed_model_file(path, verify);
-    if (!packed.ok()) return packed.error();
-    return LoadedModel{std::move(packed).value(), ModelFormat::kPacked};
+    try {
+      ParsedPacked parsed = parse_packed(path, verify);
+      return LoadedModel{std::move(parsed.model), ModelFormat::kPacked,
+                         std::move(parsed.conv)};
+    } catch (const PackFailure& failure) {
+      return ModelIoError{failure.error.kind,
+                          path + ": " + failure.error.message};
+    }
+  }
+  if (is_text_conv_model_file(path)) {
+    IoResult<ConvModel> conv = read_conv_model_file(path);
+    if (!conv.ok()) return conv.error();
+    ConvModel model = std::move(conv).value();
+    return LoadedModel{
+        std::move(model.classifier), ModelFormat::kText,
+        std::make_shared<const RincConvLayer>(std::move(model.conv))};
   }
   IoResult<PoetBin> text = read_model_file(path);
   if (!text.ok()) return text.error();
-  return LoadedModel{std::move(text).value(), ModelFormat::kText};
+  return LoadedModel{std::move(text).value(), ModelFormat::kText, nullptr};
 }
 
 }  // namespace poetbin

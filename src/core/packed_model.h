@@ -32,7 +32,7 @@
 //
 //   header (64 bytes):
 //     0  char[8]  magic "PoETBiNP"
-//     8  u32      format version (1)
+//     8  u32      format version (2; version-1 files still load)
 //     12 u32      header bytes (64)
 //     16 u32      section count
 //     20 u32      CRC32 (IEEE) over file[64, file_size)
@@ -47,6 +47,13 @@
 // leaf input indices, MAT weights, splat words, output wiring/weights/
 // codes, the precomputed code bit-planes of the fused argmax, and the
 // compact truth-table bits (pre-order, each table padded to whole words).
+// Version 2 adds a conv-config section (8 u64 scalars: input shape, output
+// channels, kernel, stride, padding, conv node count). A zero-length
+// conv-config section means a dense model; otherwise the per-channel conv
+// module trees ride the SAME node/splat/table sections, appended pre-order
+// after the classifier trees, so conv LUTs get the identical dual (splat +
+// compact) storage and a kTrustChecksum load never pages their splats
+// either. Version-1 files parse as dense models unchanged.
 //
 // Error contract matches the text loader: kFileNotFound, kVersionMismatch
 // (bad magic or version), kCorruptSection (truncation, misalignment,
@@ -54,9 +61,11 @@
 // ModelIoError — malformed bytes never abort a loading process.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/poetbin.h"
+#include "core/rinc_conv.h"
 #include "core/serialize.h"
 
 namespace poetbin {
@@ -84,9 +93,16 @@ enum class PackedVerify {
 IoStatus write_packed_model_file(const PoetBin& model,
                                  const std::string& path);
 
+// Packs a convolutional model (conv layer + classifier) in the same file,
+// same atomic-publish contract. Loaded back through read_model_file_any.
+IoStatus write_packed_conv_model_file(const ConvModel& model,
+                                      const std::string& path);
+
 // Maps and validates a packed model file. The returned model's LUT splats
 // and code bit-planes view the mapping, which stays alive (shared) for the
-// model's lifetime and every copy of it.
+// model's lifetime and every copy of it. Returns kIncompatibleModel for a
+// packed *conv* model — this entry point's contract is a dense PoetBin;
+// conv files load through read_model_file_any.
 IoResult<PoetBin> read_packed_model_file(
     const std::string& path, PackedVerify verify = PackedVerify::kFull);
 
@@ -94,15 +110,19 @@ IoResult<PoetBin> read_packed_model_file(
 // false for text models, short files, or unreadable paths.
 bool is_packed_model_file(const std::string& path);
 
-// A loaded model plus the format it was read in.
+// A loaded model plus the format it was read in. `conv`, when non-null, is
+// a convolutional front end whose flattened output feeds `model` (the
+// layer holds the mapping keepalive its LUTs view); null means a dense
+// model whose features are the wire features.
 struct LoadedModel {
   PoetBin model;
   ModelFormat format = ModelFormat::kText;
+  std::shared_ptr<const RincConvLayer> conv;
 };
 
 // Format-sniffing loader: packed files go through the mmap path (at the
-// given verify depth), anything else through the text parser. The error
-// comes from whichever loader ran.
+// given verify depth), text files through the dense or conv text parser
+// (by header line). The error comes from whichever loader ran.
 IoResult<LoadedModel> read_model_file_any(
     const std::string& path, PackedVerify verify = PackedVerify::kFull);
 

@@ -151,30 +151,6 @@ class PoetBin {
                           const std::vector<int>& labels,
                           const BatchEngine& engine) const;
 
-  // Deprecated shims: prefer serve/runtime.h (a poetbin::Runtime owns the
-  // model and one persistent engine) or the engine overloads above. These
-  // route through a process-shared engine per resolved thread count —
-  // repeated calls reuse worker threads instead of tearing a pool up and
-  // down per call — so concurrent calls at the same thread count serialize
-  // on that engine instead of running on private pools as they used to.
-  // n_threads: 0 = hardware concurrency, 1 = single thread.
-  [[deprecated(
-      "pass a BatchEngine (or use poetbin::Runtime); the n_threads shim "
-      "serializes on a process-shared engine")]]
-  BitMatrix rinc_outputs_batched(const BitMatrix& features,
-                                 std::size_t n_threads = 0) const;
-  [[deprecated(
-      "pass a BatchEngine (or use poetbin::Runtime); the n_threads shim "
-      "serializes on a process-shared engine")]]
-  std::vector<int> predict_dataset_batched(const BitMatrix& features,
-                                           std::size_t n_threads = 0) const;
-  [[deprecated(
-      "pass a BatchEngine (or use poetbin::Runtime); the n_threads shim "
-      "serializes on a process-shared engine")]]
-  double accuracy_batched(const BitMatrix& features,
-                          const std::vector<int>& labels,
-                          std::size_t n_threads = 0) const;
-
   // Fraction of intermediate bits where RINC output matches the teacher
   // target (diagnostic for distillation quality).
   static double intermediate_fidelity(const BitMatrix& rinc_bits,

@@ -9,10 +9,8 @@ namespace poetbin {
 
 namespace {
 
+// Requires validate() to have passed.
 BinShape3 conv_output_shape(BinShape3 in_shape, const RincConvConfig& config) {
-  POETBIN_CHECK(config.stride > 0);
-  POETBIN_CHECK(in_shape.height + 2 * config.padding >= config.kernel);
-  POETBIN_CHECK(in_shape.width + 2 * config.padding >= config.kernel);
   return {config.out_channels,
           (in_shape.height + 2 * config.padding - config.kernel) /
                   config.stride +
@@ -23,6 +21,46 @@ BinShape3 conv_output_shape(BinShape3 in_shape, const RincConvConfig& config) {
 }
 
 }  // namespace
+
+void RincConvLayer::validate(BinShape3 in_shape,
+                             const RincConvConfig& config) {
+  POETBIN_CHECK_MSG(in_shape.channels > 0 && in_shape.height > 0 &&
+                        in_shape.width > 0,
+                    "conv input shape must have nonzero dims");
+  POETBIN_CHECK_MSG(config.out_channels > 0,
+                    "conv layer needs at least one output channel");
+  POETBIN_CHECK_MSG(config.kernel > 0, "conv kernel must be nonzero");
+  POETBIN_CHECK_MSG(config.stride > 0, "conv stride must be nonzero");
+  POETBIN_CHECK_MSG(config.padding < config.kernel,
+                    "conv padding must be smaller than the kernel (padding >= "
+                    "kernel admits all-padding patches)");
+  POETBIN_CHECK_MSG(in_shape.height + 2 * config.padding >= config.kernel,
+                    "conv kernel taller than the padded frame");
+  POETBIN_CHECK_MSG(in_shape.width + 2 * config.padding >= config.kernel,
+                    "conv kernel wider than the padded frame");
+}
+
+RincConvLayer RincConvLayer::from_parts(
+    BinShape3 in_shape, RincConvConfig config, std::vector<RincModule> modules,
+    std::shared_ptr<const void> storage_keepalive) {
+  validate(in_shape, config);
+  POETBIN_CHECK_MSG(modules.size() == config.out_channels,
+                    "conv layer needs one module per output channel");
+  RincConvLayer layer;
+  layer.in_shape_ = in_shape;
+  layer.config_ = std::move(config);
+  layer.out_shape_ = conv_output_shape(in_shape, layer.config_);
+  layer.modules_ = std::move(modules);
+  layer.storage_keepalive_ = std::move(storage_keepalive);
+  for (const auto& module : layer.modules_) {
+    for (std::size_t feature : module.distinct_features()) {
+      POETBIN_CHECK_MSG(feature < layer.patch_bits(),
+                        "conv channel module references a feature beyond the "
+                        "patch width");
+    }
+  }
+  return layer;
+}
 
 BitMatrix RincConvLayer::gather_patches(const BitMatrix& inputs) const {
   const std::size_t n = inputs.rows();
@@ -67,6 +105,7 @@ BitMatrix RincConvLayer::gather_patches(const BitMatrix& inputs) const {
 RincConvLayer RincConvLayer::train(const BitMatrix& inputs, BinShape3 in_shape,
                                    const BitMatrix& targets,
                                    const RincConvConfig& config) {
+  validate(in_shape, config);
   RincConvLayer layer;
   layer.in_shape_ = in_shape;
   layer.config_ = config;
@@ -146,6 +185,21 @@ std::size_t RincConvLayer::lut_count_per_position() const {
   std::size_t total = 0;
   for (const auto& module : modules_) total += module.lut_count();
   return total;
+}
+
+int ConvModel::predict(const BitVector& frame_bits) const {
+  POETBIN_CHECK_MSG(frame_bits.size() == n_features(),
+                    "frame bits must match the conv input shape");
+  BitMatrix frame(1, frame_bits.size());
+  for (std::size_t b = 0; b < frame_bits.size(); ++b) {
+    if (frame_bits.get(b)) frame.set(0, b, true);
+  }
+  const BitMatrix conv_bits = conv.eval_dataset(frame);
+  return classifier.predict(conv_bits.row(0));
+}
+
+std::vector<int> ConvModel::predict_dataset(const BitMatrix& frames) const {
+  return classifier.predict_dataset(conv.eval_dataset(frames));
 }
 
 double RincConvLayer::fidelity(const BitMatrix& inputs,

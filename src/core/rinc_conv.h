@@ -8,11 +8,21 @@
 // same module is applied at every spatial position, mirroring how a conv
 // kernel is shared). Training pools the patches of all examples and all
 // positions into one distillation dataset per channel.
+//
+// Inference has two paths: the scalar `eval_dataset` oracle (materializes
+// one patch row per example x position) and the bitsliced
+// `eval_dataset_batched`, which never materializes patches at all — each
+// patch bit of each output position is just a *pointer* to the packed
+// column words of the corresponding input feature (or to a shared zero
+// buffer for padding), so the channel modules Shannon-reduce straight over
+// the input columns, 64 examples per word op, on the active SIMD backend.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "core/poetbin.h"
 #include "core/rinc.h"
 #include "util/bit_matrix.h"
 
@@ -44,19 +54,50 @@ class RincConvLayer {
   // `inputs` holds n examples of in_shape.flat() bits each (channel-major);
   // `targets` holds the binarized teacher conv outputs, n examples of
   // out_channels * out_h * out_w bits (channel-major), where out_h/out_w
-  // follow from kernel/stride/padding.
+  // follow from kernel/stride/padding. The (in_shape, config) pair is
+  // validated up front (see validate below) — malformed geometry aborts
+  // with a named contract instead of failing deep inside patch gathering.
   static RincConvLayer train(const BitMatrix& inputs, BinShape3 in_shape,
                              const BitMatrix& targets,
                              const RincConvConfig& config);
 
+  // Reconstruction from stored artefacts (deserialization, hand-built
+  // layers in tests): validates the geometry, that `modules` holds exactly
+  // config.out_channels entries, and that no module references a feature
+  // at or beyond patch_bits(). `storage_keepalive`, when non-null, is held
+  // for the layer's lifetime (packed-model loads pass the file mapping the
+  // module LUT splats view).
+  static RincConvLayer from_parts(
+      BinShape3 in_shape, RincConvConfig config,
+      std::vector<RincModule> modules,
+      std::shared_ptr<const void> storage_keepalive = nullptr);
+
+  // Aborts (POETBIN_CHECK) unless the geometry is servable: nonzero
+  // in_shape dims, out_channels, kernel and stride; padding < kernel (a
+  // padding of kernel or more would admit all-padding patches); and a
+  // kernel that fits the padded frame.
+  static void validate(BinShape3 in_shape, const RincConvConfig& config);
+
   BinShape3 input_shape() const { return in_shape_; }
   BinShape3 output_shape() const { return out_shape_; }
+  const RincConvConfig& config() const { return config_; }
   std::size_t patch_bits() const {
     return in_shape_.channels * config_.kernel * config_.kernel;
   }
 
   // Applies the layer to n examples; returns n x out_shape().flat() bits.
+  // Scalar reference path (the oracle for the bitsliced pass).
   BitMatrix eval_dataset(const BitMatrix& inputs) const;
+
+  // Word-parallel layer application, bit-identical to eval_dataset at any
+  // thread count and on every word backend. The im2col-style transpose is
+  // done once per call as a (position x patch-bit) table of column-word
+  // pointers — padding resolves to a shared zero buffer, so padding bits
+  // are pre-masked by construction — and (channel x position x chunk) jobs
+  // spread across the engine's pool, each writing disjoint words of the
+  // output columns. Defined in core/batch_eval.cpp.
+  BitMatrix eval_dataset_batched(const BitMatrix& inputs,
+                                 const BatchEngine& engine) const;
 
   const std::vector<RincModule>& channel_modules() const { return modules_; }
   // LUTs for one instantiation of every channel module. In hardware the
@@ -75,6 +116,33 @@ class RincConvLayer {
   BinShape3 out_shape_;
   RincConvConfig config_;
   std::vector<RincModule> modules_;  // one per output channel
+  // Non-null when the module LUT tables view a packed-model mapping; keeps
+  // the mapping alive for this layer and every copy of it.
+  std::shared_ptr<const void> storage_keepalive_;
+};
+
+// A servable convolutional model: a RINC conv front end whose flattened
+// output bits feed a standard PoetBin classifier. This is the unit the
+// serializers, the packed format and the serving Runtime move around —
+// `n_features()` is the *frame* width (C x H x W), what a client puts on
+// the wire; the classifier's own feature indices address conv output bits.
+struct ConvModel {
+  RincConvLayer conv;
+  PoetBin classifier;
+
+  std::size_t n_features() const { return conv.input_shape().flat(); }
+  std::size_t n_classes() const { return classifier.n_classes(); }
+
+  // Scalar single-frame predict (the serving cache/fallback path).
+  int predict(const BitVector& frame_bits) const;
+  // Scalar dataset oracle: conv eval_dataset then classifier
+  // predict_dataset.
+  std::vector<int> predict_dataset(const BitMatrix& frames) const;
+  // Fused word-parallel path, bit-identical to predict_dataset: bitsliced
+  // conv pass, then the classifier's fused bitsliced argmax, both on the
+  // same engine. Defined in core/batch_eval.cpp.
+  std::vector<int> predict_dataset_batched(const BitMatrix& frames,
+                                           const BatchEngine& engine) const;
 };
 
 }  // namespace poetbin

@@ -177,6 +177,104 @@ PoetBin parse_model(std::istream& in) {
                              std::move(output), quantizer);
 }
 
+// Conv parser body: conv geometry + per-channel modules, then the embedded
+// classifier via parse_model (the dense grammar, header included). Every
+// check RincConvLayer::from_parts / PoetBin::from_parts would abort on is
+// replicated here as a typed error first.
+ConvModel parse_conv_model(std::istream& in) {
+  std::string token;
+  std::string version;
+  if (!(in >> token >> version) || token != "poetbin-conv-model") {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "unrecognised conv model file header (expected "
+         "'poetbin-conv-model v1')");
+  }
+  if (version != "v1") {
+    fail(ModelIoError::Kind::kVersionMismatch,
+         "unsupported conv model format version '" + version + "'");
+  }
+
+  BinShape3 in_shape;
+  RincConvConfig config;
+  expect(static_cast<bool>(in >> token) && token == "conv",
+         "expected 'conv' section");
+  expect(static_cast<bool>(in >> in_shape.channels >> in_shape.height >>
+                           in_shape.width >> config.out_channels >>
+                           config.kernel >> config.stride >> config.padding),
+         "truncated conv section");
+  const std::size_t dim_cap = std::size_t{1} << 16;
+  expect(in_shape.channels >= 1 && in_shape.channels <= dim_cap &&
+             in_shape.height >= 1 && in_shape.height <= dim_cap &&
+             in_shape.width >= 1 && in_shape.width <= dim_cap,
+         "conv input shape out of range");
+  expect(config.out_channels >= 1 && config.out_channels <= dim_cap,
+         "conv output channel count out of range");
+  expect(config.kernel >= 1 && config.kernel <= dim_cap,
+         "conv kernel out of range");
+  expect(config.stride >= 1 && config.stride <= dim_cap,
+         "conv stride out of range");
+  expect(config.padding < config.kernel,
+         "conv padding must be smaller than the kernel");
+  expect(in_shape.height + 2 * config.padding >= config.kernel &&
+             in_shape.width + 2 * config.padding >= config.kernel,
+         "conv kernel does not fit the padded frame");
+
+  const std::size_t patch_bits =
+      in_shape.channels * config.kernel * config.kernel;
+  std::vector<RincModule> modules;
+  modules.reserve(config.out_channels);
+  for (std::size_t channel = 0; channel < config.out_channels; ++channel) {
+    std::size_t index = 0;
+    expect(static_cast<bool>(in >> token >> index) && token == "channel" &&
+               index == channel,
+           "channel records out of order");
+    modules.push_back(load_module(in));
+    for (const std::size_t feature : modules.back().distinct_features()) {
+      expect(feature < patch_bits,
+             "conv channel module references a feature beyond the patch "
+             "width");
+    }
+  }
+
+  ConvModel model;
+  model.conv =
+      RincConvLayer::from_parts(in_shape, std::move(config), std::move(modules));
+  model.classifier = parse_model(in);
+  expect(model.classifier.n_features() <= model.conv.output_shape().flat(),
+         "classifier wired beyond the conv output width");
+  return model;
+}
+
+// Atomic text publish shared by the file writers: write a same-directory
+// temp file and rename it over `path`. A concurrent reader — including a
+// serve --watch poll racing the push — sees the complete old file or the
+// complete new one, never a truncated half-write, and any live mmap of the
+// old inode stays valid.
+template <typename WriteBody>
+IoStatus write_text_model_file(const std::string& path,
+                               const WriteBody& write_body) {
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(temp);
+  if (!out) {
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot open '" + temp + "' for writing"};
+  }
+  write_body(out);
+  out.flush();
+  out.close();
+  if (!out) {
+    std::remove(temp.c_str());
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "write to '" + temp + "' failed"};
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return ModelIoError{ModelIoError::Kind::kWriteFailed,
+                        "cannot rename '" + temp + "' over '" + path + "'"};
+  }
+  return IoStatus();
+}
+
 }  // namespace
 
 const char* model_io_error_kind_name(ModelIoError::Kind kind) {
@@ -239,30 +337,51 @@ IoResult<PoetBin> read_model_file(const std::string& path) {
 }
 
 IoStatus write_model_file(const PoetBin& model, const std::string& path) {
-  // Publish atomically: write a same-directory temp file and rename it over
-  // `path`. A concurrent reader — including a serve --watch poll racing the
-  // push — sees the complete old file or the complete new one, never a
-  // truncated half-write, and any live mmap of the old inode stays valid.
-  const std::string temp = path + ".tmp." + std::to_string(::getpid());
-  std::ofstream out(temp);
-  if (!out) {
-    return ModelIoError{ModelIoError::Kind::kWriteFailed,
-                        "cannot open '" + temp + "' for writing"};
+  return write_text_model_file(
+      path, [&](std::ostream& out) { save_model(model, out); });
+}
+
+void save_conv_model(const ConvModel& model, std::ostream& out) {
+  const BinShape3 shape = model.conv.input_shape();
+  const RincConvConfig& config = model.conv.config();
+  out << "poetbin-conv-model v1\n";
+  out << "conv " << shape.channels << ' ' << shape.height << ' '
+      << shape.width << ' ' << config.out_channels << ' ' << config.kernel
+      << ' ' << config.stride << ' ' << config.padding << '\n';
+  const auto& modules = model.conv.channel_modules();
+  for (std::size_t channel = 0; channel < modules.size(); ++channel) {
+    out << "channel " << channel << '\n';
+    save_module(modules[channel], out);
   }
-  save_model(model, out);
-  out.flush();
-  out.close();
-  if (!out) {
-    std::remove(temp.c_str());
-    return ModelIoError{ModelIoError::Kind::kWriteFailed,
-                        "write to '" + temp + "' failed"};
+  save_model(model.classifier, out);
+}
+
+IoResult<ConvModel> read_conv_model(std::istream& in) {
+  try {
+    return parse_conv_model(in);
+  } catch (const ParseFailure& failure) {
+    return failure.error;
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return ModelIoError{ModelIoError::Kind::kWriteFailed,
-                        "cannot rename '" + temp + "' over '" + path + "'"};
+}
+
+IoResult<ConvModel> read_conv_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return ModelIoError{ModelIoError::Kind::kFileNotFound,
+                        "cannot open '" + path + "' for reading"};
   }
-  return IoStatus();
+  IoResult<ConvModel> result = read_conv_model(in);
+  if (!result.ok()) {
+    return ModelIoError{result.error().kind,
+                        path + ": " + result.error().message};
+  }
+  return result;
+}
+
+IoStatus write_conv_model_file(const ConvModel& model,
+                               const std::string& path) {
+  return write_text_model_file(
+      path, [&](std::ostream& out) { save_conv_model(model, out); });
 }
 
 }  // namespace poetbin

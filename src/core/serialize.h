@@ -14,6 +14,21 @@
 //     leaf <arity> <input...> <table-bits>
 //     node <fanin>   ... children follow depth-first ... <mat-table-bits>
 //   output <class> <bias> <weight...> <codes...>
+//
+// A convolutional model (core/rinc_conv.h ConvModel) prepends a conv
+// section and embeds the classifier verbatim (its own header included, so
+// the dense parser reads it unchanged):
+//
+//   poetbin-conv-model v1
+//   conv <in_c> <in_h> <in_w> <out_channels> <kernel> <stride> <padding>
+//   channel <index>
+//     leaf/node records, depth-first (same grammar as module bodies)
+//   poetbin-model v1
+//   ...
+//
+// Training-only knobs (the per-channel RincConfig, max_train_patches) are
+// not serialized — a loaded layer carries the trained modules plus the
+// geometry, which is everything inference needs.
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +38,7 @@
 
 #include "core/poetbin.h"
 #include "core/rinc.h"
+#include "core/rinc_conv.h"
 #include "util/check.h"
 
 namespace poetbin {
@@ -116,5 +132,14 @@ IoResult<PoetBin> read_model(std::istream& in);
 // written or flushed.
 IoResult<PoetBin> read_model_file(const std::string& path);
 IoStatus write_model_file(const PoetBin& model, const std::string& path);
+
+// Convolutional variants, same error contract: the conv geometry and every
+// per-channel module are validated before construction, so corrupt bytes
+// surface as typed errors, never as a from_parts abort.
+void save_conv_model(const ConvModel& model, std::ostream& out);
+IoResult<ConvModel> read_conv_model(std::istream& in);
+IoResult<ConvModel> read_conv_model_file(const std::string& path);
+IoStatus write_conv_model_file(const ConvModel& model,
+                               const std::string& path);
 
 }  // namespace poetbin

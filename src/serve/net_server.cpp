@@ -109,8 +109,10 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t n,
 NetServer::NetServer(Runtime& runtime, NetServerOptions options)
     : runtime_(&runtime),
       options_(options),
+      // The snapshot's n_features() is the wire width: the frame size for
+      // conv models, the classifier's feature count for dense ones.
       n_features_(options.n_features != 0 ? options.n_features
-                                          : runtime.model().n_features()) {
+                                          : runtime.snapshot()->n_features()) {
   POETBIN_CHECK_MSG(n_features_ > 0, "served model references no features");
   if (options_.micro_batch) {
     batcher_ = std::make_unique<MicroBatcher>(
@@ -328,10 +330,24 @@ void NetServer::handle_connection(int fd) {
           }
           case wire::MsgType::kModelInfo: {
             const Runtime::Snapshot snap = runtime_->snapshot();
+            wire::WireConvShape conv;
+            if (snap->conv != nullptr) {
+              const BinShape3 in = snap->conv->input_shape();
+              const BinShape3 out_shape = snap->conv->output_shape();
+              conv.has_conv = 1;
+              conv.in_channels = static_cast<std::uint32_t>(in.channels);
+              conv.in_height = static_cast<std::uint32_t>(in.height);
+              conv.in_width = static_cast<std::uint32_t>(in.width);
+              conv.out_channels =
+                  static_cast<std::uint32_t>(out_shape.channels);
+              conv.out_height = static_cast<std::uint32_t>(out_shape.height);
+              conv.out_width = static_cast<std::uint32_t>(out_shape.width);
+            }
             wire::encode_model_info_response(
                 snap->version, static_cast<std::uint8_t>(snap->format),
                 static_cast<std::uint32_t>(n_features_),
-                static_cast<std::uint32_t>(snap->model.n_classes()), &out);
+                static_cast<std::uint32_t>(snap->model.n_classes()), conv,
+                &out);
             break;
           }
         }

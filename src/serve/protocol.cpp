@@ -166,6 +166,7 @@ std::size_t encode_model_info_response(std::uint64_t version,
                                        std::uint8_t format,
                                        std::uint32_t n_features,
                                        std::uint32_t n_classes,
+                                       const WireConvShape& conv,
                                        std::vector<std::uint8_t>* out) {
   const std::size_t header_at = open_frame(out);
   out->push_back(static_cast<std::uint8_t>(MsgType::kModelInfo));
@@ -174,6 +175,15 @@ std::size_t encode_model_info_response(std::uint64_t version,
   out->push_back(format);
   put_u32(n_features, out);
   put_u32(n_classes, out);
+  // Conv shape rides at the end so pre-conv decoders that check the old
+  // length still line up on everything before it.
+  out->push_back(conv.has_conv);
+  put_u32(conv.in_channels, out);
+  put_u32(conv.in_height, out);
+  put_u32(conv.in_width, out);
+  put_u32(conv.out_channels, out);
+  put_u32(conv.out_height, out);
+  put_u32(conv.out_width, out);
   return seal_frame(header_at, out);
 }
 
@@ -304,13 +314,31 @@ FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,
       if (length != 2 + 8) return FrameResult::kReject;
       response->model_version = get_u64(payload + 2);
       return FrameResult::kFrame;
-    case MsgType::kModelInfo:
-      if (length != 2 + 8 + 1 + 4 + 4) return FrameResult::kReject;
+    case MsgType::kModelInfo: {
+      // Two body layouts are valid: the pre-conv one ending at n_classes
+      // and the current one with the conv shape appended. The short form
+      // decodes with the conv fields left at zero (dense), same explicit
+      // version tolerance as kStats.
+      const std::size_t legacy = 2 + 8 + 1 + 4 + 4;
+      const std::size_t want = legacy + 1 + 6 * 4;
+      if (length != want && length != legacy) return FrameResult::kReject;
       response->model_version = get_u64(payload + 2);
       response->model_format = payload[2 + 8];
       response->n_features = get_u32(payload + 2 + 8 + 1);
       response->n_classes = get_u32(payload + 2 + 8 + 1 + 4);
+      response->conv = WireConvShape();
+      if (length == want) {
+        const std::uint8_t* c = payload + legacy;
+        response->conv.has_conv = c[0];
+        response->conv.in_channels = get_u32(c + 1);
+        response->conv.in_height = get_u32(c + 5);
+        response->conv.in_width = get_u32(c + 9);
+        response->conv.out_channels = get_u32(c + 13);
+        response->conv.out_height = get_u32(c + 17);
+        response->conv.out_width = get_u32(c + 21);
+      }
       return FrameResult::kFrame;
+    }
   }
   return FrameResult::kReject;
 }

@@ -34,7 +34,11 @@
 //              a failed reload answers status kReloadFailed, empty body,
 //              and the old model keeps serving)
 //   kModelInfo : u64 version, u8 format (ModelFormat), u32 n_features,
-//              u32 n_classes
+//              u32 n_classes, u8 has_conv, 6 x u32 conv shape (input
+//              C/H/W, output C/H/W; zeros when has_conv == 0). The decoder
+//              also accepts the pre-conv layout that stops after
+//              n_classes (has_conv reads as zero), so a new client can
+//              poll an old worker; any other length is rejected.
 //
 // Error handling is part of the contract: malformed frames (truncated,
 // oversized, zero-bit inputs, wrong feature width, unknown type) get a
@@ -106,10 +110,24 @@ std::size_t encode_stats_response(const ServeStats& stats,
 // body, like every other type).
 std::size_t encode_reload_response(Status status, std::uint64_t version,
                                    std::vector<std::uint8_t>* out);
+
+// Conv front-end shape carried by kModelInfo; all-zero (has_conv == 0)
+// when the served model is dense.
+struct WireConvShape {
+  std::uint8_t has_conv = 0;
+  std::uint32_t in_channels = 0;
+  std::uint32_t in_height = 0;
+  std::uint32_t in_width = 0;
+  std::uint32_t out_channels = 0;
+  std::uint32_t out_height = 0;
+  std::uint32_t out_width = 0;
+};
+
 std::size_t encode_model_info_response(std::uint64_t version,
                                        std::uint8_t format,
                                        std::uint32_t n_features,
                                        std::uint32_t n_classes,
+                                       const WireConvShape& conv,
                                        std::vector<std::uint8_t>* out);
 
 // --- decoding -------------------------------------------------------------
@@ -150,6 +168,7 @@ struct Response {
   ServeStats stats;                  // kStats
   std::uint64_t model_version = 0;   // kReload, kModelInfo
   std::uint8_t model_format = 0;     // kModelInfo (a ModelFormat value)
+  WireConvShape conv;                // kModelInfo (zeros from old workers)
 };
 
 FrameResult decode_response(const std::uint8_t* buffer, std::size_t size,

@@ -13,20 +13,42 @@ namespace {
 
 // A reload may not change the request/response shape out from under
 // connected clients: kIncompatibleModel when the candidate is a perfectly
-// valid model that just doesn't fit the slot it would replace.
-IoStatus check_compatible(const PoetBin& serving, const PoetBin& candidate,
+// valid model that just doesn't fit the slot it would replace. Widths are
+// the *wire* widths — a conv candidate counts its frame bits, so a dense
+// model may be hot-swapped for a conv one (and vice versa) as long as
+// clients keep sending the same number of bits.
+IoStatus check_compatible(const ModelVersion& serving,
+                          const LoadedModel& candidate,
                           const std::string& path) {
-  if (candidate.n_classes() != serving.n_classes() ||
-      candidate.n_features() != serving.n_features()) {
+  const std::size_t cand_features = candidate.conv != nullptr
+                                        ? candidate.conv->input_shape().flat()
+                                        : candidate.model.n_features();
+  if (candidate.model.n_classes() != serving.n_classes() ||
+      cand_features != serving.n_features()) {
     return ModelIoError{
         ModelIoError::Kind::kIncompatibleModel,
-        "'" + path + "' serves " + std::to_string(candidate.n_features()) +
-            " features / " + std::to_string(candidate.n_classes()) +
+        "'" + path + "' serves " + std::to_string(cand_features) +
+            " features / " + std::to_string(candidate.model.n_classes()) +
             " classes but the live model serves " +
             std::to_string(serving.n_features()) + " / " +
             std::to_string(serving.n_classes())};
   }
   return IoStatus();
+}
+
+// Scalar single-example predict for one version: the conv oracle per
+// frame ahead of the classifier when the version has a conv front end
+// (mirrors ConvModel::predict without copying the layer per request).
+int scalar_predict(const ModelVersion& version,
+                   const BitVector& example_bits) {
+  if (version.conv == nullptr) return version.model.predict(example_bits);
+  POETBIN_CHECK_MSG(example_bits.size() == version.n_features(),
+                    "frame bits must match the conv input shape");
+  BitMatrix frame(1, example_bits.size());
+  for (std::size_t b = 0; b < example_bits.size(); ++b) {
+    if (example_bits.get(b)) frame.set(0, b, true);
+  }
+  return version.model.predict(version.conv->eval_dataset(frame).row(0));
 }
 
 }  // namespace
@@ -64,8 +86,14 @@ struct Runtime::State {
 Runtime::Runtime(PoetBin model, RuntimeOptions options)
     : Runtime(std::move(model), options, ModelFormat::kText, std::string()) {}
 
+Runtime::Runtime(ConvModel model, RuntimeOptions options)
+    : Runtime(std::move(model.classifier), options, ModelFormat::kText,
+              std::string(),
+              std::make_shared<const RincConvLayer>(std::move(model.conv))) {}
+
 Runtime::Runtime(PoetBin model, RuntimeOptions options, ModelFormat format,
-                 std::string source_path)
+                 std::string source_path,
+                 std::shared_ptr<const RincConvLayer> conv)
     : state_(std::make_unique<State>()) {
   state_->options = options;
   if (options.forced_backend.has_value()) {
@@ -79,7 +107,8 @@ Runtime::Runtime(PoetBin model, RuntimeOptions options, ModelFormat format,
     state_->cache = std::make_unique<PredictCache>(
         PredictCacheOptions{.capacity_bytes = options.cache_bytes});
   }
-  publish(state_->primary, std::move(model), format, std::move(source_path));
+  publish(state_->primary, std::move(model), format, std::move(source_path),
+          std::move(conv));
 }
 
 Runtime::Runtime(Runtime&&) noexcept = default;
@@ -87,10 +116,11 @@ Runtime& Runtime::operator=(Runtime&&) noexcept = default;
 Runtime::~Runtime() = default;
 
 void Runtime::publish(Slot& slot, PoetBin model, ModelFormat format,
-                      std::string source_path) {
+                      std::string source_path,
+                      std::shared_ptr<const RincConvLayer> conv) {
   auto version = std::make_shared<const ModelVersion>(ModelVersion{
       std::move(model), state_->next_version.fetch_add(1), format,
-      std::move(source_path)});
+      std::move(source_path), std::move(conv)});
   // Invalidate the cache generation BEFORE the slot store: any reader that
   // can see the new model already sees the new epoch, so a probe can never
   // resurrect an old version's answer after the swap. (Named slots share
@@ -120,15 +150,25 @@ Runtime::LoadResult Runtime::load(const std::string& path,
   IoResult<LoadedModel> loaded =
       read_model_file_any(path, PackedVerify::kTrustChecksum);
   if (!loaded.ok()) return loaded.error();
-  return Runtime(std::move(loaded->model), options, loaded->format, path);
+  return Runtime(std::move(loaded->model), options, loaded->format, path,
+                 std::move(loaded->conv));
 }
 
 IoStatus Runtime::save(const std::string& path) const {
-  return write_model_file(snapshot()->model, path);
+  const Snapshot snap = snapshot();
+  if (snap->conv != nullptr) {
+    return write_conv_model_file(ConvModel{*snap->conv, snap->model}, path);
+  }
+  return write_model_file(snap->model, path);
 }
 
 IoStatus Runtime::save_packed(const std::string& path) const {
-  return write_packed_model_file(snapshot()->model, path);
+  const Snapshot snap = snapshot();
+  if (snap->conv != nullptr) {
+    return write_packed_conv_model_file(ConvModel{*snap->conv, snap->model},
+                                        path);
+  }
+  return write_packed_model_file(snap->model, path);
 }
 
 Runtime::Snapshot Runtime::snapshot() const {
@@ -162,9 +202,10 @@ IoStatus Runtime::reload(const std::string& path) {
       read_model_file_any(path, PackedVerify::kTrustChecksum);
   if (!loaded.ok()) return loaded.error();
   const Snapshot serving = snapshot();
-  IoStatus compatible = check_compatible(serving->model, loaded->model, path);
+  IoStatus compatible = check_compatible(*serving, *loaded, path);
   if (!compatible.ok()) return compatible;
-  publish(state_->primary, std::move(loaded->model), loaded->format, path);
+  publish(state_->primary, std::move(loaded->model), loaded->format, path,
+          std::move(loaded->conv));
   return IoStatus();
 }
 
@@ -173,13 +214,22 @@ std::vector<int> Runtime::predict_on(const ModelVersion& version,
   // The engine pool is not re-entrant: dataset passes from concurrent
   // callers (and from mutators) queue here instead of aborting.
   std::lock_guard<std::mutex> lock(state_->engine_mu);
+  // Conv front end first: flatten the frames to conv output bits on the
+  // same engine (two sequential parallel_for passes are the intended use
+  // of one engine), then the classifier consumes those bits.
+  const BitMatrix* input = &features;
+  BitMatrix conv_bits;
+  if (version.conv != nullptr) {
+    conv_bits = version.conv->eval_dataset_batched(features, *state_->engine);
+    input = &conv_bits;
+  }
   if (state_->options.fused_argmax) {
-    return state_->engine->predict_dataset(version.model, features);
+    return state_->engine->predict_dataset(version.model, *input);
   }
   // Debug path: materialize the RINC bank word-parallel, then run the
   // scalar argmax — the exact loop predict_dataset's fused pass must match.
   return version.model.predict_from_rinc_bits(
-      state_->engine->rinc_outputs(version.model, features));
+      state_->engine->rinc_outputs(version.model, *input));
 }
 
 std::vector<int> Runtime::predict(const BitMatrix& features) const {
@@ -201,12 +251,19 @@ double Runtime::accuracy(const BitMatrix& features,
 BitMatrix Runtime::rinc_outputs(const BitMatrix& features) const {
   const Snapshot snap = snapshot();
   std::lock_guard<std::mutex> lock(state_->engine_mu);
+  if (snap->conv != nullptr) {
+    return state_->engine->rinc_outputs(
+        snap->model, snap->conv->eval_dataset_batched(features,
+                                                      *state_->engine));
+  }
   return state_->engine->rinc_outputs(snap->model, features);
 }
 
 int Runtime::predict_one(const BitVector& example_bits) const {
   PredictCache* cache = state_->cache.get();
-  if (cache == nullptr) return snapshot()->model.predict(example_bits);
+  if (cache == nullptr) return scalar_predict(*snapshot(), example_bits);
+  // The cache keys on the raw request bits, so for conv versions a hit
+  // skips the whole conv + classifier pass.
   const PredictCache::Key key = PredictCache::make_key(example_bits);
   int prediction = 0;
   if (cache->probe(key, &prediction)) return prediction;
@@ -214,7 +271,7 @@ int Runtime::predict_one(const BitVector& example_bits) const {
   // reload between the predict and the insert leaves the entry stale
   // (harmless) instead of labeling an old answer as current (wrong).
   const Snapshot snap = snapshot();
-  prediction = snap->model.predict(example_bits);
+  prediction = scalar_predict(*snap, example_bits);
   cache->insert(key, prediction, snap->version);
   return prediction;
 }
@@ -231,11 +288,20 @@ void Runtime::retrain_output_layer(const BitMatrix& features,
   PoetBin next = serving->model;
   {
     std::lock_guard<std::mutex> lock(state_->engine_mu);
-    const BitMatrix rinc_bits = state_->engine->rinc_outputs(next, features);
+    // For a conv version, the classifier's inputs are conv output bits —
+    // run the (shared, unchanged) conv front end over the new frames first.
+    const BitMatrix* input = &features;
+    BitMatrix conv_bits;
+    if (serving->conv != nullptr) {
+      conv_bits = serving->conv->eval_dataset_batched(features,
+                                                      *state_->engine);
+      input = &conv_bits;
+    }
+    const BitMatrix rinc_bits = state_->engine->rinc_outputs(next, *input);
     next.retrain_output_layer(rinc_bits, labels, state_->engine.get());
   }
   publish(state_->primary, std::move(next), serving->format,
-          serving->source_path);
+          serving->source_path, serving->conv);
 }
 
 // --- named model registry ---------------------------------------------------
@@ -246,6 +312,16 @@ void Runtime::add_model(const std::string& name, PoetBin model) {
   std::unique_ptr<Slot>& slot = state_->named[name];
   if (!slot) slot = std::make_unique<Slot>();
   publish(*slot, std::move(model), ModelFormat::kText, std::string());
+}
+
+void Runtime::add_model(const std::string& name, ConvModel model) {
+  POETBIN_CHECK_MSG(!name.empty(), "model name must be non-empty");
+  std::lock_guard<std::mutex> lock(state_->registry_mu);
+  std::unique_ptr<Slot>& slot = state_->named[name];
+  if (!slot) slot = std::make_unique<Slot>();
+  publish(*slot, std::move(model.classifier), ModelFormat::kText,
+          std::string(),
+          std::make_shared<const RincConvLayer>(std::move(model.conv)));
 }
 
 IoStatus Runtime::load_model(const std::string& name,
@@ -260,11 +336,11 @@ IoStatus Runtime::load_model(const std::string& name,
   if (!slot) {
     slot = std::make_unique<Slot>();
   } else if (const Snapshot serving = slot->current.load()) {
-    IoStatus compatible =
-        check_compatible(serving->model, loaded->model, path);
+    IoStatus compatible = check_compatible(*serving, *loaded, path);
     if (!compatible.ok()) return compatible;
   }
-  publish(*slot, std::move(loaded->model), loaded->format, path);
+  publish(*slot, std::move(loaded->model), loaded->format, path,
+          std::move(loaded->conv));
   return IoStatus();
 }
 
@@ -318,7 +394,7 @@ int Runtime::predict_one(const std::string& name,
                          const BitVector& example_bits) const {
   const Snapshot snap = snapshot(name);
   POETBIN_CHECK_MSG(snap != nullptr, "predict_one() on an unknown model name");
-  return snap->model.predict(example_bits);
+  return scalar_predict(*snap, example_bits);
 }
 
 }  // namespace poetbin

@@ -104,12 +104,22 @@ struct RuntimeOptions {
 // One published model version: the immutable unit requests snapshot. The
 // version number is per-Runtime monotonic; format/source_path record where
 // the bytes came from (source_path is empty for in-process models, whose
-// format reports kText).
+// format reports kText). `conv`, when non-null, is a convolutional front
+// end whose flattened output feeds `model` — requests then carry whole
+// C x H x W frames, and n_features() reports the frame width.
 struct ModelVersion {
   PoetBin model;
   std::uint64_t version = 0;
   ModelFormat format = ModelFormat::kText;
   std::string source_path;
+  std::shared_ptr<const RincConvLayer> conv;
+
+  bool is_conv() const { return conv != nullptr; }
+  // The wire width: what a client puts in a request for this version.
+  std::size_t n_features() const {
+    return conv != nullptr ? conv->input_shape().flat() : model.n_features();
+  }
+  std::size_t n_classes() const { return model.n_classes(); }
 };
 
 class Runtime {
@@ -123,6 +133,11 @@ class Runtime {
   // or move one in) and spins up the persistent engine.
   explicit Runtime(PoetBin model, RuntimeOptions options = {});
 
+  // Convolutional variant: requests carry C x H x W frames, the conv front
+  // end runs word-parallel ahead of the classifier on every dataset path,
+  // and predict_one evaluates the scalar conv oracle per frame.
+  explicit Runtime(ConvModel model, RuntimeOptions options = {});
+
   // Train-then-serve in one step: PoetBin::train with `config`, wrapped in
   // a Runtime. The engine is created after training (PoetBin::train has its
   // own distillation pool).
@@ -132,8 +147,9 @@ class Runtime {
                        const PoetBinConfig& config,
                        RuntimeOptions options = {});
 
-  // Deserialize a saved model — text or packed, sniffed by magic — into a
-  // Runtime. The typed error distinguishes a missing file from a version
+  // Deserialize a saved model — text or packed, dense or convolutional,
+  // sniffed by header — into a Runtime. The typed error distinguishes a
+  // missing file from a version
   // mismatch from corrupt section contents (kind + message) — malformed
   // bytes never abort, so a serving worker survives a bad model on disk.
   // The path and format are recorded for reload(). Packed files load in
@@ -157,9 +173,10 @@ class Runtime {
   // Atomic snapshot of the current primary version; never null.
   Snapshot snapshot() const;
 
-  // Borrow of the current primary model. Valid until the next successful
-  // reload/retrain publishes a new version (the slot holds the old version
-  // alive until then); take a snapshot() to pin one version across swaps.
+  // Borrow of the current primary model (the classifier, for conv
+  // versions). Valid until the next successful reload/retrain publishes a
+  // new version (the slot holds the old version alive until then); take a
+  // snapshot() to pin one version across swaps.
   const PoetBin& model() const;
 
   std::uint64_t model_version() const;
@@ -217,6 +234,7 @@ class Runtime {
 
   // Publishes `model` under `name` (replacing any previous version).
   void add_model(const std::string& name, PoetBin model);
+  void add_model(const std::string& name, ConvModel model);
   // Loads text-or-packed from `path` into `name`'s slot. When the slot
   // already serves a model, the same compatibility rule as reload applies.
   IoStatus load_model(const std::string& name, const std::string& path);
@@ -241,10 +259,12 @@ class Runtime {
   struct State;
 
   Runtime(PoetBin model, RuntimeOptions options, ModelFormat format,
-          std::string source_path);
+          std::string source_path,
+          std::shared_ptr<const RincConvLayer> conv = nullptr);
 
   void publish(Slot& slot, PoetBin model, ModelFormat format,
-               std::string source_path);
+               std::string source_path,
+               std::shared_ptr<const RincConvLayer> conv = nullptr);
   std::vector<int> predict_on(const ModelVersion& version,
                               const BitMatrix& features) const;
 

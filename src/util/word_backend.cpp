@@ -1,4 +1,4 @@
-// Runtime backend dispatch: CPUID probe + POETBIN_FORCE_BACKEND override.
+// Runtime backend dispatch: CPU probe + POETBIN_FORCE_BACKEND override.
 #include "util/word_backend.h"
 
 #include <atomic>
@@ -7,11 +7,19 @@
 
 #include "util/check.h"
 
+#if defined(POETBIN_HAVE_NEON) && defined(__linux__)
+#include <sys/auxv.h>
+#if __has_include(<asm/hwcap.h>)
+#include <asm/hwcap.h>
+#endif
+#endif
+
 namespace poetbin {
 
 // Defined in word_backend_scalar.cpp / word_backend_avx2.cpp /
-// word_backend_avx512.cpp. The SIMD definitions exist only when the build
-// enabled them (POETBIN_HAVE_* come from CMake after a compiler-flag probe).
+// word_backend_avx512.cpp / word_backend_neon.cpp. The SIMD definitions
+// exist only when the build enabled them (POETBIN_HAVE_* come from CMake
+// after a compiler-flag probe; NEON only on aarch64 targets).
 const WordOps& scalar64_word_ops();
 #if defined(POETBIN_HAVE_AVX2)
 const WordOps& avx2_word_ops();
@@ -19,13 +27,29 @@ const WordOps& avx2_word_ops();
 #if defined(POETBIN_HAVE_AVX512)
 const WordOps& avx512_word_ops();
 #endif
+#if defined(POETBIN_HAVE_NEON)
+const WordOps& neon_word_ops();
+#endif
 
 namespace {
 
 struct Registry {
-  const WordOps* slots[3] = {nullptr, nullptr, nullptr};
+  const WordOps* slots[4] = {nullptr, nullptr, nullptr, nullptr};
   const WordOps* initial = nullptr;
 };
+
+#if defined(POETBIN_HAVE_NEON)
+// AdvSIMD is baseline armv8-a, but the auxv hwcap is the arm64 equivalent
+// of the CPUID gate the x86 backends get: a kernel that masks it (or an
+// exotic no-FP profile) degrades to scalar64 instead of faulting.
+bool neon_supported() {
+#if defined(__linux__) && defined(HWCAP_ASIMD)
+  return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  return true;
+#endif
+}
+#endif
 
 const WordOps* probe(WordBackend backend) {
   switch (backend) {
@@ -45,6 +69,11 @@ const WordOps* probe(WordBackend backend) {
       }
 #endif
       return nullptr;
+    case WordBackend::kNeon:
+#if defined(POETBIN_HAVE_NEON)
+      if (neon_supported()) return &neon_word_ops();
+#endif
+      return nullptr;
   }
   return nullptr;
 }
@@ -52,12 +81,16 @@ const WordOps* probe(WordBackend backend) {
 Registry build_registry() {
   Registry reg;
   for (const WordBackend backend :
-       {WordBackend::kScalar64, WordBackend::kAvx2, WordBackend::kAvx512}) {
+       {WordBackend::kScalar64, WordBackend::kAvx2, WordBackend::kAvx512,
+        WordBackend::kNeon}) {
     reg.slots[static_cast<std::size_t>(backend)] = probe(backend);
   }
-  // Default to the widest available backend...
+  // Default to the widest available backend (at most one SIMD family is
+  // compiled in per target architecture, so the order only ranks within
+  // the x86 family)...
   reg.initial = reg.slots[static_cast<std::size_t>(WordBackend::kScalar64)];
-  for (const WordBackend backend : {WordBackend::kAvx2, WordBackend::kAvx512}) {
+  for (const WordBackend backend :
+       {WordBackend::kNeon, WordBackend::kAvx2, WordBackend::kAvx512}) {
     const WordOps* ops = reg.slots[static_cast<std::size_t>(backend)];
     if (ops != nullptr) reg.initial = ops;
   }
@@ -68,7 +101,7 @@ Registry build_registry() {
     const auto backend = word_backend_from_name(forced);
     POETBIN_CHECK_MSG(backend.has_value(),
                       "POETBIN_FORCE_BACKEND must be one of scalar64, avx2, "
-                      "avx512");
+                      "avx512, neon");
     const WordOps* ops = reg.slots[static_cast<std::size_t>(*backend)];
     POETBIN_CHECK_MSG(ops != nullptr,
                       "POETBIN_FORCE_BACKEND names a backend this build or "
@@ -111,7 +144,8 @@ void set_word_backend(WordBackend backend) {
 std::vector<WordBackend> available_word_backends() {
   std::vector<WordBackend> backends;
   for (const WordBackend backend :
-       {WordBackend::kScalar64, WordBackend::kAvx2, WordBackend::kAvx512}) {
+       {WordBackend::kScalar64, WordBackend::kNeon, WordBackend::kAvx2,
+        WordBackend::kAvx512}) {
     if (word_ops_for(backend) != nullptr) backends.push_back(backend);
   }
   return backends;
@@ -125,6 +159,8 @@ const char* word_backend_name(WordBackend backend) {
       return "avx2";
     case WordBackend::kAvx512:
       return "avx512";
+    case WordBackend::kNeon:
+      return "neon";
   }
   return "unknown";
 }
@@ -139,6 +175,7 @@ std::optional<WordBackend> word_backend_from_name(std::string_view name) {
   }
   if (lowered == "avx2") return WordBackend::kAvx2;
   if (lowered == "avx512" || lowered == "avx-512") return WordBackend::kAvx512;
+  if (lowered == "neon" || lowered == "asimd") return WordBackend::kNeon;
   return std::nullopt;
 }
 

@@ -9,11 +9,12 @@
 // so widening the word never changes a result, and the scalar64 backend
 // stays in-tree as the test oracle.
 //
-// Dispatch: the first call to word_ops() probes CPUID for the widest backend
-// this build and this machine both support. POETBIN_FORCE_BACKEND
-// (= scalar64 | avx2 | avx512) overrides the probe — aborting loudly if the
-// forced backend is unavailable — and set_word_backend() does the same
-// programmatically (used by tests and the per-backend bench loops).
+// Dispatch: the first call to word_ops() probes the CPU (CPUID on x86,
+// the hwcap auxv on arm64) for the widest backend this build and this
+// machine both support. POETBIN_FORCE_BACKEND
+// (= scalar64 | avx2 | avx512 | neon) overrides the probe — aborting loudly
+// if the forced backend is unavailable — and set_word_backend() does the
+// same programmatically (used by tests and the per-backend bench loops).
 #pragma once
 
 #include <cstddef>
@@ -24,7 +25,7 @@
 
 namespace poetbin {
 
-enum class WordBackend { kScalar64, kAvx2, kAvx512 };
+enum class WordBackend { kScalar64, kAvx2, kAvx512, kNeon };
 
 // The kernel table one backend provides. All ranges are in 64-bit words; a
 // backend is free to process them in wider blocks internally, finishing any
@@ -33,8 +34,8 @@ enum class WordBackend { kScalar64, kAvx2, kAvx512 };
 // raw scalar loops these replace.
 struct WordOps {
   WordBackend kind;
-  const char* name;          // "scalar64" / "avx2" / "avx512"
-  std::size_t block_words;   // native block width in 64-bit words (1 / 4 / 8)
+  const char* name;          // "scalar64" / "avx2" / "avx512" / "neon"
+  std::size_t block_words;   // native block width in 64-bit words (1/2/4/8)
 
   // Shannon-reduced LUT evaluation, the batch-inference inner loop:
   //   out[w - word_begin] =
@@ -119,8 +120,8 @@ std::vector<WordBackend> available_word_backends();
 
 const char* word_backend_name(WordBackend backend);
 
-// "scalar64" / "avx2" / "avx512" (case-insensitive) -> backend; nullopt for
-// anything else. The parser behind POETBIN_FORCE_BACKEND.
+// "scalar64" / "avx2" / "avx512" / "neon" (case-insensitive) -> backend;
+// nullopt for anything else. The parser behind POETBIN_FORCE_BACKEND.
 std::optional<WordBackend> word_backend_from_name(std::string_view name);
 
 }  // namespace poetbin

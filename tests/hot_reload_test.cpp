@@ -39,7 +39,8 @@ constexpr std::size_t kClasses = 3;
 // maximum output code everywhere, everyone else zero. The LUT tables also
 // vary with the tag so differently-tagged files differ throughout, not
 // just in the output layer.
-PoetBin tagged_model(int tag, std::size_t n_classes = kClasses) {
+PoetBin tagged_model(int tag, std::size_t n_classes = kClasses,
+                     std::size_t n_features = kFeatures) {
   const std::size_t p = 2;
   PoetBinConfig config;
   config.rinc.lut_inputs = p;
@@ -49,7 +50,8 @@ PoetBin tagged_model(int tag, std::size_t n_classes = kClasses) {
     // Always reference the last feature so every tag derives the same
     // n_features (reload's compatibility check compares shapes).
     std::vector<std::size_t> inputs = {
-        (m + static_cast<std::size_t>(tag)) % (kFeatures - 1), kFeatures - 1};
+        (m + static_cast<std::size_t>(tag)) % (n_features - 1),
+        n_features - 1};
     BitVector table(std::size_t{1} << p);
     for (std::size_t a = 0; a < table.size(); ++a) {
       table.set(a, ((m + a + static_cast<std::size_t>(tag)) % 3) == 0);
@@ -489,6 +491,184 @@ TEST(HotReload, NamedModelRegistryPublishesAndReloads) {
   EXPECT_TRUE(runtime.remove_model("candidate"));
   EXPECT_FALSE(runtime.remove_model("candidate"));
   EXPECT_FALSE(runtime.has_model("candidate"));
+}
+
+// A conv model whose classifier predicts `tag` everywhere: the conv front
+// end is a real trained RINC conv over 1x4x4 frames (wire width kFeatures),
+// the tagged classifier reads its 2x4x4 = 32 flattened output bits. The
+// conv layer is trained once and shared so differently-tagged models stay
+// reload-compatible (same wire width) while differing throughout the
+// classifier.
+ConvModel conv_tagged_model(int tag) {
+  static const RincConvLayer* layer = [] {
+    const BinShape3 in_shape{1, 4, 4};
+    RincConvConfig config;
+    config.out_channels = 2;
+    config.kernel = 3;
+    config.stride = 1;
+    config.padding = 1;
+    config.rinc = {.lut_inputs = 3, .levels = 1, .total_dts = 3};
+    Rng rng(77);
+    BitMatrix inputs(60, in_shape.flat());
+    BitMatrix targets(60, 2 * 4 * 4);
+    for (std::size_t i = 0; i < 60; ++i) {
+      for (std::size_t k = 0; k < inputs.cols(); ++k) {
+        if (rng.next_bool()) inputs.set(i, k, true);
+      }
+      for (std::size_t k = 0; k < targets.cols(); ++k) {
+        if (rng.next_bool()) targets.set(i, k, true);
+      }
+    }
+    return new RincConvLayer(
+        RincConvLayer::train(inputs, in_shape, targets, config));
+  }();
+  ConvModel model;
+  model.conv = *layer;
+  model.classifier = tagged_model(tag, kClasses, /*n_features=*/2 * 4 * 4);
+  return model;
+}
+
+// Conv models as first-class serving citizens: packed conv file behind
+// Runtime + NetServer, frames on the wire at the conv input width, conv
+// shape in kModelInfo, and dense <-> conv hot swaps allowed when the wire
+// width matches.
+TEST(HotReload, ConvModelServesAndHotSwapsWithDense) {
+  static_assert(kFeatures == 16, "conv fixture assumes 1x4x4 frames");
+  const std::string path = temp_path("hot_reload_conv.pbm");
+  ASSERT_TRUE(write_packed_conv_model_file(conv_tagged_model(0), path).ok());
+  Runtime::LoadResult loaded =
+      Runtime::load(path, {.threads = 1, .cache_bytes = 1u << 16});
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  Runtime runtime = std::move(loaded).value();
+  Runtime::Snapshot snap = runtime.snapshot();
+  ASSERT_TRUE(snap->is_conv());
+  EXPECT_EQ(snap->n_features(), kFeatures);  // wire width = frame width
+  EXPECT_EQ(snap->conv->output_shape(), (BinShape3{2, 4, 4}));
+
+  // Scalar, cached-scalar, and dataset paths all see the tag through the
+  // conv front end.
+  const BitVector frame = example_bits(3);
+  EXPECT_EQ(runtime.predict_one(frame), 0);
+  EXPECT_EQ(runtime.predict_one(frame), 0);  // cache hit, same answer
+  BitMatrix frames(130, kFeatures);
+  for (std::size_t i = 0; i < frames.rows(); ++i) {
+    const BitVector bits = example_bits(200 + i);
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      frames.set(i, f, bits.get(f));
+    }
+  }
+  EXPECT_EQ(runtime.predict(frames), std::vector<int>(frames.rows(), 0));
+
+  NetServer server(runtime, {.port = 0,
+                             .micro_batch = true,
+                             .max_batch = 16,
+                             .max_wait = std::chrono::microseconds(200)});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  // Frames at the conv input width predict; kModelInfo reports the shape.
+  wire::Response response;
+  ASSERT_TRUE(client.predict(frame, &response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.prediction, 0);
+  ASSERT_TRUE(client.model_info(&response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  EXPECT_EQ(response.n_features, kFeatures);
+  EXPECT_EQ(response.conv.has_conv, 1);
+  EXPECT_EQ(response.conv.in_channels, 1u);
+  EXPECT_EQ(response.conv.in_height, 4u);
+  EXPECT_EQ(response.conv.in_width, 4u);
+  EXPECT_EQ(response.conv.out_channels, 2u);
+  EXPECT_EQ(response.conv.out_height, 4u);
+  EXPECT_EQ(response.conv.out_width, 4u);
+
+  // A dense model with the same wire width hot-swaps in over the live
+  // connection; has_conv drops back to zero.
+  ASSERT_TRUE(write_packed_model_file(tagged_model(1), path).ok());
+  ASSERT_TRUE(client.reload(&response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  ASSERT_TRUE(client.predict(frame, &response));
+  EXPECT_EQ(response.prediction, 1);
+  ASSERT_TRUE(client.model_info(&response));
+  EXPECT_EQ(response.conv.has_conv, 0);
+
+  // And the conv model swaps back, through the same slot.
+  ASSERT_TRUE(write_packed_conv_model_file(conv_tagged_model(2), path).ok());
+  ASSERT_TRUE(client.reload(&response));
+  EXPECT_EQ(response.status, wire::Status::kOk);
+  ASSERT_TRUE(client.predict(frame, &response));
+  EXPECT_EQ(response.prediction, 2);
+  ASSERT_TRUE(client.model_info(&response));
+  EXPECT_EQ(response.conv.has_conv, 1);
+  server.stop();
+
+  // The text conv format serves through the same loader.
+  const std::string text_path = temp_path("hot_reload_conv.txt");
+  ASSERT_TRUE(write_conv_model_file(conv_tagged_model(1), text_path).ok());
+  Runtime::LoadResult text_loaded = Runtime::load(text_path, {.threads = 1});
+  ASSERT_TRUE(text_loaded.ok()) << text_loaded.error().message;
+  EXPECT_EQ(text_loaded->model_format(), ModelFormat::kText);
+  EXPECT_TRUE(text_loaded->snapshot()->is_conv());
+  EXPECT_EQ(text_loaded->predict_one(frame), 1);
+}
+
+// Conv save paths: a Runtime serving a conv model round-trips it through
+// save() (text) and save_packed() with predictions intact.
+TEST(HotReload, ConvRuntimeSaveRoundTrips) {
+  const Runtime runtime(conv_tagged_model(1), {.threads = 1});
+  ASSERT_TRUE(runtime.snapshot()->is_conv());
+  const std::string text_path = temp_path("conv_save.txt");
+  const std::string packed_path = temp_path("conv_save.pbm");
+  ASSERT_TRUE(runtime.save(text_path).ok());
+  ASSERT_TRUE(runtime.save_packed(packed_path).ok());
+  for (const std::string& path : {text_path, packed_path}) {
+    Runtime::LoadResult loaded = Runtime::load(path, {.threads = 1});
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_TRUE(loaded->snapshot()->is_conv());
+    EXPECT_EQ(loaded->predict_one(example_bits(8)), 1);
+    std::remove(path.c_str());
+  }
+}
+
+// A conv model in the named registry: add_model(ConvModel) publishes, the
+// named predict paths run the conv front end, and the slot swaps to a
+// same-width dense model.
+TEST(HotReload, NamedRegistryServesConvModels) {
+  Runtime runtime(tagged_model(0), {.threads = 1});
+  runtime.add_model("convnet", conv_tagged_model(2));
+  Runtime::Snapshot snap = runtime.snapshot("convnet");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_TRUE(snap->is_conv());
+  EXPECT_EQ(snap->n_features(), kFeatures);
+  EXPECT_EQ(runtime.predict_one("convnet", example_bits(4)), 2);
+  EXPECT_EQ(runtime.predict_one(example_bits(4)), 0);  // primary untouched
+
+  const std::string path = temp_path("named_conv_swap.pbm");
+  ASSERT_TRUE(write_packed_model_file(tagged_model(1), path).ok());
+  ASSERT_TRUE(runtime.load_model("convnet", path).ok());
+  EXPECT_EQ(runtime.predict_one("convnet", example_bits(4)), 1);
+  EXPECT_FALSE(runtime.snapshot("convnet")->is_conv());
+}
+
+// A conv model whose wire width differs is an incompatible reload target.
+TEST(HotReload, MismatchedConvWidthIsIncompatible) {
+  Runtime runtime(tagged_model(0), {.threads = 1});  // 16-bit wire width
+  ConvModel conv = conv_tagged_model(1);
+  const std::string path = temp_path("conv_incompat.pbm");
+  ASSERT_TRUE(write_packed_conv_model_file(conv, path).ok());
+  // 16-bit conv wire width matches the dense model: reload succeeds.
+  ASSERT_TRUE(runtime.reload(path).ok());
+  ASSERT_TRUE(runtime.snapshot()->is_conv());
+  // A dense model at the conv *output* width (32) is now incompatible.
+  const std::string wide = temp_path("conv_incompat_wide.pbm");
+  ASSERT_TRUE(
+      write_packed_model_file(tagged_model(0, kClasses, 32), wide).ok());
+  const IoStatus status = runtime.reload(wide);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind, ModelIoError::Kind::kIncompatibleModel);
+  EXPECT_TRUE(runtime.snapshot()->is_conv());  // old version keeps serving
 }
 
 // RuntimeOptions::forced_backend is process-global by contract: the last

@@ -15,6 +15,8 @@
 #include <unistd.h>
 
 #include "core/batch_eval.h"
+#include "core/rinc.h"
+#include "dt/lut.h"
 #include "test_util.h"
 
 namespace poetbin {
@@ -481,6 +483,256 @@ TEST(PackedModel, EveryTruncationPointFailsCleanly) {
     EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes loaded";
   }
   std::remove(path.c_str());
+}
+
+// --- convolutional packed models (format version 2) -----------------------
+
+// Trains a small ConvModel once: 2-channel RINC conv over 1x6x6 frames,
+// 4-class classifier on the flattened conv outputs.
+struct ConvFixture {
+  BitMatrix frames;
+  ConvModel model;
+
+  ConvFixture() {
+    const BinShape3 in_shape{1, 6, 6};
+    frames = testing::random_bits(200, in_shape.flat(), 61);
+    RincConvConfig config;
+    config.out_channels = 2;
+    config.kernel = 3;
+    config.stride = 1;
+    config.padding = 1;
+    config.rinc = {.lut_inputs = 4, .levels = 1, .total_dts = 4};
+    const BitMatrix targets = testing::random_bits(200, 2 * 6 * 6, 62);
+    model.conv = RincConvLayer::train(frames, in_shape, targets, config);
+
+    const BitMatrix conv_out = model.conv.eval_dataset(frames);
+    std::vector<int> labels(frames.rows());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<int>(i % 4);
+    }
+    const std::size_t p = 3;
+    BitMatrix intermediate(conv_out.rows(), 4 * p);
+    for (std::size_t i = 0; i < intermediate.rows(); ++i) {
+      for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+        intermediate.set(i, j, labels[i] == static_cast<int>(j / p));
+      }
+    }
+    PoetBinConfig classifier_config;
+    classifier_config.rinc = {.lut_inputs = p, .levels = 1, .total_dts = 3};
+    classifier_config.n_classes = 4;
+    classifier_config.output.epochs = 10;
+    model.classifier =
+        PoetBin::train(conv_out, intermediate, labels, classifier_config);
+  }
+};
+
+const ConvFixture& conv_fixture() {
+  return *[] {
+    static const ConvFixture* fx = new ConvFixture;
+    return fx;
+  }();
+}
+
+// Writes the conv fixture once; every conv read-side test maps this file.
+const std::string& packed_conv_fixture_path() {
+  static const std::string path = [] {
+    const std::string p = temp_path("poetbin_conv_fixture.pbm");
+    const IoStatus status =
+        write_packed_conv_model_file(conv_fixture().model, p);
+    POETBIN_CHECK_MSG(status.ok(), "conv fixture pack failed");
+    return p;
+  }();
+  return path;
+}
+
+TEST(PackedConvModel, RoundTripPreservesPredictions) {
+  const ConvFixture& fx = conv_fixture();
+  const IoResult<LoadedModel> loaded =
+      read_model_file_any(packed_conv_fixture_path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->format, ModelFormat::kPacked);
+  ASSERT_NE(loaded->conv, nullptr);
+  EXPECT_EQ(loaded->conv->input_shape(), fx.model.conv.input_shape());
+  EXPECT_EQ(loaded->conv->output_shape(), fx.model.conv.output_shape());
+  EXPECT_EQ(loaded->conv->config().kernel, fx.model.conv.config().kernel);
+  EXPECT_EQ(loaded->conv->config().stride, fx.model.conv.config().stride);
+  EXPECT_EQ(loaded->conv->config().padding, fx.model.conv.config().padding);
+
+  const ConvModel round{*loaded->conv, loaded->model};
+  const std::vector<int> want = fx.model.predict_dataset(fx.frames);
+  EXPECT_EQ(round.predict_dataset(fx.frames), want);
+  // The fused word-parallel path over the mapped LUTs, across backends.
+  testing::BackendGuard guard;
+  for (const WordBackend backend : available_word_backends()) {
+    set_word_backend(backend);
+    for (const std::size_t threads : {1u, 2u, 5u}) {
+      const BatchEngine engine(threads);
+      EXPECT_EQ(round.predict_dataset_batched(fx.frames, engine), want)
+          << word_backend_name(backend) << " x" << threads;
+    }
+  }
+}
+
+// The serving load depth (kTrustChecksum, what Runtime::load runs) must be
+// bit-identical to full verification for conv files too — and must never
+// have paged the conv splat section to get there.
+TEST(PackedConvModel, TrustChecksumLoadsIdenticallyToFullVerify) {
+  const ConvFixture& fx = conv_fixture();
+  const IoResult<LoadedModel> trusting = read_model_file_any(
+      packed_conv_fixture_path(), PackedVerify::kTrustChecksum);
+  ASSERT_TRUE(trusting.ok()) << trusting.error().message;
+  ASSERT_NE(trusting->conv, nullptr);
+  const ConvModel round{*trusting->conv, trusting->model};
+  EXPECT_EQ(round.predict_dataset(fx.frames),
+            fx.model.predict_dataset(fx.frames));
+}
+
+// Re-packing a loaded conv model reproduces the file byte for byte: the
+// writer is deterministic and the mapping round trip is lossless.
+TEST(PackedConvModel, PackedRoundTripIsByteIdentical) {
+  const IoResult<LoadedModel> loaded =
+      read_model_file_any(packed_conv_fixture_path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_NE(loaded->conv, nullptr);
+  const std::string again = temp_path("poetbin_conv_repacked.pbm");
+  ASSERT_TRUE(write_packed_conv_model_file(
+                  ConvModel{*loaded->conv, loaded->model}, again)
+                  .ok());
+  EXPECT_EQ(read_bytes(packed_conv_fixture_path()), read_bytes(again));
+  std::remove(again.c_str());
+}
+
+// Text -> packed -> text byte identity for the conv format.
+TEST(PackedConvModel, TextPackedTextIsByteIdentical) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream original;
+  save_conv_model(fx.model, original);
+  const IoResult<LoadedModel> unpacked =
+      read_model_file_any(packed_conv_fixture_path());
+  ASSERT_TRUE(unpacked.ok());
+  ASSERT_NE(unpacked->conv, nullptr);
+  std::stringstream reprinted;
+  save_conv_model(ConvModel{*unpacked->conv, unpacked->model}, reprinted);
+  EXPECT_EQ(original.str(), reprinted.str());
+}
+
+// The dense entry point's contract: a packed conv file is a typed
+// kIncompatibleModel, never a silently truncated model.
+TEST(PackedConvModel, DenseEntryPointRejectsConvFile) {
+  const IoResult<PoetBin> result =
+      read_packed_model_file(packed_conv_fixture_path());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kIncompatibleModel);
+}
+
+// Conv text files sniff through read_model_file_any like packed ones.
+TEST(PackedConvModel, TextConvSniffsThroughReadAny) {
+  const ConvFixture& fx = conv_fixture();
+  const std::string text_path = temp_path("poetbin_conv_fixture.txt");
+  ASSERT_TRUE(write_conv_model_file(fx.model, text_path).ok());
+  EXPECT_FALSE(is_packed_model_file(text_path));
+  const IoResult<LoadedModel> loaded = read_model_file_any(text_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->format, ModelFormat::kText);
+  ASSERT_NE(loaded->conv, nullptr);
+  const ConvModel round{*loaded->conv, loaded->model};
+  EXPECT_EQ(round.predict_dataset(fx.frames),
+            fx.model.predict_dataset(fx.frames));
+  std::remove(text_path.c_str());
+}
+
+// A dense file loaded through read_model_file_any carries no conv layer —
+// the zero-length conv-config section reads back as "dense".
+TEST(PackedConvModel, DenseFileHasNoConvLayer) {
+  const IoResult<LoadedModel> loaded =
+      read_model_file_any(packed_fixture_path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->conv, nullptr);
+}
+
+// Writer-side guards: inconsistent conv models are refused, not packed.
+TEST(PackedConvModel, WriterRejectsInconsistentConvModels) {
+  const ConvFixture& fx = conv_fixture();
+  const std::string path = temp_path("conv_reject.pbm");
+  // An untrained (empty) conv layer.
+  ConvModel empty;
+  empty.classifier = fx.model.classifier;
+  const IoStatus no_conv = write_packed_conv_model_file(empty, path);
+  ASSERT_FALSE(no_conv.ok());
+  EXPECT_EQ(no_conv.error().kind, ModelIoError::Kind::kWriteFailed);
+  // A classifier explicitly wired to feature 100 — beyond the 72 conv
+  // output bits of the 2x6x6 front end.
+  ConvModel mismatched;
+  mismatched.conv = fx.model.conv;
+  {
+    PoetBinConfig config;
+    config.rinc.lut_inputs = 2;
+    config.n_classes = 2;
+    std::vector<RincModule> modules;
+    for (std::size_t m = 0; m < 4; ++m) {
+      BitVector table(4);
+      table.set(3, true);
+      modules.push_back(
+          RincModule::make_leaf(Lut({m, 100}, std::move(table))));
+    }
+    const QuantizerParams quantizer;
+    std::vector<SparseOutputNeuron> neurons(2);
+    for (std::size_t c = 0; c < 2; ++c) {
+      neurons[c].input_modules = {c * 2, c * 2 + 1};
+      neurons[c].weights.assign(2, 0.0f);
+      neurons[c].codes.assign(4, 0);
+    }
+    mismatched.classifier = PoetBin::from_parts(
+        config, std::move(modules), std::move(neurons), quantizer);
+  }
+  const IoStatus too_wide = write_packed_conv_model_file(mismatched, path);
+  ASSERT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.error().kind, ModelIoError::Kind::kWriteFailed);
+}
+
+// Every truncation prefix of a conv file fails with a typed error.
+TEST(PackedConvModel, EveryTruncationPointFailsCleanly) {
+  const std::vector<std::uint8_t> bytes =
+      read_bytes(packed_conv_fixture_path());
+  const std::string path = temp_path("conv_trunc_sweep.pbm");
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += 1 + bytes.size() / 61) {
+    write_bytes(path,
+                std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut));
+    const IoResult<LoadedModel> result = read_model_file_any(path);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes loaded";
+  }
+  std::remove(path.c_str());
+}
+
+// Corrupt conv geometry in an otherwise well-formed file (CRC fixed up) is
+// a typed kCorruptSection, never a validate() abort.
+TEST(PackedConvModel, CorruptConvGeometryIsCorruptSection) {
+  const std::vector<std::uint8_t> bytes =
+      read_bytes(packed_conv_fixture_path());
+  // Section table entry 11 (0-based, id order) is conv-config; its payload
+  // holds 8 u64 scalars starting with the input shape.
+  const std::uint64_t conv_offset = section_field(bytes, 11, 8);
+  ASSERT_GT(section_field(bytes, 11, 16), 0u);  // non-empty on a conv file
+  const auto corrupt_scalar = [&](std::size_t index, std::uint64_t value,
+                                  const std::string& name) {
+    std::vector<std::uint8_t> mutated = bytes;
+    std::memcpy(mutated.data() + conv_offset + index * 8, &value,
+                sizeof(value));
+    fix_crc(mutated);
+    const std::string path = temp_path("conv_corrupt.pbm");
+    write_bytes(path, mutated);
+    const IoResult<LoadedModel> result = read_model_file_any(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection)
+        << name;
+  };
+  corrupt_scalar(0, 0, "zero input channels");
+  corrupt_scalar(4, 0, "zero kernel");
+  corrupt_scalar(4, std::uint64_t{1} << 32, "kernel beyond the cap");
+  corrupt_scalar(5, 0, "zero stride");
+  corrupt_scalar(6, 99, "padding >= kernel");
 }
 
 }  // namespace

@@ -392,7 +392,7 @@ TEST(ProtocolResponse, ReloadRoundTripOkAndFailed) {
 
 TEST(ProtocolResponse, ModelInfoRoundTrip) {
   std::vector<std::uint8_t> buffer;
-  encode_model_info_response(7, 1, 784, 10, &buffer);
+  encode_model_info_response(7, 1, 784, 10, WireConvShape{}, &buffer);
   std::size_t offset = 0;
   Response response;
   ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
@@ -403,14 +403,66 @@ TEST(ProtocolResponse, ModelInfoRoundTrip) {
   EXPECT_EQ(response.model_format, 1);
   EXPECT_EQ(response.n_features, 784u);
   EXPECT_EQ(response.n_classes, 10u);
+  EXPECT_EQ(response.conv.has_conv, 0);
   EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolResponse, ModelInfoConvShapeRoundTrip) {
+  const WireConvShape shape = {1, 3, 8, 8, 4, 8, 8};
+  std::vector<std::uint8_t> buffer;
+  encode_model_info_response(9, 1, 3 * 8 * 8, 10, shape, &buffer);
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(buffer.data(), buffer.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.conv.has_conv, 1);
+  EXPECT_EQ(response.conv.in_channels, 3u);
+  EXPECT_EQ(response.conv.in_height, 8u);
+  EXPECT_EQ(response.conv.in_width, 8u);
+  EXPECT_EQ(response.conv.out_channels, 4u);
+  EXPECT_EQ(response.conv.out_height, 8u);
+  EXPECT_EQ(response.conv.out_width, 8u);
+  EXPECT_EQ(response.n_features, 3u * 8u * 8u);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ProtocolResponse, ModelInfoLegacyBodyStillDecodes) {
+  // The pre-conv layout stops after n_classes (19-byte body). A new client
+  // must decode it with the conv fields read as zero — and reject any
+  // in-between length.
+  std::vector<std::uint8_t> full;
+  encode_model_info_response(7, 0, 784, 10, WireConvShape{1, 1, 28, 28, 2,
+                                                          28, 28},
+                             &full);
+  const std::size_t legacy_payload = 2 + 8 + 1 + 4 + 4;
+  std::vector<std::uint8_t> legacy(full.begin(),
+                                   full.begin() + 4 + legacy_payload);
+  legacy[0] = static_cast<std::uint8_t>(legacy_payload);  // shrink the frame
+  std::size_t offset = 0;
+  Response response;
+  ASSERT_EQ(decode_response(legacy.data(), legacy.size(), &offset, &response),
+            FrameResult::kFrame);
+  EXPECT_EQ(response.model_version, 7u);
+  EXPECT_EQ(response.n_features, 784u);
+  EXPECT_EQ(response.n_classes, 10u);
+  EXPECT_EQ(response.conv.has_conv, 0);
+  EXPECT_EQ(offset, legacy.size());
+
+  // One byte longer than legacy but shorter than the conv layout: reject.
+  std::vector<std::uint8_t> between(full.begin(),
+                                    full.begin() + 4 + legacy_payload + 1);
+  between[0] = static_cast<std::uint8_t>(legacy_payload + 1);
+  offset = 0;
+  EXPECT_EQ(decode_response(between.data(), between.size(), &offset,
+                            &response),
+            FrameResult::kReject);
 }
 
 TEST(ProtocolResponse, TruncatedReloadAndModelInfoNeedMore) {
   for (const bool model_info : {false, true}) {
     std::vector<std::uint8_t> buffer;
     if (model_info) {
-      encode_model_info_response(3, 0, 16, 3, &buffer);
+      encode_model_info_response(3, 0, 16, 3, WireConvShape{}, &buffer);
     } else {
       encode_reload_response(Status::kOk, 3, &buffer);
     }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/batch_eval.h"
+#include "dt/lut.h"
 #include "test_util.h"
 
 namespace poetbin {
@@ -144,6 +146,179 @@ TEST(RincConv, PatchSubsamplingStillLearns) {
   const RincConvLayer layer = RincConvLayer::train(
       problem.inputs, problem.in_shape, problem.targets, config);
   EXPECT_GT(layer.fidelity(problem.inputs, problem.targets), 0.95);
+}
+
+// --- bitsliced path: bit-identity against the scalar oracle ---------------
+
+struct ConvGeom {
+  BinShape3 in_shape;
+  std::size_t out_channels;
+  std::size_t kernel;
+  std::size_t stride;
+  std::size_t padding;
+};
+
+// The acceptance bar for eval_dataset_batched: bit-identical to the scalar
+// eval_dataset on every available word backend and several engine widths,
+// across geometries that stress each indexing path (pointwise 1x1, strided,
+// maximum padding, multi-channel, non-square) and example counts straddling
+// the 64-bit word boundary.
+TEST(RincConvBatched, BitIdenticalAcrossShapesBackendsAndThreads) {
+  const std::vector<ConvGeom> geoms = {
+      {{1, 8, 8}, 2, 3, 1, 1},  // canonical same-size conv
+      {{2, 8, 8}, 2, 1, 1, 0},  // pointwise 1x1
+      {{1, 8, 8}, 2, 3, 2, 0},  // kernel > stride, valid padding
+      {{1, 8, 8}, 2, 3, 1, 2},  // padding = kernel - 1 (max legal)
+      {{3, 6, 6}, 2, 2, 2, 0},  // multi-channel, stride = kernel
+      {{2, 7, 5}, 3, 3, 2, 1},  // non-square frame, every knob odd
+  };
+  testing::BackendGuard guard;
+  std::uint64_t seed = 500;
+  for (const ConvGeom& geom : geoms) {
+    RincConvConfig config;
+    config.out_channels = geom.out_channels;
+    config.kernel = geom.kernel;
+    config.stride = geom.stride;
+    config.padding = geom.padding;
+    // The pointwise geometry exposes only 2 patch bits; shrink the module
+    // to fit (RincConfig requires arity >= 2).
+    const std::size_t patch_bits =
+        geom.in_shape.channels * geom.kernel * geom.kernel;
+    if (patch_bits >= 4) {
+      config.rinc = {.lut_inputs = 4, .levels = 1, .total_dts = 4};
+    } else {
+      config.rinc = {.lut_inputs = 2, .levels = 0, .total_dts = 1};
+    }
+    const std::size_t out_h =
+        (geom.in_shape.height + 2 * geom.padding - geom.kernel) / geom.stride +
+        1;
+    const std::size_t out_w =
+        (geom.in_shape.width + 2 * geom.padding - geom.kernel) / geom.stride +
+        1;
+    // Random targets: fidelity is irrelevant here, the layer just has to be
+    // a real trained artefact with non-trivial modules.
+    const BitMatrix train_inputs =
+        testing::random_bits(40, geom.in_shape.flat(), seed++);
+    const BitMatrix targets = testing::random_bits(
+        40, geom.out_channels * out_h * out_w, seed++);
+    const RincConvLayer layer =
+        RincConvLayer::train(train_inputs, geom.in_shape, targets, config);
+    ASSERT_EQ(layer.output_shape(),
+              (BinShape3{geom.out_channels, out_h, out_w}));
+
+    for (const std::size_t n : {1u, 63u, 64u, 65u, 130u}) {
+      const BitMatrix inputs =
+          testing::random_bits(n, geom.in_shape.flat(), seed++);
+      set_word_backend(WordBackend::kScalar64);
+      const BitMatrix want = layer.eval_dataset(inputs);
+      for (const WordBackend backend : available_word_backends()) {
+        set_word_backend(backend);
+        for (const std::size_t threads : {1u, 2u, 5u}) {
+          const BatchEngine engine(threads);
+          EXPECT_EQ(layer.eval_dataset_batched(inputs, engine), want)
+              << word_backend_name(backend) << " x" << threads << " n=" << n
+              << " kernel=" << geom.kernel << " stride=" << geom.stride
+              << " padding=" << geom.padding;
+        }
+      }
+    }
+  }
+}
+
+// The fused ConvModel path (bitsliced conv pass + fused classifier argmax)
+// against the scalar conv + scalar classifier oracle.
+TEST(RincConvBatched, ConvModelFusedPredictMatchesScalar) {
+  const ConvProblem problem = make_problem(90, 21);
+  ConvModel model;
+  model.conv = RincConvLayer::train(problem.inputs, problem.in_shape,
+                                    problem.targets, base_config());
+  const BitMatrix conv_out = model.conv.eval_dataset(problem.inputs);
+  std::vector<int> labels(problem.inputs.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  BitMatrix intermediate(conv_out.rows(), 4 * 3);
+  for (std::size_t i = 0; i < intermediate.rows(); ++i) {
+    for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+      intermediate.set(i, j, labels[i] == static_cast<int>(j / 3));
+    }
+  }
+  PoetBinConfig classifier_config;
+  classifier_config.rinc = {.lut_inputs = 3, .levels = 1, .total_dts = 3};
+  classifier_config.n_classes = 4;
+  classifier_config.output.epochs = 10;
+  model.classifier =
+      PoetBin::train(conv_out, intermediate, labels, classifier_config);
+
+  const std::vector<int> want = model.predict_dataset(problem.inputs);
+  // Scalar single-frame path agrees with the dataset oracle.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(model.predict(problem.inputs.row(i)), want[i]);
+  }
+  testing::BackendGuard guard;
+  for (const WordBackend backend : available_word_backends()) {
+    set_word_backend(backend);
+    for (const std::size_t threads : {1u, 2u, 5u}) {
+      const BatchEngine engine(threads);
+      EXPECT_EQ(model.predict_dataset_batched(problem.inputs, engine), want)
+          << word_backend_name(backend) << " x" << threads;
+    }
+  }
+}
+
+// --- geometry validation: malformed configs abort with named contracts ----
+
+TEST(RincConvValidateDeathTest, RejectsMalformedGeometry) {
+  const BinShape3 shape{1, 8, 8};
+  RincConvConfig config = base_config();
+  config.kernel = 0;
+  EXPECT_DEATH(RincConvLayer::validate(shape, config), "");
+  config = base_config();
+  config.stride = 0;
+  EXPECT_DEATH(RincConvLayer::validate(shape, config), "");
+  config = base_config();
+  config.out_channels = 0;
+  EXPECT_DEATH(RincConvLayer::validate(shape, config), "");
+  config = base_config();
+  config.padding = config.kernel;  // all-padding patches admitted
+  EXPECT_DEATH(RincConvLayer::validate(shape, config), "");
+  config = base_config();
+  EXPECT_DEATH(RincConvLayer::validate({0, 8, 8}, config), "");
+  EXPECT_DEATH(RincConvLayer::validate({1, 0, 8}, config), "");
+  EXPECT_DEATH(RincConvLayer::validate({1, 8, 0}, config), "");
+  // kernel 3 cannot fit an unpadded 2x2 frame.
+  config.padding = 0;
+  EXPECT_DEATH(RincConvLayer::validate({1, 2, 2}, config), "");
+}
+
+TEST(RincConvValidateDeathTest, FromPartsRejectsInconsistentModules) {
+  BitVector id_table(2);
+  id_table.set(1, true);
+  const auto leaf_on = [&](std::size_t feature) {
+    return RincModule::make_leaf(Lut({feature}, id_table));
+  };
+  RincConvConfig config = base_config();  // out_channels=2, patch_bits=9
+
+  // Wrong module count: one module for two output channels.
+  std::vector<RincModule> one;
+  one.push_back(leaf_on(0));
+  EXPECT_DEATH(
+      RincConvLayer::from_parts({1, 8, 8}, config, std::move(one)), "");
+
+  // A module wired beyond the patch width (feature 9 of a 9-bit patch).
+  std::vector<RincModule> wired;
+  wired.push_back(leaf_on(0));
+  wired.push_back(leaf_on(9));
+  EXPECT_DEATH(
+      RincConvLayer::from_parts({1, 8, 8}, config, std::move(wired)), "");
+
+  // The same parts with in-range wiring construct fine.
+  std::vector<RincModule> good;
+  good.push_back(leaf_on(0));
+  good.push_back(leaf_on(8));
+  const RincConvLayer layer =
+      RincConvLayer::from_parts({1, 8, 8}, config, std::move(good));
+  EXPECT_EQ(layer.output_shape(), (BinShape3{2, 8, 8}));
 }
 
 }  // namespace

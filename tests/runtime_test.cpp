@@ -303,27 +303,10 @@ TEST(MicroBatcher, ConcurrentProducersWithThreadedEngine) {
   EXPECT_EQ(served, fx.scalar_preds);
 }
 
-// Deprecated shims still agree with the scalar paths now that they share a
-// process-wide engine per thread count (the churn fix must not change
-// results), and the caller-supplied-engine overloads match too. This is the
-// one in-tree caller of the [[deprecated]] n_threads shims, on purpose.
-TEST(PoetBinBatchedShims, SharedAndCallerSuppliedEnginesMatchScalar) {
+// The caller-supplied-engine overloads match the scalar paths (these are
+// the only batched entry points now that the n_threads shims are gone).
+TEST(PoetBinEngineOverloads, CallerSuppliedEngineMatchesScalar) {
   const ServeFixture& fx = fixture();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features,
-                                             /*n_threads=*/2),
-            fx.scalar_preds);
-  // Second call reuses the shared pool (no churn) and must be identical.
-  EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features,
-                                             /*n_threads=*/2),
-            fx.scalar_preds);
-  EXPECT_DOUBLE_EQ(
-      fx.model.accuracy_batched(fx.data.features, fx.data.labels,
-                                /*n_threads=*/2),
-      fx.scalar_accuracy);
-#pragma GCC diagnostic pop
-
   const BatchEngine engine(3);
   EXPECT_EQ(fx.model.predict_dataset_batched(fx.data.features, engine),
             fx.scalar_preds);

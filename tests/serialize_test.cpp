@@ -225,6 +225,158 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.dts);
     });
 
+// --- convolutional models: conv front end + embedded dense classifier -----
+
+// Trains a small ConvModel once: a 2-channel RINC conv over 1x6x6 frames
+// whose flattened output feeds a 4-class classifier.
+struct ConvFixture {
+  BitMatrix frames;
+  ConvModel model;
+
+  ConvFixture() {
+    const BinShape3 in_shape{1, 6, 6};
+    frames = testing::random_bits(200, in_shape.flat(), 55);
+    RincConvConfig config;
+    config.out_channels = 2;
+    config.kernel = 3;
+    config.stride = 1;
+    config.padding = 1;
+    config.rinc = {.lut_inputs = 4, .levels = 1, .total_dts = 4};
+    const BitMatrix targets = testing::random_bits(200, 2 * 6 * 6, 56);
+    model.conv = RincConvLayer::train(frames, in_shape, targets, config);
+
+    const BitMatrix conv_out = model.conv.eval_dataset(frames);
+    std::vector<int> labels(frames.rows());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<int>(i % 4);
+    }
+    const std::size_t p = 3;
+    BitMatrix intermediate(conv_out.rows(), 4 * p);
+    for (std::size_t i = 0; i < intermediate.rows(); ++i) {
+      for (std::size_t j = 0; j < intermediate.cols(); ++j) {
+        intermediate.set(i, j, labels[i] == static_cast<int>(j / p));
+      }
+    }
+    PoetBinConfig classifier_config;
+    classifier_config.rinc = {.lut_inputs = p, .levels = 1, .total_dts = 3};
+    classifier_config.n_classes = 4;
+    classifier_config.output.epochs = 10;
+    model.classifier =
+        PoetBin::train(conv_out, intermediate, labels, classifier_config);
+  }
+};
+
+const ConvFixture& conv_fixture() {
+  static const ConvFixture fx;
+  return fx;
+}
+
+TEST(ConvSerialize, RoundTripPreservesPredictions) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream stream;
+  save_conv_model(fx.model, stream);
+  EXPECT_NE(stream.str().find("poetbin-conv-model v1"), std::string::npos);
+  const IoResult<ConvModel> loaded = read_conv_model(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->conv.input_shape(), fx.model.conv.input_shape());
+  EXPECT_EQ(loaded->conv.output_shape(), fx.model.conv.output_shape());
+  EXPECT_EQ(loaded->n_features(), fx.model.n_features());
+  EXPECT_EQ(loaded->conv.eval_dataset(fx.frames),
+            fx.model.conv.eval_dataset(fx.frames));
+  EXPECT_EQ(loaded->predict_dataset(fx.frames),
+            fx.model.predict_dataset(fx.frames));
+}
+
+TEST(ConvSerialize, DoubleRoundTripIsIdentity) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream first;
+  save_conv_model(fx.model, first);
+  const IoResult<ConvModel> once = read_conv_model(first);
+  ASSERT_TRUE(once.ok());
+  std::stringstream second;
+  save_conv_model(*once, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ConvSerialize, FileRoundTrip) {
+  const ConvFixture& fx = conv_fixture();
+  const std::string path = ::testing::TempDir() + "/poetbin_conv_model.txt";
+  ASSERT_TRUE(write_conv_model_file(fx.model, path).ok());
+  const IoResult<ConvModel> loaded = read_conv_model_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded->predict_dataset(fx.frames),
+            fx.model.predict_dataset(fx.frames));
+  std::remove(path.c_str());
+}
+
+TEST(ConvSerialize, MissingFileIsTypedError) {
+  const IoResult<ConvModel> result =
+      read_conv_model_file("/nonexistent/path/conv_model.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kFileNotFound);
+}
+
+TEST(ConvSerialize, MalformedHeaderIsVersionMismatch) {
+  std::stringstream stream("poetbin-conv-model v9\n");
+  const IoResult<ConvModel> result = read_conv_model(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
+// Out-of-range conv geometry surfaces as a typed kCorruptSection, never a
+// validate() abort (the loader replicates every from_parts contract).
+TEST(ConvSerialize, OutOfRangeGeometryIsCorruptSection) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream stream;
+  save_conv_model(fx.model, stream);
+  const std::string text = stream.str();
+  // The conv record is "conv <in_c> <in_h> <in_w> <out_c> <k> <s> <p>";
+  // swap single tokens for structurally impossible values.
+  const auto corrupt_conv_token = [&](std::size_t token_index,
+                                      const std::string& to) {
+    const std::size_t at = text.find("conv ");
+    ASSERT_NE(at, std::string::npos);
+    std::size_t tok = at + 5;
+    for (std::size_t skip = 0; skip < token_index; ++skip) {
+      tok = text.find(' ', tok) + 1;
+    }
+    std::size_t end = text.find_first_of(" \n", tok);
+    std::stringstream in(text.substr(0, tok) + to + text.substr(end));
+    const IoResult<ConvModel> result = read_conv_model(in);
+    ASSERT_FALSE(result.ok()) << "token " << token_index << " -> " << to;
+    EXPECT_EQ(result.error().kind, ModelIoError::Kind::kCorruptSection);
+  };
+  corrupt_conv_token(0, "0");       // zero input channels
+  corrupt_conv_token(4, "0");       // zero kernel
+  corrupt_conv_token(4, "999999");  // kernel beyond the dimension cap
+  corrupt_conv_token(5, "0");       // zero stride
+  corrupt_conv_token(6, "7");       // padding >= kernel
+}
+
+TEST(ConvSerialize, EveryTruncationPointFailsCleanly) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream stream;
+  save_conv_model(fx.model, stream);
+  const std::string text = stream.str();
+  const std::size_t limit = text.rfind(' ');
+  ASSERT_NE(limit, std::string::npos);
+  for (std::size_t cut = 0; cut < limit; cut += 1 + text.size() / 97) {
+    std::stringstream truncated(text.substr(0, cut));
+    const IoResult<ConvModel> result = read_conv_model(truncated);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+// The dense parser must not quietly accept a conv file (and vice versa).
+TEST(ConvSerialize, DenseParserRejectsConvHeader) {
+  const ConvFixture& fx = conv_fixture();
+  std::stringstream stream;
+  save_conv_model(fx.model, stream);
+  const IoResult<PoetBin> result = read_model(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind, ModelIoError::Kind::kVersionMismatch);
+}
+
 TEST(RincFromParts, RejectsMixedLevels) {
   BitVector id_table(2);
   id_table.set(1, true);

@@ -127,6 +127,8 @@ TEST(WordBackendDispatch, NameParsing) {
   EXPECT_EQ(word_backend_from_name("AVX2"), WordBackend::kAvx2);
   EXPECT_EQ(word_backend_from_name("avx512"), WordBackend::kAvx512);
   EXPECT_EQ(word_backend_from_name("AVX-512"), WordBackend::kAvx512);
+  EXPECT_EQ(word_backend_from_name("neon"), WordBackend::kNeon);
+  EXPECT_EQ(word_backend_from_name("ASIMD"), WordBackend::kNeon);
   EXPECT_EQ(word_backend_from_name("sse2"), std::nullopt);
   EXPECT_EQ(word_backend_from_name(""), std::nullopt);
   for (const auto backend : available_word_backends()) {

@@ -15,8 +15,9 @@ never gated: a p999 on a shared CI runner is one noisy sample, not a
 regression signal. If the two runs used different scales the
 comparison is skipped entirely (the numbers are not comparable).
 
-Backend-suffixed keys (*_scalar64_ms / *_avx2_ms / *_avx512_ms) time one
-specific backend, so they are comparable whenever both runs have them.
+Backend-suffixed keys (*_scalar64_ms / *_avx2_ms / *_avx512_ms /
+*_neon_ms) time one specific backend, so they are comparable whenever both
+runs have them.
 Unsuffixed keys time whatever backend the runner dispatched to by default:
 when the two runs report different `backends_mask` values (shared CI
 runners with different CPUs), the unsuffixed keys are skipped instead of
@@ -58,7 +59,7 @@ def main():
                   f"({prev_scales[bench]} -> {scale}); skipping comparison")
             return 0
 
-    backend_suffixes = ("_scalar64_ms", "_avx2_ms", "_avx512_ms")
+    backend_suffixes = ("_scalar64_ms", "_avx2_ms", "_avx512_ms", "_neon_ms")
     hardware_changed = set()
     for bench in curr_scales:
         mask_key = f"{bench}.backends_mask"
