@@ -10,6 +10,8 @@
 namespace poetbin::bench {
 
 double bench_scale() {
+  // Bench mains are single-threaded at env-read time.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("POETBIN_BENCH_SCALE");
   if (env == nullptr) return 1.0;
   const double value = std::atof(env);
@@ -45,6 +47,8 @@ void JsonResults::add(const std::string& key, double value) {
 }
 
 JsonResults::~JsonResults() {
+  // Bench mains are single-threaded at env-read time.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* path = std::getenv("POETBIN_BENCH_JSON");
   if (path == nullptr) return;
   std::FILE* out = std::fopen(path, "w");

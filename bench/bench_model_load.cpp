@@ -101,6 +101,8 @@ PoetBin random_model(std::size_t p, std::size_t leaf_arity,
 }
 
 std::string temp_path(const char* name) {
+  // Bench mains are single-threaded at env-read time.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* dir = std::getenv("TMPDIR");
   return std::string(dir && *dir ? dir : "/tmp") + "/" + name;
 }

@@ -160,6 +160,8 @@ class BatchEngine::ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       job_ = &fn;
       n_jobs_ = n_jobs;
+      // order: relaxed — published to the workers by the mu_ unlock +
+      // generation bump below (mutex release/acquire), not by this store.
       next_job_.store(0, std::memory_order_relaxed);
       workers_active_ = threads_.size();
       ++generation_;
@@ -174,6 +176,9 @@ class BatchEngine::ThreadPool {
  private:
   void drain() {
     for (;;) {
+      // order: relaxed — only the atomicity of the claim matters; job_ and
+      // n_jobs_ were published by the mutex handoff in run(), and each
+      // claimed index is touched by exactly one thread.
       const std::size_t job = next_job_.fetch_add(1, std::memory_order_relaxed);
       if (job >= n_jobs_) return;
       (*job_)(job);
@@ -235,12 +240,21 @@ void BatchEngine::parallel_for(
   // is in flight (from a job, or from another user thread) would corrupt it
   // silently. Fail fast instead. The flag is cleared by RAII so a throwing
   // job doesn't poison the engine for later (legal, sequential) calls.
+  //
+  // order: acquire on the exchange pairs with BusyReset's release below —
+  // the lock-acquire half of a try-lock: when caller B's exchange reads the
+  // false that caller A's reset stored, everything A's pass wrote (output
+  // words included) happens-before B's pass. The flag is per-engine state,
+  // so two engines on different Runtimes never contend here
+  // (race_stress_test's TwoEnginesNeverFalseTripBusyGuard pins that down).
   POETBIN_CHECK_MSG(!busy_.exchange(true, std::memory_order_acquire),
                     "BatchEngine is not re-entrant: parallel_for called while "
                     "another parallel_for on the same engine is in flight; "
                     "use one engine per concurrent dataset pass");
   struct BusyReset {
     std::atomic<bool>* flag;
+    // order: release is the unlock half of the handoff — it publishes this
+    // pass's writes to the next exchange-acquire on the same engine.
     ~BusyReset() { flag->store(false, std::memory_order_release); }
   } reset{&busy_};  // busy_ is mutable, so &busy_ is non-const here
   pool_->run(n_jobs, fn);

@@ -127,6 +127,7 @@ bool MicroBatcher::probe_cache(const BitVector& example_bits,
       !cache->probe(PredictCache::make_key(example_bits), prediction)) {
     return false;
   }
+  // order: relaxed — monotonic statistics counter; stats() folds it in.
   cache_hit_requests_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -184,6 +185,7 @@ ServeStats MicroBatcher::stats() const {
   // Cache hits never touch a window, so they live in their own atomic;
   // fold them in so `requests` counts every prediction served, and pull
   // the cache's own counters so one snapshot tells the whole story.
+  // order: relaxed — counter snapshot; may lag racing hits, never torn.
   snapshot.requests += cache_hit_requests_.load(std::memory_order_relaxed);
   if (const PredictCache* cache = runtime_->cache()) {
     const PredictCacheStats c = cache->stats();

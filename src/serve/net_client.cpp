@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/errno_string.h"
+
 namespace poetbin {
 
 namespace {
@@ -77,7 +79,7 @@ bool NetClient::connect(const std::string& host, std::uint16_t port,
   } while (Clock::now() < deadline);
   if (error) {
     *error = "connect " + host + ":" + std::to_string(port) + ": " +
-             std::strerror(last_errno);
+             errno_string(last_errno);
   }
   return false;
 }

@@ -21,6 +21,7 @@
 #include "core/serialize.h"
 #include "serve/protocol.h"
 #include "util/check.h"
+#include "util/errno_string.h"
 
 namespace poetbin {
 
@@ -37,14 +38,14 @@ int make_listen_socket(const std::string& host, std::uint16_t port,
                        std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    if (error) *error = std::string("socket: ") + errno_string(errno);
     return -1;
   }
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (reuse_port) {
     if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
-      if (error) *error = std::string("SO_REUSEPORT: ") + std::strerror(errno);
+      if (error) *error = std::string("SO_REUSEPORT: ") + errno_string(errno);
       ::close(fd);
       return -1;
     }
@@ -60,20 +61,20 @@ int make_listen_socket(const std::string& host, std::uint16_t port,
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     if (error) {
       *error = "bind " + host + ":" + std::to_string(port) + ": " +
-               std::strerror(errno);
+               errno_string(errno);
     }
     ::close(fd);
     return -1;
   }
   if (::listen(fd, 128) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    if (error) *error = std::string("listen: ") + errno_string(errno);
     ::close(fd);
     return -1;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    if (error) *error = std::string("getsockname: ") + std::strerror(errno);
+    if (error) *error = std::string("getsockname: ") + errno_string(errno);
     ::close(fd);
     return -1;
   }
@@ -483,7 +484,11 @@ int run_sharded_server(const std::string& model_path,
   // SIGTERM/SIGINT via the same flag; installing before fork closes the
   // window where a signal could hit a worker with default disposition.
   g_shutdown = 0;
+  // Installed while the launcher is still single-threaded (pre-fork,
+  // pre-server-threads), so the mt-unsafety of signal() cannot bite.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::signal(SIGTERM, on_shutdown_signal);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::signal(SIGINT, on_shutdown_signal);
 
   std::vector<pid_t> pids;

@@ -94,27 +94,39 @@ PredictCache::Entry* PredictCache::bucket_for(const Key& key, Shard** shard) {
 bool PredictCache::probe(const Key& key, int* prediction) {
   Shard* shard = nullptr;
   Entry* bucket = bucket_for(key, &shard);
-  // Acquire pairs with insert()'s release store: a hit synchronizes with
-  // the inserter, so the hitter's later snapshot loads can never see a
-  // model version older than the one that computed this entry.
+  // order: acquire pairs with set_epoch()'s release — a probe that reads a
+  // post-wraparound epoch value also observes the clear() sequenced before
+  // it, so a pre-wrap entry whose 32-bit epoch aliases the new generation
+  // can never produce a false hit.
   const std::uint32_t current =
       static_cast<std::uint32_t>(epoch_.load(std::memory_order_acquire));
   const std::uint64_t tag = key.hash >> 48;
   for (std::size_t e = 0; e < kBucketEntries; ++e) {
+    // order: acquire pairs with insert()'s release store of data — (a) the
+    // matching check store is visible whenever the new data is (any other
+    // interleaving XOR-mismatches into a miss), and (b) a hit synchronizes
+    // with the inserter, so the hitter's later snapshot loads can never see
+    // a model version older than the one that computed this entry.
     const std::uint64_t data = bucket[e].data.load(std::memory_order_acquire);
+    // order: relaxed — sequenced after the acquire load of data, and the
+    // XOR verification tolerates ANY stale or torn check value (it reads as
+    // a miss); the acquire above is what makes the matching pair visible.
     const std::uint64_t check =
         bucket[e].check.load(std::memory_order_relaxed);
     if ((check ^ data) != key.verify || (data & kTagMask) != tag) continue;
     if (entry_epoch(data) != current) {
       // The key matched but the entry predates the serving version: a
       // reload/retrain published since it was inserted. Miss, never serve.
+      // order: relaxed — monotonic statistics counter, no ordering needed.
       shard->counters.stale.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     *prediction = entry_prediction(data);
+    // order: relaxed — monotonic statistics counter, no ordering needed.
     shard->counters.hits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  // order: relaxed — monotonic statistics counter, no ordering needed.
   shard->counters.misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
@@ -127,6 +139,9 @@ void PredictCache::insert(const Key& key, int prediction,
   Entry* bucket = bucket_for(key, &shard);
   const std::uint64_t data = pack_entry(prediction, version, key.hash);
   const std::uint64_t tag = key.hash >> 48;
+  // order: relaxed — the epoch here only steers victim selection (prefer
+  // reclaiming stale entries); a lagging value at worst evicts a live
+  // entry early. Correctness never depends on this read.
   const std::uint32_t current =
       static_cast<std::uint32_t>(epoch_.load(std::memory_order_relaxed));
   // Victim policy: refresh the same key in place; otherwise reclaim a
@@ -135,6 +150,9 @@ void PredictCache::insert(const Key& key, int prediction,
   std::size_t victim = kBucketEntries;
   bool evicting = false;
   for (std::size_t e = 0; e < kBucketEntries; ++e) {
+    // order: relaxed (both) — the victim scan is a heuristic: a torn or
+    // stale (old, check) view only changes WHICH slot gets replaced, and
+    // probe()'s XOR verification protects readers of whatever we overwrite.
     const std::uint64_t old = bucket[e].data.load(std::memory_order_relaxed);
     const std::uint64_t check =
         bucket[e].check.load(std::memory_order_relaxed);
@@ -154,11 +172,14 @@ void PredictCache::insert(const Key& key, int prediction,
     victim = static_cast<std::size_t>((key.hash >> 46) & (kBucketEntries - 1));
     evicting = true;
   }
-  // check first (relaxed), then data with release: a reader that observes
-  // the new data also observes the matching check, and a half-visible pair
-  // XOR-mismatches into a miss.
+  // order: check first relaxed, then data release — the release makes the
+  // check store visible to any reader that acquires the new data word, so
+  // a verified pair is always matched; a reader that catches the pair
+  // half-visible XOR-mismatches into a miss. The data release additionally
+  // carries the inserter's happens-before (see probe()).
   bucket[victim].check.store(key.verify ^ data, std::memory_order_relaxed);
   bucket[victim].data.store(data, std::memory_order_release);
+  // order: relaxed — monotonic statistics counters, no ordering needed.
   shard->counters.inserts.fetch_add(1, std::memory_order_relaxed);
   if (evicting) {
     shard->counters.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -166,22 +187,33 @@ void PredictCache::insert(const Key& key, int prediction,
 }
 
 void PredictCache::set_epoch(std::uint64_t version) {
+  // order: relaxed — epoch_ writers are serialized by the Runtime's
+  // mutate_mu (publish() is the only caller), so this read never races a
+  // concurrent store; it only detects the 2^32 wraparound.
   const std::uint64_t previous = epoch_.load(std::memory_order_relaxed);
   if ((version >> 32) != (previous >> 32)) {
     // Epoch wraparound: the 32-bit entry tags are about to repeat, so an
     // entry from 2^32 publishes ago could read as current. Drop everything.
     clear();
   }
+  // order: release pairs with probe()'s acquire of epoch_ — a probe that
+  // reads this value also observes the wraparound clear() above, so
+  // epoch-aliased pre-wrap entries can never false-hit.
   epoch_.store(version, std::memory_order_release);
 }
 
 std::uint64_t PredictCache::epoch() const {
+  // order: acquire mirrors probe()'s pairing with set_epoch()'s release so
+  // external observers (tests, stats dumps) get the same guarantee.
   return epoch_.load(std::memory_order_acquire);
 }
 
 void PredictCache::clear() {
   for (std::size_t s = 0; s < n_shards_; ++s) {
     for (std::size_t e = 0; e < shard_entries_; ++e) {
+      // order: relaxed (both) — concurrent probes may observe the pair
+      // half-cleared, which XOR-mismatches into a miss; an all-zero entry
+      // never verifies (a real key's verify word is nonzero w.h.p.).
       shards_[s].entries[e].check.store(0, std::memory_order_relaxed);
       shards_[s].entries[e].data.store(0, std::memory_order_relaxed);
     }
@@ -192,6 +224,8 @@ PredictCacheStats PredictCache::stats() const {
   PredictCacheStats total;
   for (std::size_t s = 0; s < n_shards_; ++s) {
     const Counters& c = shards_[s].counters;
+    // order: relaxed (all) — monotonic counters; a snapshot may lag in-
+    // flight increments but each word is read atomically, never torn.
     total.hits += c.hits.load(std::memory_order_relaxed);
     total.misses += c.misses.load(std::memory_order_relaxed);
     total.inserts += c.inserts.load(std::memory_order_relaxed);

@@ -128,6 +128,13 @@ void Runtime::publish(Slot& slot, PoetBin model, ModelFormat format,
   if (&slot == &state_->primary && state_->cache != nullptr) {
     state_->cache->set_epoch(version->version);
   }
+  // order: seq_cst (default) — this store is the RCU publish point. It
+  // must be release-or-stronger so a snapshot() that loads the new pointer
+  // sees the fully-built ModelVersion AND the cache set_epoch sequenced
+  // above; seq_cst additionally totally orders publishes with each other,
+  // which is what lets hot_reload_test assert per-thread tag monotonicity.
+  // Writers are serialized by mutate_mu; the store itself stays lock-free
+  // with respect to readers.
   slot.current.store(std::move(version));
 }
 
@@ -172,6 +179,10 @@ IoStatus Runtime::save_packed(const std::string& path) const {
 }
 
 Runtime::Snapshot Runtime::snapshot() const {
+  // order: seq_cst (default) — the RCU read side, pairing with publish()'s
+  // store: acquiring the pointer makes the pointed-to ModelVersion (and the
+  // cache epoch bumped before the publish) visible. The returned
+  // shared_ptr then pins the version for the request's lifetime.
   return state_->primary.current.load();
 }
 

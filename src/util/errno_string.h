@@ -1,0 +1,32 @@
+// Thread-safe errno formatting. std::strerror writes into shared static
+// storage (clang-tidy concurrency-mt-unsafe), and the server formats socket
+// errors from many handler threads at once; strerror_r keeps each message in
+// a caller-owned buffer.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace poetbin {
+
+namespace detail {
+
+// strerror_r has two incompatible signatures: XSI returns int and fills the
+// buffer, GNU returns the message pointer (which may ignore the buffer).
+// Overloading on the call's result type picks the right handling without a
+// feature-test-macro maze.
+inline const char* strerror_r_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_r_result(const char* msg, const char* /*buf*/) {
+  return msg != nullptr ? msg : "unknown error";
+}
+
+}  // namespace detail
+
+inline std::string errno_string(int err) {
+  char buf[128] = {};
+  return detail::strerror_r_result(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
+}  // namespace poetbin

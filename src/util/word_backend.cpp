@@ -96,6 +96,9 @@ Registry build_registry() {
   }
   // ...unless POETBIN_FORCE_BACKEND pins one; an unknown or unavailable name
   // aborts rather than silently benchmarking the wrong kernels.
+  // getenv is read once during the registry's static init, before any
+  // thread could call setenv; nothing mutates the environment at runtime.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* forced = std::getenv("POETBIN_FORCE_BACKEND");
       forced != nullptr && forced[0] != '\0') {
     const auto backend = word_backend_from_name(forced);
@@ -124,6 +127,10 @@ std::atomic<const WordOps*>& active_slot() {
 }  // namespace
 
 const WordOps& word_ops() {
+  // order: relaxed — every WordOps table is immutable static data built
+  // before main() can race (function-local static init is synchronized),
+  // so only the pointer read itself must be atomic. set_word_backend() is
+  // documented process-global and test-serialized, not a hot-path handoff.
   return *active_slot().load(std::memory_order_relaxed);
 }
 
@@ -138,6 +145,8 @@ void set_word_backend(WordBackend backend) {
   POETBIN_CHECK_MSG(ops != nullptr,
                     "requested word backend is not available on this build "
                     "or CPU (check available_word_backends())");
+  // order: relaxed — see word_ops(): the tables are immutable, so there is
+  // nothing for a release to publish beyond the pointer value itself.
   active_slot().store(ops, std::memory_order_relaxed);
 }
 

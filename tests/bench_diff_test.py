@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/bench_diff.py.
+
+Run as: bench_diff_test.py /path/to/bench_diff.py
+
+The gate's exit codes are load-bearing for CI: 0 = clean, 1 = genuine
+regression, 2 = unusable input (a truncated or corrupt previous-run
+artifact must not masquerade as a perf failure)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(bench_diff, previous, current):
+    proc = subprocess.run(
+        [sys.executable, bench_diff, previous, current],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def artifact(path, eval_ms):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([{"bench": "batch_eval", "scale": 1.0,
+                    "metrics": {"eval_ms": eval_ms}}], handle)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: bench_diff_test.py /path/to/bench_diff.py",
+              file=sys.stderr)
+        return 2
+    bench_diff = sys.argv[1]
+    failures = []
+
+    def expect(name, code, want_code, text, want_text):
+        if code != want_code:
+            failures.append(f"{name}: exit {code}, want {want_code}")
+        if want_text not in text:
+            failures.append(f"{name}: output missing {want_text!r}: {text!r}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        prev = os.path.join(tmp, "prev.json")
+        curr = os.path.join(tmp, "curr.json")
+        artifact(curr, eval_ms=10.0)
+
+        # Clean diff: same numbers, exit 0.
+        artifact(prev, eval_ms=10.0)
+        code, out, _ = run(bench_diff, prev, curr)
+        expect("clean", code, 0, out, "OK:")
+
+        # Real regression: exit 1, names the metric.
+        artifact(prev, eval_ms=1.0)
+        code, out, _ = run(bench_diff, prev, curr)
+        expect("regression", code, 1, out, "REGRESSION")
+
+        # Truncated download: valid JSON prefix, cut mid-array.
+        with open(prev, "w", encoding="utf-8") as handle:
+            handle.write('[{"bench": "batch_eval", "metr')
+        code, _, err = run(bench_diff, prev, curr)
+        expect("truncated", code, 2, err, "malformed bench artifact")
+        expect("truncated names file", code, 2, err, prev)
+
+        # Wrong shape: JSON object instead of the entry array.
+        with open(prev, "w", encoding="utf-8") as handle:
+            json.dump({"bench": "batch_eval"}, handle)
+        code, _, err = run(bench_diff, prev, curr)
+        expect("non-array", code, 2, err, "expected a JSON array")
+
+        # Array of non-objects.
+        with open(prev, "w", encoding="utf-8") as handle:
+            json.dump(["batch_eval"], handle)
+        code, _, err = run(bench_diff, prev, curr)
+        expect("non-object entry", code, 2, err, "not an object")
+
+    if failures:
+        print("FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("bench_diff_test OK: exit codes 0/1/2 behave as documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Configure-time regression test for the POETBIN_SANITIZE cache variable:
+#   thread  -> TSan mode
+#   address -> ASan+UBSan mode
+#   ON      -> legacy bool spelling still maps to address
+#   bogus   -> hard configure error, never a silent fallback
+#
+# Registered from CMakeLists.txt as the `sanitize_modes_configure` ctest
+# (only in non-sanitized builds, so the CI sanitizer legs don't recurse).
+# Usage: check_sanitize_modes.sh <cmake-binary> <source-dir>
+set -euo pipefail
+
+cmake_bin="$1"
+source_dir="$2"
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+configure() {
+  local value="$1" out="$2"
+  # Tests off: the probe only needs the configure step, not GTest.
+  "${cmake_bin}" -S "${source_dir}" -B "${work}/${value}" \
+    -DPOETBIN_BUILD_TESTS=OFF -DPOETBIN_SANITIZE="${value}" \
+    > "${out}" 2>&1
+}
+
+expect_mode() {
+  local value="$1" mode="$2"
+  local out="${work}/log_${value}.txt"
+  configure "${value}" "${out}"
+  if ! grep -q "POETBIN_SANITIZE mode: ${mode}" "${out}"; then
+    echo "FAIL: -DPOETBIN_SANITIZE=${value} did not report mode '${mode}'" >&2
+    tail -20 "${out}" >&2
+    exit 1
+  fi
+  echo "ok: ${value} -> ${mode}"
+}
+
+expect_mode thread thread
+expect_mode address address
+expect_mode ON address   # legacy bool spelling
+
+out="${work}/log_bogus.txt"
+if configure bogus "${out}"; then
+  echo "FAIL: -DPOETBIN_SANITIZE=bogus configured successfully" >&2
+  exit 1
+fi
+if ! grep -q "POETBIN_SANITIZE must be" "${out}"; then
+  echo "FAIL: bogus value did not produce the expected error message" >&2
+  tail -20 "${out}" >&2
+  exit 1
+fi
+echo "ok: bogus -> configure error"
+echo "check_sanitize_modes OK"

@@ -3,6 +3,10 @@
 
 Usage: bench_diff.py PREVIOUS CURRENT [--threshold 0.15]
 
+Exit codes: 0 no regression, 1 regression found, 2 a file is missing or
+malformed (truncated artifact download, non-array JSON) — distinct so CI
+can retry the artifact instead of reporting a phantom perf failure.
+
 Each file is the CI artifact: a JSON array of per-bench objects
   {"bench": "batch_eval", "scale": 0.25, "metrics": {"<key>": <value>, ...}}
 
@@ -29,12 +33,27 @@ import json
 import sys
 
 
+class MalformedArtifact(Exception):
+    """A bench_results.json that exists but cannot be interpreted."""
+
+
 def load_metrics(path):
-    with open(path, encoding="utf-8") as handle:
-        entries = json.load(handle)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except json.JSONDecodeError as err:
+        raise MalformedArtifact(f"{path} is not valid JSON: {err}") from err
+    if not isinstance(entries, list):
+        raise MalformedArtifact(
+            f"{path}: expected a JSON array of bench entries, got "
+            f"{type(entries).__name__}")
     metrics = {}
     scales = {}
     for entry in entries:
+        if not isinstance(entry, dict):
+            raise MalformedArtifact(
+                f"{path}: bench entry is {type(entry).__name__}, not an "
+                f"object")
         bench = entry.get("bench", "?")
         scales[bench] = entry.get("scale")
         for key, value in entry.get("metrics", {}).items():
@@ -50,8 +69,15 @@ def main():
                         help="fractional slowdown that fails the gate")
     args = parser.parse_args()
 
-    prev, prev_scales = load_metrics(args.previous)
-    curr, curr_scales = load_metrics(args.current)
+    # Exit 2 (not 1) on a malformed artifact: 1 means "benches regressed",
+    # and CI must be able to tell a broken previous-run download (retry /
+    # reseed the artifact) from a real performance failure.
+    try:
+        prev, prev_scales = load_metrics(args.previous)
+        curr, curr_scales = load_metrics(args.current)
+    except MalformedArtifact as err:
+        print(f"error: malformed bench artifact: {err}", file=sys.stderr)
+        return 2
 
     for bench, scale in curr_scales.items():
         if bench in prev_scales and prev_scales[bench] != scale:

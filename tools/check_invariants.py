@@ -1,0 +1,405 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: statically enforce rules the codebase learned
+the hard way.
+
+Usage:
+  check_invariants.py [--root DIR]     # lint the tree (default: repo root)
+  check_invariants.py --self-test      # prove every rule fires on a seeded
+                                       # violation and passes a clean tree
+
+Rules (each with the incident that motivated it):
+
+  memory-order-comment   Every `std::memory_order_*` use carries an
+                         adjacent `// order:` justification (same line or
+                         within the 6 lines above). The PR 8 cache audit
+                         showed undocumented orderings rot into cargo-cult
+                         relaxed loads nobody dares touch.
+  atomic-model-publish   Model artifacts (*.pbm) are pushed with the atomic
+                         temp+rename writers / `mv`, never `cp`-in-place:
+                         overwriting a mapped packed model truncates the
+                         inode under the serving workers and SIGBUSes them
+                         (PR 7). Scans scripts, CI and docs.
+  no-batched-shims       The removed `*_batched(..., n_threads)` shim
+                         signatures never reappear — they constructed a
+                         thread pool per call (PR 5's churn bug); callers
+                         pass a BatchEngine.
+  frame-payload-bound    Byte-size constants declared in the wire protocol
+                         stay within kMaxFramePayload; a constant that
+                         outgrows the frame cap would make the server
+                         reject its own responses.
+  no-rand-time           No `rand()`/`srand()`/`time()` in src/: every
+                         library path is deterministic and seeded (the
+                         bit-identity test strategy depends on it). Clocks
+                         for timeouts use <chrono> steady_clock.
+  tsan-supp-clean        tsan.supp never suppresses a `poetbin::` frame — a
+                         race in our code is fixed or annotated at the
+                         source, not muted.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+Suppress a single line with `// invariants: allow-<rule>` (C++) or
+`# invariants: allow-<rule>` (scripts/yaml) plus a reason.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CXX_EXTENSIONS = (".cpp", ".h", ".cc", ".hpp")
+SCRIPT_EXTENSIONS = (".sh", ".py", ".yml", ".yaml", ".md", ".cmake")
+
+# memory-order-comment: how many preceding lines may hold the `// order:`
+# justification (multi-line statements and small audited blocks).
+ORDER_COMMENT_WINDOW = 6
+
+
+class Violation:
+    def __init__(self, rule, path, line_no, message):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def allow_marker(rule, line):
+    return f"invariants: allow-{rule}" in line
+
+
+def iter_files(root, subdirs, extensions):
+    self_path = os.path.abspath(__file__)
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if not name.endswith(extensions):
+                    continue
+                path = os.path.join(dirpath, name)
+                # The linter's own self-test seeds contain every violation.
+                if os.path.abspath(path) == self_path:
+                    continue
+                yield path
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        return handle.read().splitlines()
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+# --- rule: memory-order-comment ---------------------------------------------
+
+def check_memory_order_comment(root):
+    violations = []
+    pattern = re.compile(r"\bmemory_order_\w+")
+    for path in iter_files(root, ["src"], CXX_EXTENSIONS):
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            if not pattern.search(line):
+                continue
+            if allow_marker("memory-order-comment", line):
+                continue
+            window = lines[max(0, i - ORDER_COMMENT_WINDOW):i + 1]
+            if any("// order:" in w for w in window):
+                continue
+            violations.append(Violation(
+                "memory-order-comment", relpath(root, path), i + 1,
+                "memory_order_* without an adjacent '// order:' comment "
+                "justifying the ordering"))
+    return violations
+
+
+# --- rule: atomic-model-publish ---------------------------------------------
+
+# A `cp` (or shutil.copy*) whose arguments mention a packed-model artifact.
+# Copying onto a mapped .pbm truncates the readers' inode; pushes must go
+# through the temp+rename writers or `mv`.
+CP_PBM = re.compile(r"\bcp\b[^\n|&;]*\.pbm\b")
+SHUTIL_COPY_PBM = re.compile(r"shutil\.copy\w*\([^)]*\.pbm")
+
+
+def check_atomic_model_publish(root):
+    violations = []
+    files = list(iter_files(root, ["tools", ".github", "docs"],
+                            SCRIPT_EXTENSIONS))
+    for name in ("README.md", "ROADMAP.md", "CONTRIBUTING.md"):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            files.append(path)
+    for path in files:
+        for i, line in enumerate(read_lines(path)):
+            if allow_marker("atomic-model-publish", line):
+                continue
+            if CP_PBM.search(line) or SHUTIL_COPY_PBM.search(line):
+                violations.append(Violation(
+                    "atomic-model-publish", relpath(root, path), i + 1,
+                    "model artifact pushed with cp/copy — use the atomic "
+                    "temp+rename writers or `mv` (cp-in-place SIGBUSes "
+                    "workers mapping the old inode)"))
+    return violations
+
+
+# --- rule: no-batched-shims -------------------------------------------------
+
+BATCHED_SHIM = re.compile(r"\w+_batched\s*\([^)]*\bn_threads\b")
+
+
+def check_no_batched_shims(root):
+    violations = []
+    for path in iter_files(root, ["src", "tests", "bench", "examples",
+                                  "tools"], CXX_EXTENSIONS):
+        for i, line in enumerate(read_lines(path)):
+            if allow_marker("no-batched-shims", line):
+                continue
+            if BATCHED_SHIM.search(line):
+                violations.append(Violation(
+                    "no-batched-shims", relpath(root, path), i + 1,
+                    "the *_batched(n_threads) shim signature was removed "
+                    "(per-call thread-pool churn); pass a BatchEngine"))
+    return violations
+
+
+# --- rule: frame-payload-bound ----------------------------------------------
+
+CONSTEXPR_BYTES = re.compile(
+    r"constexpr\s+[\w:<>\s]+\s(k\w*(?:Payload|Bytes|Size|Len)\w*)\s*=\s*"
+    r"([0-9][0-9a-fA-FxXuUlL'<>\s]*);")
+
+
+def parse_int_expr(expr):
+    """Parse `1u << 20`-style constant expressions; None if unsupported."""
+    expr = expr.replace("'", "").strip()
+    expr = re.sub(r"(?<=[0-9a-fA-FxX])[uUlL]+\b", "", expr)
+    shift = re.fullmatch(r"(\S+)\s*<<\s*(\S+)", expr)
+    try:
+        if shift:
+            return int(shift.group(1), 0) << int(shift.group(2), 0)
+        return int(expr, 0)
+    except ValueError:
+        return None
+
+
+def check_frame_payload_bound(root, protocol_header="src/serve/protocol.h"):
+    violations = []
+    path = os.path.join(root, protocol_header)
+    if not os.path.isfile(path):
+        violations.append(Violation(
+            "frame-payload-bound", protocol_header, 0,
+            "wire-protocol header not found (rule needs updating if the "
+            "protocol moved)"))
+        return violations
+    lines = read_lines(path)
+    constants = {}
+    for i, line in enumerate(lines):
+        match = CONSTEXPR_BYTES.search(line)
+        if not match:
+            continue
+        value = parse_int_expr(match.group(2))
+        if value is not None:
+            constants[match.group(1)] = (value, i + 1)
+    if "kMaxFramePayload" not in constants:
+        violations.append(Violation(
+            "frame-payload-bound", relpath(root, path), 0,
+            "kMaxFramePayload not found or not parseable"))
+        return violations
+    cap = constants["kMaxFramePayload"][0]
+    for name, (value, line_no) in constants.items():
+        if name == "kMaxFramePayload":
+            continue
+        if allow_marker("frame-payload-bound", lines[line_no - 1]):
+            continue
+        if value > cap:
+            violations.append(Violation(
+                "frame-payload-bound", relpath(root, path), line_no,
+                f"{name} = {value} exceeds kMaxFramePayload = {cap}; the "
+                "server would reject its own frames"))
+    return violations
+
+
+# --- rule: no-rand-time -----------------------------------------------------
+
+RAND_TIME = re.compile(r"(?<![\w:])(?:std::)?(rand|srand|time)\s*\(")
+
+
+def check_no_rand_time(root):
+    violations = []
+    for path in iter_files(root, ["src"], CXX_EXTENSIONS):
+        for i, line in enumerate(read_lines(path)):
+            if allow_marker("no-rand-time", line):
+                continue
+            code = line.split("//", 1)[0]
+            match = RAND_TIME.search(code)
+            if match:
+                violations.append(Violation(
+                    "no-rand-time", relpath(root, path), i + 1,
+                    f"{match.group(1)}() in src/ breaks the determinism "
+                    "rule — seed an util/rng.h Rng, or use <chrono> "
+                    "steady_clock for timeouts"))
+    return violations
+
+
+# --- rule: tsan-supp-clean --------------------------------------------------
+
+def check_tsan_supp_clean(root):
+    violations = []
+    path = os.path.join(root, "tsan.supp")
+    if not os.path.isfile(path):
+        violations.append(Violation(
+            "tsan-supp-clean", "tsan.supp", 0,
+            "tsan.supp missing — the TSan CI leg points TSAN_OPTIONS at it"))
+        return violations
+    for i, line in enumerate(read_lines(path)):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "poetbin::" in stripped:
+            violations.append(Violation(
+                "tsan-supp-clean", "tsan.supp", i + 1,
+                "suppression names a poetbin:: frame — fix or annotate the "
+                "race at the source instead of muting it"))
+    return violations
+
+
+RULES = [
+    check_memory_order_comment,
+    check_atomic_model_publish,
+    check_no_batched_shims,
+    check_frame_payload_bound,
+    check_no_rand_time,
+    check_tsan_supp_clean,
+]
+
+
+def run_all(root):
+    violations = []
+    for rule in RULES:
+        violations.extend(rule(root))
+    return violations
+
+
+# --- self-test ---------------------------------------------------------------
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
+CLEAN_PROTOCOL = (
+    "inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;\n"
+    "inline constexpr std::size_t kFrameHeaderSize = 4;\n"
+)
+
+
+def seed_clean_tree(root):
+    write(root, "src/serve/protocol.h", CLEAN_PROTOCOL)
+    write(root, "src/core/good.cpp",
+          "// order: relaxed - statistics counter only.\n"
+          "n.fetch_add(1, std::memory_order_relaxed);\n")
+    write(root, "tools/push.sh", "mv model.tmp.$$ model.pbm\n")
+    write(root, "tsan.supp", "# no suppressions\n")
+
+
+# (rule name, relative path, file content) — one seeded violation per rule.
+SELF_TEST_VIOLATIONS = [
+    ("memory-order-comment", "src/core/bad_order.cpp",
+     "epoch_.store(v, std::memory_order_release);\n"),
+    ("atomic-model-publish", ".github/workflows/bad_push.yml",
+     "      - run: cp new_model.pbm /srv/models/live.pbm\n"),
+    ("no-batched-shims", "src/core/bad_shim.h",
+     "std::vector<int> predict_dataset_batched(const BitMatrix& x, "
+     "std::size_t n_threads);\n"),
+    ("frame-payload-bound", "src/serve/protocol.h",
+     CLEAN_PROTOCOL +
+     "inline constexpr std::uint32_t kStatsPayloadBytes = 1u << 21;\n"),
+    ("no-rand-time", "src/core/bad_rand.cpp",
+     "int jitter = rand() % 100;\n"),
+    ("tsan-supp-clean", "tsan.supp",
+     "race:poetbin::PredictCache::probe\n"),
+]
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as root:
+        seed_clean_tree(root)
+        clean = run_all(root)
+        if clean:
+            failures.append("clean tree reported violations:\n  " +
+                            "\n  ".join(str(v) for v in clean))
+        for rule, rel, content in SELF_TEST_VIOLATIONS:
+            with tempfile.TemporaryDirectory() as seeded_root:
+                seed_clean_tree(seeded_root)
+                write(seeded_root, rel, content)
+                found = [v for v in run_all(seeded_root) if v.rule == rule]
+                if not found:
+                    failures.append(
+                        f"rule '{rule}' did not fire on seeded violation "
+                        f"in {rel}")
+                other = [v for v in run_all(seeded_root) if v.rule != rule]
+                if other:
+                    failures.append(
+                        f"seeding '{rule}' tripped unrelated rules: " +
+                        "; ".join(str(v) for v in other))
+        # The allow-marker must silence exactly the marked line.
+        with tempfile.TemporaryDirectory() as seeded_root:
+            seed_clean_tree(seeded_root)
+            write(seeded_root, "src/core/allowed.cpp",
+                  "x.store(1, std::memory_order_relaxed);"
+                  "  // invariants: allow-memory-order-comment (test)\n")
+            if run_all(seeded_root):
+                failures.append("allow-marker did not suppress the rule")
+    if failures:
+        print("SELF-TEST FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"self-test OK: all {len(SELF_TEST_VIOLATIONS)} rules fire on "
+          "seeded violations and pass a clean tree")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="PoET-BiN project-invariant linter")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's "
+                             "parent's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: '{root}' does not look like the repo root "
+              "(no src/)", file=sys.stderr)
+        return 2
+
+    violations = run_all(root)
+    if violations:
+        for violation in violations:
+            print(violation)
+        print(f"\nFAIL: {len(violations)} invariant violation(s). See "
+              "tools/check_invariants.py --help for the rules and the "
+              "allow-marker escape hatch.")
+        return 1
+    print(f"OK: {len(RULES)} invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
